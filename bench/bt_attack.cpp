@@ -1,0 +1,75 @@
+// E11 (§1, §4): BitTorrent resists the lotus-eater attack. The unchoke
+// monopoly showers targets with pieces — they finish *faster* — while the
+// swarm as a whole is barely hurt (the attacker contributes real upload).
+// Disabling rarest-first shows the "last pieces problem" the attacker would
+// need, and that the default policy removes it.
+#include <iostream>
+
+#include "bt/swarm.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace lotus;
+  bt::SwarmConfig config;
+  config.leechers = 60;
+  config.seeds = 2;
+  config.pieces = 100;
+  config.max_rounds = 1500;
+  config.seed_value = 17;
+
+  std::cout << "=== E11: unchoke-monopoly attack on a BitTorrent swarm ===\n\n";
+  sim::Table table{{"scenario", "mean completion (untargeted)",
+                    "mean completion (targeted)", "captured uploads",
+                    "attacker uploads"}};
+
+  const auto add_row = [&](const char* name, const bt::SwarmConfig& c,
+                           const bt::SwarmAttack& attack) {
+    bt::Swarm swarm{c, attack};
+    const auto result = swarm.run();
+    table.add_row({name,
+                   sim::format_double(result.mean_completion_untargeted, 1),
+                   attack.enabled
+                       ? sim::format_double(result.mean_completion_targeted, 1)
+                       : std::string{"-"},
+                   std::to_string(result.uploads_captured_by_attacker),
+                   std::to_string(result.attacker_uploads)});
+  };
+
+  add_row("baseline (rarest-first)", config, bt::SwarmAttack{});
+
+  bt::SwarmAttack attack;
+  attack.enabled = true;
+  attack.attacker_peers = 6;
+  attack.attacker_slots = 4;
+  attack.target_count = 12;
+  add_row("attack 12 targets", config, attack);
+
+  bt::SwarmAttack heavy = attack;
+  heavy.target_count = 30;
+  add_row("attack 30 targets", config, heavy);
+
+  auto random_config = config;
+  random_config.selection = bt::PieceSelection::kRandom;
+  add_row("baseline (random pieces)", random_config, bt::SwarmAttack{});
+  add_row("attack 30 targets (random pieces)", random_config, heavy);
+
+  table.print(std::cout);
+
+  // Last-pieces indicator: copies of the scarcest piece among leechers,
+  // averaged over the run (higher = safer against the last-pieces variant).
+  bt::Swarm rarest_swarm{config, bt::SwarmAttack{}};
+  bt::Swarm random_swarm{random_config, bt::SwarmAttack{}};
+  std::cout << "\nmean copies of the rarest piece among leechers: "
+            << "rarest-first="
+            << sim::format_double(rarest_swarm.run().mean_rarest_copies, 1)
+            << " random="
+            << sim::format_double(random_swarm.run().mean_rarest_copies, 1)
+            << "\n";
+
+  std::cout << "\nExpected shape (paper section 1): targets finish sooner, "
+               "untargeted completion moves only modestly — the attack is "
+               "'often actually a net benefit to the torrent'. Rarest-first "
+               "keeps the scarcest piece replicated, blunting the "
+               "last-pieces variant.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E12 (§4): network coding makes satiation hard. With Avalanche-style
+// coding a node needs any k independent blocks instead of a complete set,
+// so denying one specific block (the rare-token attack) loses its leverage.
+// Also demonstrates the mechanics end-to-end over GF(256).
+#include <iostream>
+#include <memory>
+
+#include "coding/rlnc.h"
+#include "net/topology.h"
+#include "sim/table.h"
+#include "token/model.h"
+
+int main() {
+  using namespace lotus;
+  constexpr std::size_t kNodes = 120;
+  constexpr std::size_t kTokens = 24;
+
+  std::cout << "=== E12: network coding removes rare-token leverage ===\n\n";
+
+  sim::Rng graph_rng{3};
+  const auto graph = net::make_erdos_renyi(kNodes, 0.08, graph_rng);
+  sim::Rng alloc_rng{11};
+  const auto alloc = token::allocate_with_rare_token(kNodes, kTokens, 4,
+                                                     /*rare_token=*/7,
+                                                     /*rare_holder=*/42,
+                                                     alloc_rng);
+
+  token::ModelConfig config;
+  config.tokens = kTokens;
+  config.contact_bound = 2;
+  config.max_rounds = 150;
+  config.seed = 9;
+
+  sim::Table table{{"satiation rule", "untargeted satiated"}};
+  const auto run_case = [&](const char* name,
+                            std::shared_ptr<token::SatiationFunction> sat) {
+    token::RareTokenAttacker attacker;
+    const token::TokenModel model{graph, config, alloc, std::move(sat)};
+    const auto result = model.run(attacker);
+    table.add_row(
+        {name, sim::format_double(result.untargeted_satiated_fraction(), 3)});
+  };
+  run_case("complete set (uncoded)",
+           std::make_shared<token::CompleteSetSatiation>());
+  run_case("coded: any 20 of 24 blocks",
+           std::make_shared<token::CodedRankSatiation>(20));
+  run_case("coded: any 16 of 24 blocks",
+           std::make_shared<token::CodedRankSatiation>(16));
+  table.print(std::cout);
+
+  // End-to-end decode check over real GF(256) blocks: every block except the
+  // denied one reaches a decoder; rank k-1 of uncoded blocks fails, but with
+  // one extra *coded* combination the content reconstructs.
+  const std::size_t k = 8;
+  std::vector<std::vector<std::uint8_t>> source(k);
+  sim::Rng data_rng{5};
+  for (auto& block : source) {
+    block.resize(64);
+    for (auto& byte : block) {
+      byte = static_cast<std::uint8_t>(data_rng.next_below(256));
+    }
+  }
+  const coding::Encoder encoder{source};
+  coding::Decoder uncoded{k, 64};
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i != 3) uncoded.add(encoder.systematic(i));  // block 3 denied
+  }
+  coding::Decoder coded = uncoded;
+  sim::Rng rng{6};
+  coded.add(encoder.encode(rng));  // one random combination leaks through
+  std::cout << "\nGF(256) demonstration: uncoded decoder stuck at rank "
+            << uncoded.rank() << "/" << k << "; one random coded block later: "
+            << (coded.complete() ? "content reconstructed" : "still stuck")
+            << "\n";
+
+  std::cout << "\nExpected shape: the uncoded system is fully denied by "
+               "satiating one node; under coding the same attack is "
+               "harmless because any k independent blocks decode.\n";
+  return 0;
+}

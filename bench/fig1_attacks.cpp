@@ -1,0 +1,95 @@
+// Figure 1: "Three attacks on BAR Gossip."
+//
+// Sweeps the fraction of nodes controlled by the attacker and reports the
+// fraction of updates received by isolated nodes for the crash attack, the
+// ideal lotus-eater attack, and the trade lotus-eater attack, with the
+// parameters of Table 1. Also prints the measured 93%-usability crossings
+// the paper quotes (crash ~42%, ideal ~4%, trade ~22%) and the attacker's
+// update coverage at the ideal critical point (paper: 39%).
+#include <cstdlib>
+#include <iostream>
+
+#include "core/critical.h"
+#include "gossip/config.h"
+#include "gossip/engine.h"
+#include "sim/sweep.h"
+#include "sim/table.h"
+
+namespace {
+
+struct Args {
+  std::size_t points = 24;
+  std::size_t seeds = 3;
+  std::uint64_t seed = 2008;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a{argv[i]};
+    if (a == "--quick") {
+      args.points = 10;
+      args.seeds = 1;
+    } else if (a == "--seed" && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--points" && i + 1 < argc) {
+      args.points = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--seeds" && i + 1 < argc) {
+      args.seeds = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lotus;
+  const Args args = parse(argc, argv);
+
+  gossip::GossipConfig config;  // Table 1 defaults
+  config.seed = args.seed;
+
+  core::CriticalQuery query;
+  query.config = config;
+  query.seeds = args.seeds;
+  query.lo = 0.0;
+  query.hi = 0.9;
+
+  std::cout << "=== Figure 1: Three attacks on BAR Gossip ===\n"
+            << "x: fraction of nodes controlled by attacker\n"
+            << "y: fraction of updates received by isolated nodes\n\n";
+
+  std::vector<sim::Series> curves;
+  for (const auto kind :
+       {gossip::AttackKind::kCrash, gossip::AttackKind::kIdealLotus,
+        gossip::AttackKind::kTradeLotus}) {
+    query.attack = kind;
+    curves.push_back(core::delivery_curve(query, args.points));
+  }
+
+  sim::series_table("attacker_fraction", curves, 3).print(std::cout);
+
+  std::cout << "\n93% usability crossings (paper: crash ~0.42, ideal ~0.04, "
+               "trade ~0.22):\n";
+  for (const auto& curve : curves) {
+    std::cout << "  " << curve.name << ": "
+              << sim::format_double(
+                     curve.first_crossing_below(config.usability_threshold), 3)
+              << "\n";
+  }
+
+  // Attacker coverage at the ideal critical point (paper: 39% of updates).
+  query.attack = gossip::AttackKind::kIdealLotus;
+  const double ideal_critical = core::critical_attacker_fraction(query);
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kIdealLotus;
+  plan.attacker_fraction = ideal_critical;
+  const auto at_critical = gossip::run_gossip(config, plan);
+  std::cout << "\nideal attack at its critical fraction ("
+            << sim::format_double(ideal_critical, 3)
+            << "): attacker received "
+            << sim::format_double(at_critical.attacker_coverage * 100.0, 1)
+            << "% of updates (paper: 39%)\n";
+  return 0;
+}

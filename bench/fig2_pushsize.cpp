@@ -1,0 +1,68 @@
+// Figure 2: "Larger push size reduces effectiveness."
+//
+// Repeats the Figure 1 sweep with the maximum optimistic push size raised
+// from 2 to 10 updates. Paper: the ideal lotus-eater attack now requires at
+// least ~15% of the nodes (up from ~4%) and the trade attack ~40% (up from
+// ~22%); the crash attack is roughly unchanged.
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "core/critical.h"
+#include "gossip/config.h"
+#include "sim/sweep.h"
+#include "sim/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lotus;
+  std::size_t points = 24;
+  std::size_t seeds = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--quick") {
+      points = 10;
+      seeds = 1;
+    }
+  }
+
+  gossip::GossipConfig config;  // Table 1 ...
+  config.push_size = 10;        // ... with the Figure 2 change
+  config.seed = 2008;
+
+  core::CriticalQuery query;
+  query.config = config;
+  query.seeds = seeds;
+  query.lo = 0.0;
+  query.hi = 0.9;
+
+  std::cout << "=== Figure 2: Larger push size (10) reduces effectiveness ===\n"
+            << "x: fraction of nodes controlled by attacker\n"
+            << "y: fraction of updates received by isolated nodes\n\n";
+
+  std::vector<sim::Series> curves;
+  for (const auto kind :
+       {gossip::AttackKind::kCrash, gossip::AttackKind::kIdealLotus,
+        gossip::AttackKind::kTradeLotus}) {
+    query.attack = kind;
+    curves.push_back(core::delivery_curve(query, points));
+  }
+  sim::series_table("attacker_fraction", curves, 3).print(std::cout);
+
+  std::cout << "\n93% usability crossings with push size 10 "
+               "(paper: ideal >= ~0.15, trade ~0.40):\n";
+  for (const auto& curve : curves) {
+    std::cout << "  " << curve.name << ": "
+              << sim::format_double(
+                     curve.first_crossing_below(config.usability_threshold), 3)
+              << "\n";
+  }
+
+  // Paper: 15% control is enough to provide 85% of the updates to satiated
+  // nodes (1 - 0.85^12); print the coverage at 0.15 to confirm the seeding
+  // arithmetic carries over.
+  query.attack = gossip::AttackKind::kIdealLotus;
+  std::cout << "\nideal attack at 15% control delivers "
+            << sim::format_double(
+                   isolated_delivery_at(query, 0.15) * 100.0, 1)
+            << "% to isolated nodes\n";
+  return 0;
+}

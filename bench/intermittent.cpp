@@ -1,0 +1,56 @@
+// Extension experiment (§1): "By changing who is satiated over time, the
+// attacker could even make the service intermittently unusable for all
+// nodes." Compares the static ideal attack (breaks the isolated 30%) with
+// a rotating satiated set (hurts everyone a little — enough that no node
+// clears the usability bar).
+#include <iostream>
+
+#include "gossip/config.h"
+#include "gossip/engine.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace lotus;
+  gossip::GossipConfig config;  // Table 1
+  // Long horizon: the slowest rotation below has a ~120-round cycle and
+  // every node should live through several isolated stretches.
+  config.rounds = 360;
+  config.seed = 55;
+
+  std::cout << "=== Extension: intermittent satiation hurts everyone (§1) ===\n"
+            << "ideal lotus-eater at 10% control, satiating 70% of nodes\n\n";
+
+  sim::Table table{{"satiated set", "mean delivery", "unusable node-time",
+                    "nodes with outages"}};
+  const auto add = [&](const char* name, const gossip::AttackPlan& plan) {
+    const auto result = gossip::run_gossip(config, plan);
+    table.add_row(
+        {name, sim::format_double(result.overall_delivery, 3),
+         sim::format_double(result.unusable_node_generations, 3),
+         sim::format_double(result.nodes_with_unusable_stretch, 3)});
+  };
+  add("no attack", gossip::AttackPlan{});
+  for (const std::uint32_t period : {0u, 5u, 15u, 25u, 40u}) {
+    gossip::AttackPlan plan;
+    plan.kind = gossip::AttackKind::kIdealLotus;
+    plan.attacker_fraction = 0.10;
+    plan.rotation_period = period;
+    const std::string name =
+        period == 0 ? "static (the paper's figures)"
+                    : "rotating every " + std::to_string(period) + " rounds";
+    add(name.c_str(), plan);
+  }
+  table.print(std::cout);
+
+  std::cout << "\n'unusable node-time' = fraction of (node, generation) "
+               "pairs below the 93% bar;\n'nodes with outages' = fraction "
+               "of nodes unusable in at least 10% of generations.\n\n"
+               "Expected shape: statically, outages are concentrated on the "
+               "isolated ~30% while\neveryone else enjoys perfect service. "
+               "Rotation faster than the 10-round update\nlifetime heals "
+               "(the next multicast backfills before expiry); rotation "
+               "slower than\nthe lifetime spreads genuine outages across "
+               "essentially the whole population —\nintermittently unusable "
+               "for all nodes (§1).\n";
+  return 0;
+}

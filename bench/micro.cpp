@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the primitives on the simulators'
+// hot paths: RNG, bitset transfers, GF(256), EigenTrust, and one full BAR
+// Gossip round-equivalent run at Table 1 scale.
+#include <benchmark/benchmark.h>
+
+#include "coding/gf256.h"
+#include "coding/rlnc.h"
+#include "crypto/partner.h"
+#include "gossip/config.h"
+#include "gossip/engine.h"
+#include "rep/eigentrust.h"
+#include "sim/bitset.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace lotus;
+
+void BM_RngNextBelow(benchmark::State& state) {
+  sim::Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(250));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_RngSampleWithoutReplacement(benchmark::State& state) {
+  sim::Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.sample_without_replacement(250, 12));
+  }
+}
+BENCHMARK(BM_RngSampleWithoutReplacement);
+
+void BM_BitsetTransfer(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  sim::DynamicBitset src{bits};
+  sim::Rng rng{2};
+  for (std::size_t i = 0; i < bits; i += 1 + rng.next_below(3)) src.set(i);
+  for (auto _ : state) {
+    sim::DynamicBitset dst{bits};
+    benchmark::DoNotOptimize(dst.transfer_from(src, 0, bits, bits));
+  }
+}
+BENCHMARK(BM_BitsetTransfer)->Arg(1200)->Arg(4800);
+
+void BM_BitsetCountAndNotRange(benchmark::State& state) {
+  sim::DynamicBitset a{4800};
+  sim::DynamicBitset b{4800};
+  sim::Rng rng{3};
+  for (std::size_t i = 0; i < 4800; ++i) {
+    if (rng.next_bernoulli(0.5)) a.set(i);
+    if (rng.next_bernoulli(0.5)) b.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.count_and_not_range(b, 100, 1200));
+  }
+}
+BENCHMARK(BM_BitsetCountAndNotRange);
+
+void BM_PartnerSchedule(benchmark::State& state) {
+  const crypto::PartnerSchedule schedule{42, 250};
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.partner_of(
+        round++, 17, crypto::PartnerPurpose::kBalancedExchange));
+  }
+}
+BENCHMARK(BM_PartnerSchedule);
+
+void BM_GF256Mul(benchmark::State& state) {
+  std::uint8_t a = 1;
+  std::uint8_t b = 57;
+  for (auto _ : state) {
+    a = coding::GF256::mul(a ? a : 1, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_GF256Mul);
+
+void BM_RlncDecode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  sim::Rng data_rng{4};
+  std::vector<std::vector<std::uint8_t>> source(k);
+  for (auto& block : source) {
+    block.resize(256);
+    for (auto& byte : block) {
+      byte = static_cast<std::uint8_t>(data_rng.next_below(256));
+    }
+  }
+  const coding::Encoder encoder{source};
+  for (auto _ : state) {
+    coding::Decoder decoder{k, 256};
+    sim::Rng rng{5};
+    while (!decoder.complete()) decoder.add(encoder.encode(rng));
+    benchmark::DoNotOptimize(decoder.decode());
+  }
+}
+BENCHMARK(BM_RlncDecode)->Arg(8)->Arg(32);
+
+void BM_EigenTrust(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rep::TrustMatrix matrix{n};
+  sim::Rng rng{6};
+  for (std::size_t e = 0; e < n * 8; ++e) {
+    matrix.add_trust(rng.next_below(n), rng.next_below(n),
+                     1.0 + rng.next_double());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eigentrust(matrix, 0.15, 15));
+  }
+}
+BENCHMARK(BM_EigenTrust)->Arg(100)->Arg(250);
+
+void BM_GossipFullRun(benchmark::State& state) {
+  gossip::GossipConfig config;  // Table 1 scale, shorter horizon
+  config.rounds = 40;
+  config.warmup_rounds = 5;
+  config.seed = 7;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gossip::run_gossip(config, plan));
+  }
+}
+BENCHMARK(BM_GossipFullRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E14 (§1): the reputation variant. The attacker's identities earn rating
+// weight by genuinely serving, then pour it into the agents who exclusively
+// provide a rare service class; those agents coast above their satiation
+// threshold and the rare class collapses — without the attacker harming
+// anyone directly. The share-cap defence restores service.
+#include <iostream>
+
+#include "rep/system.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace lotus;
+  rep::SystemConfig config;
+  config.agents = 100;
+  config.rare_providers = 5;
+  config.rare_request_fraction = 0.05;
+  config.rounds = 300;
+  config.warmup_rounds = 50;
+  config.seed = 23;
+
+  std::cout << "=== E14: reputation-inflation lotus-eater attack ===\n"
+            << "5 agents exclusively provide the rare class; satiation at "
+            << config.satiation_multiple << "x uniform reputation\n\n";
+
+  sim::Table table{{"scenario", "rare availability", "generic availability",
+                    "target reputation (x uniform)", "attacker served"}};
+
+  const auto add_row = [&](const char* name, const rep::SystemConfig& c,
+                           const rep::RepAttack& attack) {
+    rep::ReputationSystem system{c, attack};
+    const auto result = system.run();
+    table.add_row({name, sim::format_double(result.rare_availability, 3),
+                   sim::format_double(result.availability, 3),
+                   attack.enabled
+                       ? sim::format_double(result.target_reputation_multiple, 2)
+                       : std::string{"-"},
+                   std::to_string(result.attacker_served)});
+  };
+
+  add_row("baseline", config, rep::RepAttack{});
+
+  rep::RepAttack attack;
+  attack.enabled = true;
+  attack.attacker_agents = 12;
+  attack.target_count = 5;
+  attack.fake_trust_per_round = 10.0;
+  add_row("inflate the 5 providers", config, attack);
+
+  rep::RepAttack weak = attack;
+  weak.attacker_agents = 3;
+  add_row("same, only 3 sybils", config, weak);
+
+  auto defended = config;
+  defended.rating_share_cap = 0.05;
+  add_row("attack vs share-cap defence", defended, attack);
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: with enough serving sybils the providers "
+               "coast (reputation above the satiation threshold) and rare "
+               "availability collapses while generic service is untouched; "
+               "capping how much of a rater's voice one agent can receive "
+               "restores it.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E7 (§3): the altruism parameter a. Under a mass-satiation attack, any
+// a > 0 eventually satiates every node, and completion time falls as a
+// rises — "adding a little bit of altruism can make a big difference".
+#include <iostream>
+#include <memory>
+
+#include "net/topology.h"
+#include "sim/table.h"
+#include "token/model.h"
+
+int main() {
+  using namespace lotus;
+  constexpr std::size_t kNodes = 120;
+  constexpr std::size_t kTokens = 32;
+
+  std::cout << "=== E7: altruism sweep under mass satiation (paper section 3) ===\n"
+            << "attacker satiates 70% of nodes; a = P(satiated node responds)\n\n";
+
+  sim::Rng graph_rng{3};
+  const auto graph = net::make_erdos_renyi(kNodes, 0.08, graph_rng);
+  sim::Rng alloc_rng{4};
+  const auto alloc =
+      token::allocate_uniform_replicas(kNodes, kTokens, 3, alloc_rng);
+
+  sim::Table table{{"altruism a", "untargeted satiated", "all satiated?",
+                    "rounds to finish"}};
+  for (const double a : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    token::ModelConfig config;
+    config.tokens = kTokens;
+    config.contact_bound = 2;
+    config.altruism = a;
+    config.max_rounds = 400;
+    config.seed = 21;
+    const token::TokenModel model{
+        graph, config, alloc,
+        std::make_shared<token::CompleteSetSatiation>()};
+    token::FractionAttacker attacker{0.7};
+    const auto result = model.run(attacker);
+    table.add_row({sim::format_double(a, 2),
+                   sim::format_double(result.untargeted_satiated_fraction(), 3),
+                   result.all_satiated ? "yes" : "no",
+                   result.all_satiated ? std::to_string(result.rounds_run)
+                                       : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: a = 0 strands the untargeted minority; any "
+               "a > 0 completes, faster as a grows.\n";
+  return 0;
+}

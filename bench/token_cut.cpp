@@ -1,0 +1,83 @@
+// E5 (§3): the cut attack. On a grid the attacker satiates one column and
+// partitions the system; with the tokens clustered on one side, the far
+// side starves. A same-degree small-world graph resists: the shortcut edges
+// mean the same 12 satiated nodes are no cut at all.
+//
+// A little altruism (a = 0.05) is configured so that the *unattacked*
+// baselines complete — with a = 0, interior relay nodes satiate and freeze
+// even without an attacker (the §4 remark about key nodes happening to
+// become satiated), which would mask the effect being measured.
+#include <iostream>
+#include <memory>
+
+#include "net/analysis.h"
+#include "net/topology.h"
+#include "sim/table.h"
+#include "token/model.h"
+
+int main() {
+  using namespace lotus;
+  constexpr std::size_t kRows = 12;
+  constexpr std::size_t kCols = 12;
+  constexpr std::size_t kTokens = 16;
+  const std::size_t n = kRows * kCols;
+  constexpr token::Round kHorizon = 120;
+
+  std::cout << "=== E5: cut attack — grid vs small world (paper section 3) ===\n"
+            << "attacker satiates the same 12 nodes on both graphs; tokens "
+               "clustered on the left edge; horizon " << kHorizon
+            << " rounds\n\n";
+
+  // Tokens all held by the two leftmost columns (clustered allocation).
+  token::Allocation alloc(n, sim::DynamicBitset{kTokens});
+  for (std::size_t r = 0; r < kRows; ++r) {
+    alloc[r * kCols].set(r % kTokens);
+    alloc[r * kCols + 1].set((r + kRows) % kTokens);
+  }
+
+  const auto grid = net::make_grid(kRows, kCols);
+  sim::Rng rng{5};
+  // Same average degree (4): ring lattice with k=2 plus rewired shortcuts.
+  const auto small_world = net::make_watts_strogatz(n, 2, 0.3, rng);
+
+  sim::Table table{{"graph", "attack", "untargeted satiated",
+                    "mean coverage", "disconnects?"}};
+  const auto add_case = [&](const char* graph_name, const net::Graph& graph,
+                            const char* attack_name,
+                            const std::vector<net::NodeId>& cut) {
+    token::ModelConfig config;
+    config.tokens = kTokens;
+    config.contact_bound = 2;
+    config.altruism = 0.05;
+    config.max_rounds = kHorizon;
+    config.seed = 77;
+    std::vector<bool> removed(n, false);
+    for (const auto v : cut) removed[v] = true;
+    token::SetAttacker attacker{attack_name, cut};
+    const token::TokenModel model{
+        graph, config, alloc,
+        std::make_shared<token::CompleteSetSatiation>()};
+    const auto result = model.run(attacker);
+    table.add_row({graph_name, attack_name,
+                   sim::format_double(result.untargeted_satiated_fraction(), 3),
+                   sim::format_double(result.mean_coverage(kTokens), 3),
+                   cut.empty()
+                       ? "-"
+                       : (net::removal_disconnects(graph, removed) ? "yes"
+                                                                   : "no")});
+  };
+
+  const auto cut = net::grid_column_cut(kRows, kCols, 4);
+  add_case("grid", grid, "none", {});
+  add_case("grid", grid, "column-cut", cut);
+  add_case("small-world", small_world, "none", {});
+  add_case("small-world", small_world, "same-12-nodes", cut);
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: both graphs complete unattacked; the 12 "
+               "satiated nodes form a cut only on the grid, where the right "
+               "side is starved of the clustered tokens (only the altruism "
+               "trickle leaks through). On the small world the identical "
+               "node set is harmless.\n";
+  return 0;
+}

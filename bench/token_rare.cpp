@@ -1,0 +1,73 @@
+// E6 (§3): the rare-token attack. "In the extreme case where some token is
+// initially at a single node, an attacker can deny the entire system access
+// to that token for the cost of satiating one node." A uniform allocation
+// with spread replicas resists.
+#include <iostream>
+#include <memory>
+
+#include "net/topology.h"
+#include "sim/table.h"
+#include "token/model.h"
+
+int main() {
+  using namespace lotus;
+  constexpr std::size_t kNodes = 120;
+  constexpr std::size_t kTokens = 24;
+
+  std::cout << "=== E6: rare-token attack (paper section 3) ===\n"
+            << "cost: satiating exactly the holders of the rarest token\n\n";
+
+  sim::Rng graph_rng{3};
+  const auto graph = net::make_erdos_renyi(kNodes, 0.08, graph_rng);
+
+  token::ModelConfig config;
+  config.tokens = kTokens;
+  config.contact_bound = 2;
+  config.max_rounds = 150;
+  config.seed = 9;
+
+  sim::Table table{{"allocation", "attack delay", "targets satiated",
+                    "untargeted satiated", "denied token spread"}};
+
+  const auto run_case = [&](const char* name, const token::Allocation& alloc,
+                            token::Round delay) {
+    token::RareTokenAttacker rare;
+    token::DelayedAttacker attacker{rare, delay};
+    const token::TokenModel model{
+        graph, config, alloc,
+        std::make_shared<token::CompleteSetSatiation>()};
+    const auto result = model.run(attacker);
+    std::size_t targets = 0;
+    for (const auto t : result.ever_targeted) targets += t;
+    std::size_t holders = 0;
+    for (const auto& held : result.holdings) {
+      holders += held.test(rare.chosen_token());
+    }
+    table.add_row(
+        {name, std::to_string(delay), std::to_string(targets),
+         sim::format_double(result.untargeted_satiated_fraction(), 3),
+         sim::format_double(static_cast<double>(holders) / kNodes, 3)});
+  };
+
+  {
+    sim::Rng alloc_rng{11};
+    const auto alloc =
+        token::allocate_with_rare_token(kNodes, kTokens, 4, 7, 42, alloc_rng);
+    run_case("rare token (1 holder)", alloc, 0);
+  }
+  {
+    sim::Rng alloc_rng{11};
+    const auto alloc =
+        token::allocate_uniform_replicas(kNodes, kTokens, 4, alloc_rng);
+    run_case("uniform (4 replicas)", alloc, 0);
+    run_case("uniform (4 replicas)", alloc, 1);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper section 3): one holder + instant "
+               "satiation denies the token to everyone at the cost of one "
+               "node. Replication raises the cost (4 targets), and since an "
+               "attacker 'cannot always satiate instantly', one round of "
+               "delay lets the replicated token escape — the attack fails.\n";
+  return 0;
+}

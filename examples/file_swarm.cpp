@@ -1,0 +1,63 @@
+// A BitTorrent swarm under an unchoke-monopoly lotus-eater attack.
+//
+// The attacker runs fully-provisioned peers that shower 20 chosen leechers
+// with pieces, capturing their reciprocal unchoke slots. The paper's §1
+// verdict — "often actually a net benefit to the torrent" — reproduces: the
+// targets finish early, everyone else barely notices, and the attacker paid
+// real bandwidth for the privilege.
+//
+// Build & run:  ./examples/file_swarm
+#include <iostream>
+
+#include "bt/swarm.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace lotus;
+  bt::SwarmConfig config;
+  config.leechers = 80;
+  config.seeds = 2;
+  config.pieces = 120;
+  config.selection = bt::PieceSelection::kRarestFirst;
+  config.max_rounds = 2000;
+  config.seed_value = 7;
+
+  std::cout << "File swarm: 80 leechers, 2 seeds, 120-piece file\n\n";
+
+  sim::Table table{{"scenario", "swarm done (rounds)", "untargeted mean",
+                    "targeted mean", "attacker pieces uploaded"}};
+
+  const auto add_row = [&](const char* name, const bt::SwarmConfig& c,
+                           const bt::SwarmAttack& attack) {
+    bt::Swarm swarm{c, attack};
+    const auto result = swarm.run();
+    table.add_row({name, std::to_string(result.rounds_to_all_complete),
+                   sim::format_double(result.mean_completion_untargeted, 1),
+                   attack.enabled
+                       ? sim::format_double(result.mean_completion_targeted, 1)
+                       : std::string{"-"},
+                   std::to_string(result.attacker_uploads)});
+  };
+
+  add_row("healthy swarm", config, bt::SwarmAttack{});
+
+  bt::SwarmAttack attack;
+  attack.enabled = true;
+  attack.attacker_peers = 8;
+  attack.attacker_slots = 4;
+  attack.target_count = 20;
+  add_row("monopolise 20 leechers", config, attack);
+
+  auto generous = config;
+  generous.seed_after_completion_rounds = 30;  // §4: altruism via seeding
+  add_row("same attack + seeding 30rds", generous, attack);
+
+  table.print(std::cout);
+
+  std::cout << "\nCompare with the BAR Gossip example: the same attack idea "
+               "that breaks a\nstreaming system at 5% control barely dents a "
+               "swarm — BitTorrent's optimistic\nunchokes, rarest-first, and "
+               "seeds are exactly the paper's altruism defences,\nalready "
+               "built in.\n";
+  return 0;
+}

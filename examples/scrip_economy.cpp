@@ -1,0 +1,76 @@
+// A scrip-backed storage co-op under a money-injection lotus-eater attack.
+//
+// 200 members trade storage favours for scrip. Five members own the tape
+// archive (the rare resource). A flush attacker "generously" keeps exactly
+// those five above their spending threshold — and the archive goes dark for
+// everyone, even though the attacker harmed nobody.
+//
+// Build & run:  ./examples/scrip_economy
+#include <iostream>
+
+#include "scrip/economy.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace lotus;
+  scrip::EconomyConfig config;
+  config.agents = 200;
+  config.initial_money = 5;
+  config.threshold = 10;
+  config.request_probability = 0.15;
+  config.rare_providers = 5;
+  config.rare_request_fraction = 0.025;
+  config.rounds = 400;
+  config.warmup_rounds = 50;
+  config.seed = 99;
+
+  std::cout << "Scrip storage co-op: 200 members, 5 own the tape archive\n"
+            << "money supply = " << config.agents * config.initial_money
+            << " scrip, satiation threshold = " << config.threshold << "\n\n";
+
+  sim::Table table{{"scenario", "archive availability", "overall availability",
+                    "attacker scrip spent"}};
+
+  {
+    scrip::Economy economy{config, scrip::ScripAttack{}};
+    const auto result = economy.run();
+    table.add_row({"healthy co-op",
+                   sim::format_double(result.rare_availability, 3),
+                   sim::format_double(result.availability, 3), "0"});
+  }
+  {
+    scrip::ScripAttack attack;
+    attack.kind = scrip::ScripAttack::Kind::kMoneyGift;
+    attack.budget = 150;  // 15% of the money supply
+    attack.target_count = 5;
+    attack.target_rare_providers = true;
+    scrip::Economy economy{config, attack};
+    const auto result = economy.run();
+    table.add_row({"satiate the archivists",
+                   sim::format_double(result.rare_availability, 3),
+                   sim::format_double(result.availability, 3),
+                   std::to_string(result.attacker_spent)});
+  }
+  {
+    // The same budget scattered at random barely registers: the §4 defence
+    // is that mass satiation needs scrip on the scale of the whole supply.
+    scrip::ScripAttack attack;
+    attack.kind = scrip::ScripAttack::Kind::kMoneyGift;
+    attack.budget = 150;
+    attack.target_count = 100;
+    attack.target_rare_providers = false;
+    scrip::Economy economy{config, attack};
+    const auto result = economy.run();
+    table.add_row({"same budget, 100 random targets",
+                   sim::format_double(result.rare_availability, 3),
+                   sim::format_double(result.availability, 3),
+                   std::to_string(result.attacker_spent)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe attack is surgical: overall availability barely moves "
+               "while the archive\nis denied. Against the population at "
+               "large the same budget is a rounding error\n— the fixed "
+               "money supply is the defence (paper section 4).\n";
+  return 0;
+}

@@ -1,0 +1,289 @@
+#include "bt/swarm.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lotus::bt {
+
+Swarm::Swarm(SwarmConfig config, SwarmAttack attack)
+    : config_(config), attack_(attack), rng_(config.seed_value) {
+  if (config_.leechers == 0) throw std::invalid_argument("need >= 1 leecher");
+  if (config_.pieces == 0) throw std::invalid_argument("need >= 1 piece");
+  if (config_.seeds == 0) throw std::invalid_argument("need >= 1 seed");
+  if (attack_.enabled && attack_.target_count > config_.leechers) {
+    throw std::invalid_argument("more targets than leechers");
+  }
+
+  leecher_begin_ = 0;
+  seed_begin_ = config_.leechers;
+  attacker_begin_ = config_.leechers + config_.seeds;
+  const std::uint32_t total =
+      attacker_begin_ + (attack_.enabled ? attack_.attacker_peers : 0);
+
+  peers_.resize(total);
+  for (std::uint32_t v = 0; v < total; ++v) {
+    Peer& peer = peers_[v];
+    peer.have = sim::DynamicBitset{config_.pieces};
+    peer.received_from.assign(total, 0.0);
+    if (v >= attacker_begin_) {
+      peer.is_attacker = true;
+      peer.have.set_all();
+    } else if (v >= seed_begin_) {
+      peer.is_seed = true;
+      peer.have.set_all();
+    }
+  }
+  if (attack_.enabled) {
+    for (std::uint32_t v = 0; v < attack_.target_count; ++v) {
+      peers_[v].targeted = true;
+    }
+  }
+  piece_copies_.assign(config_.pieces, 0);
+}
+
+void Swarm::refresh_piece_counts() {
+  std::fill(piece_copies_.begin(), piece_copies_.end(), 0);
+  for (std::uint32_t v = 0; v < attacker_begin_; ++v) {
+    const Peer& peer = peers_[v];
+    if (!active(peer)) continue;
+    for (std::uint32_t p = 0; p < config_.pieces; ++p) {
+      if (peer.have.test(p)) ++piece_copies_[p];
+    }
+  }
+}
+
+std::optional<std::uint32_t> Swarm::choose_piece(const Peer& downloader,
+                                                 const Peer& uploader) {
+  // Candidate pieces: uploader has, downloader lacks.
+  std::uint32_t best = config_.pieces;
+  std::uint32_t best_copies = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t candidates = 0;
+  const bool bootstrap =
+      downloader.have.count() < config_.random_first_count;
+  const bool rarest =
+      !bootstrap && config_.selection == PieceSelection::kRarestFirst;
+  for (std::uint32_t p = 0; p < config_.pieces; ++p) {
+    if (!uploader.have.test(p) || downloader.have.test(p)) continue;
+    ++candidates;
+    if (rarest) {
+      // Rarest first with uniform tie-breaking via reservoir sampling.
+      if (piece_copies_[p] < best_copies) {
+        best_copies = piece_copies_[p];
+        best = p;
+        candidates = 1;
+      } else if (piece_copies_[p] == best_copies &&
+                 rng_.next_below(candidates) == 0) {
+        best = p;
+      }
+    } else {
+      // Uniform over candidates (random-first bootstrap or kRandom policy).
+      if (rng_.next_below(candidates) == 0) best = p;
+    }
+  }
+  if (best == config_.pieces) return std::nullopt;
+  return best;
+}
+
+SwarmResult Swarm::run() {
+  SwarmResult result;
+  result.completion_round.assign(config_.leechers, config_.max_rounds);
+  result.min_piece_copies_seen = std::numeric_limits<std::uint32_t>::max();
+
+  const std::uint32_t total = static_cast<std::uint32_t>(peers_.size());
+  std::vector<std::vector<PeerId>> incoming(total);  // unchokers per peer
+  std::vector<PeerId> order(config_.leechers);
+  for (std::uint32_t v = 0; v < config_.leechers; ++v) order[v] = v;
+
+  sim::RunningStats rarest_stats;
+  std::vector<std::uint32_t> leecher_copies(config_.pieces);
+
+  std::uint32_t round = 0;
+  for (; round < config_.max_rounds; ++round) {
+    refresh_piece_counts();
+    // Last-pieces indicator: copies among active leechers only (the
+    // dedicated seeds put a constant floor under every piece).
+    std::fill(leecher_copies.begin(), leecher_copies.end(), 0);
+    bool any_leecher = false;
+    for (std::uint32_t v = 0; v < config_.leechers; ++v) {
+      if (!active(peers_[v]) || peers_[v].completed) continue;
+      any_leecher = true;
+      for (std::uint32_t p = 0; p < config_.pieces; ++p) {
+        if (peers_[v].have.test(p)) ++leecher_copies[p];
+      }
+    }
+    if (any_leecher) {
+      const std::uint32_t live_min =
+          *std::min_element(leecher_copies.begin(), leecher_copies.end());
+      result.min_piece_copies_seen =
+          std::min(result.min_piece_copies_seen, live_min);
+      rarest_stats.add(static_cast<double>(live_min));
+    }
+
+    for (auto& list : incoming) list.clear();
+
+    // --- Unchoke decisions --------------------------------------------
+    std::vector<std::pair<double, PeerId>> ranked;
+    for (std::uint32_t v = 0; v < total; ++v) {
+      Peer& peer = peers_[v];
+      if (!active(peer)) continue;
+
+      if (peer.is_attacker) {
+        // Shower the targets: round-robin over targeted leechers.
+        std::uint32_t granted = 0;
+        for (std::uint32_t t = 0; t < config_.leechers && granted <
+             attack_.attacker_slots; ++t) {
+          const std::uint32_t idx =
+              (t + v * attack_.attacker_slots + round) % config_.leechers;
+          Peer& target = peers_[idx];
+          if (target.targeted && active(target) && !target.completed) {
+            incoming[idx].push_back(v);
+            ++granted;
+          }
+        }
+        continue;
+      }
+
+      const bool uploader_is_seeding = peer.is_seed || peer.completed;
+      if (uploader_is_seeding) {
+        // Seeds upload to rotating random incomplete leechers — altruism by
+        // protocol (§4).
+        std::vector<PeerId> needy;
+        for (std::uint32_t u = 0; u < config_.leechers; ++u) {
+          if (active(peers_[u]) && !peers_[u].completed) needy.push_back(u);
+        }
+        if (!needy.empty()) {
+          rng_.shuffle(std::span<PeerId>{needy});
+          const auto slots =
+              std::min<std::size_t>(config_.seed_slots, needy.size());
+          for (std::size_t s = 0; s < slots; ++s) {
+            incoming[needy[s]].push_back(v);
+          }
+        }
+        continue;
+      }
+
+      // Leecher: reciprocal unchokes = top peers by recent received volume.
+      ranked.clear();
+      for (std::uint32_t u = 0; u < total; ++u) {
+        if (u == v || !active(peers_[u])) continue;
+        if (peer.received_from[u] > 0.0) {
+          ranked.emplace_back(peer.received_from[u], u);
+        }
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      std::uint32_t slots = 0;
+      for (const auto& [volume, u] : ranked) {
+        if (slots >= config_.unchoke_slots) break;
+        incoming[u].push_back(v);
+        ++slots;
+      }
+      // Optimistic unchoke: rotate to a random incomplete leecher.
+      if (round % config_.optimistic_rotation == 0 || !active(peers_[peer.optimistic])) {
+        std::vector<PeerId> candidates;
+        for (std::uint32_t u = 0; u < config_.leechers; ++u) {
+          if (u != v && active(peers_[u]) && !peers_[u].completed) {
+            candidates.push_back(u);
+          }
+        }
+        if (!candidates.empty()) {
+          peer.optimistic = candidates[rng_.next_below(candidates.size())];
+        }
+      }
+      if (peer.optimistic != v && active(peers_[peer.optimistic]) &&
+          !peers_[peer.optimistic].completed) {
+        incoming[peer.optimistic].push_back(v);
+      }
+    }
+
+    // --- Transfers -------------------------------------------------------
+    rng_.shuffle(std::span<PeerId>{order});
+    for (const PeerId d : order) {
+      Peer& downloader = peers_[d];
+      if (!active(downloader) || downloader.completed) continue;
+      const std::uint32_t missing =
+          static_cast<std::uint32_t>(config_.pieces - downloader.have.count());
+      const bool endgame = missing <= config_.endgame_threshold;
+      // Normal rounds: download bandwidth ~ upload bandwidth (slots + 1).
+      // Endgame: request from every unchoking peer in parallel.
+      const std::size_t cap = endgame
+                                  ? incoming[d].size()
+                                  : std::min<std::size_t>(
+                                        config_.unchoke_slots + 1,
+                                        incoming[d].size());
+      std::size_t used = 0;
+      for (const PeerId u : incoming[d]) {
+        if (used >= cap) break;
+        Peer& uploader = peers_[u];
+        const auto piece = choose_piece(downloader, uploader);
+        if (!piece.has_value()) continue;
+        downloader.have.set(*piece);
+        downloader.received_from[u] += 1.0;
+        ++used;
+        if (uploader.is_attacker) {
+          ++result.attacker_uploads;
+        } else {
+          ++result.peer_transfers;
+        }
+      }
+      if (downloader.have.all()) {
+        downloader.completed = true;
+        downloader.completion_round = round;
+        result.completion_round[d] = round;
+        downloader.seeding_until = round + config_.seed_after_completion_rounds;
+      }
+    }
+
+    // Uploads captured by the attacker: every reciprocal slot a targeted
+    // leecher pointed at an attacker this round served nobody.
+    for (std::uint32_t v = 0; v < config_.leechers; ++v) {
+      if (!peers_[v].targeted || !active(peers_[v]) || peers_[v].completed) {
+        continue;
+      }
+      for (std::uint32_t a = attacker_begin_; a < total; ++a) {
+        const auto& in = incoming[a];
+        result.uploads_captured_by_attacker += static_cast<std::uint64_t>(
+            std::count(in.begin(), in.end(), v));
+      }
+    }
+
+    // --- End of round: decay, departures, termination -------------------
+    bool all_done = true;
+    for (std::uint32_t v = 0; v < config_.leechers; ++v) {
+      Peer& peer = peers_[v];
+      if (peer.completed && !peer.departed && round >= peer.seeding_until) {
+        peer.departed = true;
+      }
+      if (!peer.completed) all_done = false;
+    }
+    for (auto& peer : peers_) {
+      for (auto& volume : peer.received_from) {
+        volume *= config_.reciprocity_decay;
+      }
+    }
+    if (all_done) {
+      result.all_completed = true;
+      ++round;
+      break;
+    }
+  }
+
+  result.rounds_to_all_complete = round;
+  sim::RunningStats targeted;
+  sim::RunningStats untargeted;
+  for (std::uint32_t v = 0; v < config_.leechers; ++v) {
+    const auto completion = static_cast<double>(result.completion_round[v]);
+    (peers_[v].targeted ? targeted : untargeted).add(completion);
+  }
+  result.mean_completion_targeted = targeted.mean();
+  result.mean_completion_untargeted = untargeted.mean();
+  result.mean_rarest_copies = rarest_stats.mean();
+  if (result.min_piece_copies_seen ==
+      std::numeric_limits<std::uint32_t>::max()) {
+    result.min_piece_copies_seen = 0;
+  }
+  return result;
+}
+
+}  // namespace lotus::bt

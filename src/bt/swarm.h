@@ -1,0 +1,132 @@
+// A BitTorrent-style swarm simulator (paper §1, §4).
+//
+// Leechers cooperatively download a file of `pieces` pieces. Each round a
+// peer unchokes its top reciprocators plus one optimistic unchoke, and every
+// unchoked peer may fetch one piece chosen by the configured selection
+// policy (random-first bootstrap, rarest-first, endgame mode). Seeds upload
+// to rotating peers. The lotus-eater attack here is *unchoke monopoly*: the
+// attacker, holding every piece, showers chosen leechers with service so
+// their reciprocal slots (and upload bandwidth) are captured by the
+// attacker. The paper argues this does little damage — often it even helps
+// the torrent — and that rarest-first blunts the "last pieces" variant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/bitset.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace lotus::bt {
+
+using PeerId = std::uint32_t;
+
+enum class PieceSelection : std::uint8_t {
+  kRandom,       // uniform over needed pieces
+  kRarestFirst,  // fewest copies among peers first (ties random)
+};
+
+struct SwarmConfig {
+  std::uint32_t leechers = 60;
+  std::uint32_t seeds = 2;
+  std::uint32_t pieces = 100;
+  /// Reciprocal unchoke slots per leecher (excluding the optimistic one).
+  std::uint32_t unchoke_slots = 3;
+  /// Rounds between optimistic-unchoke rotations.
+  std::uint32_t optimistic_rotation = 3;
+  /// Upload slots per seed per round.
+  std::uint32_t seed_slots = 4;
+  PieceSelection selection = PieceSelection::kRarestFirst;
+  /// Bootstrap: select random pieces until this many are owned, so a
+  /// newcomer acquires tradable pieces quickly (then the policy applies).
+  std::uint32_t random_first_count = 4;
+  /// Endgame: when this few pieces are missing, request from every unchoking
+  /// peer instead of one.
+  std::uint32_t endgame_threshold = 3;
+  /// When a leecher completes it stays and seeds for this many rounds
+  /// (0 = leaves immediately; the paper notes many never stay).
+  std::uint32_t seed_after_completion_rounds = 0;
+  /// EWMA decay for the reciprocity tally (received per neighbour).
+  double reciprocity_decay = 0.5;
+  std::uint32_t max_rounds = 2000;
+  std::uint64_t seed_value = 1;
+};
+
+struct SwarmAttack {
+  bool enabled = false;
+  /// Attacker peers added to the swarm; each holds every piece.
+  std::uint32_t attacker_peers = 0;
+  /// Upload slots per attacker peer per round, all aimed at the targets.
+  std::uint32_t attacker_slots = 4;
+  /// Leechers the attacker showers with service (monopolising their
+  /// reciprocal slots). Chosen as the first `target_count` leechers.
+  std::uint32_t target_count = 0;
+};
+
+struct SwarmResult {
+  /// Rounds until every leecher finished (max_rounds if some never did).
+  std::uint32_t rounds_to_all_complete = 0;
+  bool all_completed = false;
+  /// Completion round per leecher.
+  std::vector<std::uint32_t> completion_round;
+  /// Mean completion round over non-targeted leechers (the paper's concern:
+  /// does the attack hurt everyone else?).
+  double mean_completion_untargeted = 0.0;
+  double mean_completion_targeted = 0.0;
+  /// Pieces uploaded by targeted leechers to the attacker (bandwidth the
+  /// swarm lost to the monopoly).
+  std::uint64_t uploads_captured_by_attacker = 0;
+  /// Pieces injected by the attacker.
+  std::uint64_t attacker_uploads = 0;
+  /// Total leecher-to-leecher transfers.
+  std::uint64_t peer_transfers = 0;
+  /// Minimum over rounds of the rarest piece's copy count among active
+  /// leechers (seeds excluded): the last-pieces-problem indicator. Rarest-
+  /// first keeps this higher than random selection.
+  std::uint32_t min_piece_copies_seen = 0;
+  /// Mean over rounds of the rarest piece's leecher copy count.
+  double mean_rarest_copies = 0.0;
+};
+
+class Swarm {
+ public:
+  Swarm(SwarmConfig config, SwarmAttack attack);
+
+  [[nodiscard]] SwarmResult run();
+
+ private:
+  struct Peer {
+    sim::DynamicBitset have;
+    bool is_seed = false;        // dedicated seed (always uploads)
+    bool is_attacker = false;
+    bool targeted = false;
+    bool completed = false;
+    bool departed = false;
+    std::uint32_t completion_round = 0;
+    std::uint32_t seeding_until = 0;
+    std::vector<double> received_from;  // reciprocity tally, per peer
+    PeerId optimistic = 0;
+  };
+
+  [[nodiscard]] bool active(const Peer& peer) const noexcept {
+    return !peer.departed;
+  }
+  /// Picks the piece `downloader` fetches from `uploader`, honouring the
+  /// bootstrap, policy, and endgame rules. Returns nullopt if nothing needed.
+  [[nodiscard]] std::optional<std::uint32_t> choose_piece(const Peer& downloader,
+                                                          const Peer& uploader);
+  void refresh_piece_counts();
+
+  SwarmConfig config_;
+  SwarmAttack attack_;
+  sim::Rng rng_;
+  std::vector<Peer> peers_;          // leechers, then seeds, then attackers
+  std::vector<std::uint32_t> piece_copies_;  // copies among non-attacker peers
+  std::uint32_t leecher_begin_ = 0;
+  std::uint32_t seed_begin_ = 0;
+  std::uint32_t attacker_begin_ = 0;
+};
+
+}  // namespace lotus::bt

@@ -1,0 +1,63 @@
+#include "coding/gf256.h"
+
+namespace lotus::coding {
+
+namespace {
+constexpr unsigned kPoly = 0x11b;  // AES reduction polynomial
+
+/// Carry-less multiply with reduction, used only to build the tables.
+std::uint8_t slow_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  unsigned acc = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  while (bb != 0) {
+    if (bb & 1U) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100U) aa ^= kPoly;
+    bb >>= 1;
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+}  // namespace
+
+const GF256::Tables& GF256::tables() noexcept {
+  static const Tables t = [] {
+    Tables tabs;
+    // 3 generates the multiplicative group of GF(256) under the AES polynomial.
+    std::uint8_t x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      tabs.exp[i] = x;
+      tabs.log[x] = static_cast<std::uint8_t>(i);
+      x = slow_mul(x, 3);
+    }
+    tabs.log[0] = 0;  // unused; mul/inv guard zero explicitly
+    return tabs;
+  }();
+  return t;
+}
+
+GF256::Element GF256::mul(Element a, Element b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  const unsigned s = t.log[a] + t.log[b];
+  return t.exp[s % 255];
+}
+
+GF256::Element GF256::inv(Element a) noexcept {
+  const auto& t = tables();
+  return t.exp[(255 - t.log[a]) % 255];
+}
+
+GF256::Element GF256::div(Element a, Element b) noexcept {
+  return mul(a, inv(b));
+}
+
+GF256::Element GF256::pow(Element a, unsigned e) noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const unsigned le = (static_cast<unsigned>(t.log[a]) * e) % 255;
+  return t.exp[le];
+}
+
+}  // namespace lotus::coding

@@ -1,0 +1,38 @@
+// GF(2^8) arithmetic with the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+//
+// Substrate for the §4 "make satiation hard" defence: Avalanche-style random
+// linear network coding changes the token set so that any k independent
+// coded blocks reconstruct the content, removing rare-token leverage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lotus::coding {
+
+class GF256 {
+ public:
+  using Element = std::uint8_t;
+
+  [[nodiscard]] static Element add(Element a, Element b) noexcept {
+    return a ^ b;
+  }
+  [[nodiscard]] static Element sub(Element a, Element b) noexcept {
+    return a ^ b;  // characteristic 2: subtraction == addition
+  }
+  [[nodiscard]] static Element mul(Element a, Element b) noexcept;
+  /// Multiplicative inverse; precondition a != 0.
+  [[nodiscard]] static Element inv(Element a) noexcept;
+  /// a / b; precondition b != 0.
+  [[nodiscard]] static Element div(Element a, Element b) noexcept;
+  [[nodiscard]] static Element pow(Element a, unsigned e) noexcept;
+
+ private:
+  struct Tables {
+    std::array<std::uint8_t, 256> log{};
+    std::array<std::uint8_t, 255> exp{};
+  };
+  static const Tables& tables() noexcept;
+};
+
+}  // namespace lotus::coding

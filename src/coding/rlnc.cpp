@@ -1,0 +1,168 @@
+#include "coding/rlnc.h"
+
+#include <stdexcept>
+
+#include "coding/gf256.h"
+
+namespace lotus::coding {
+
+namespace {
+
+/// payload += coeff * other (element-wise over GF(256)).
+void add_scaled(std::vector<std::uint8_t>& dst,
+                const std::vector<std::uint8_t>& src,
+                std::uint8_t coeff) noexcept {
+  if (coeff == 0) return;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = GF256::add(dst[i], GF256::mul(coeff, src[i]));
+  }
+}
+
+/// row *= scalar.
+void scale(std::vector<std::uint8_t>& row, std::uint8_t scalar) noexcept {
+  for (auto& v : row) v = GF256::mul(v, scalar);
+}
+
+}  // namespace
+
+Encoder::Encoder(std::vector<std::vector<std::uint8_t>> source)
+    : source_(std::move(source)) {
+  if (source_.empty()) throw std::invalid_argument("need >= 1 source block");
+  const std::size_t size = source_.front().size();
+  for (const auto& block : source_) {
+    if (block.size() != size) {
+      throw std::invalid_argument("source blocks must share a size");
+    }
+  }
+}
+
+CodedBlock Encoder::encode(sim::Rng& rng) const {
+  CodedBlock out;
+  const std::size_t k = generation_size();
+  out.coefficients.resize(k);
+  bool all_zero = true;
+  do {
+    for (auto& c : out.coefficients) {
+      c = static_cast<std::uint8_t>(rng.next_below(256));
+      all_zero = all_zero && c == 0;
+    }
+  } while (all_zero);
+  out.payload.assign(block_size(), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    add_scaled(out.payload, source_[i], out.coefficients[i]);
+  }
+  return out;
+}
+
+CodedBlock Encoder::systematic(std::size_t i) const {
+  if (i >= generation_size()) throw std::out_of_range("source index");
+  CodedBlock out;
+  out.coefficients.assign(generation_size(), 0);
+  out.coefficients[i] = 1;
+  out.payload = source_[i];
+  return out;
+}
+
+Decoder::Decoder(std::size_t generation_size, std::size_t block_size)
+    : k_(generation_size), block_size_(block_size) {
+  if (k_ == 0) throw std::invalid_argument("generation size must be >= 1");
+}
+
+bool Decoder::add(const CodedBlock& block) {
+  if (block.coefficients.size() != k_ || block.payload.size() != block_size_) {
+    throw std::invalid_argument("block shape mismatch");
+  }
+  if (complete()) return false;
+  auto coeff = block.coefficients;
+  auto payload = block.payload;
+  // Reduce against existing rows.
+  for (std::size_t r = 0; r < rank_; ++r) {
+    const std::size_t p = pivot_of_row_[r];
+    const std::uint8_t factor = coeff[p];
+    if (factor != 0) {
+      add_scaled(coeff, coeff_rows_[r], factor);
+      add_scaled(payload, payload_rows_[r], factor);
+    }
+  }
+  // Find a pivot in the residual.
+  std::size_t pivot = k_;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (coeff[i] != 0) {
+      pivot = i;
+      break;
+    }
+  }
+  if (pivot == k_) return false;  // dependent: not innovative
+  const std::uint8_t inv = GF256::inv(coeff[pivot]);
+  scale(coeff, inv);
+  scale(payload, inv);
+  // Back-substitute into existing rows to keep them reduced.
+  for (std::size_t r = 0; r < rank_; ++r) {
+    const std::uint8_t factor = coeff_rows_[r][pivot];
+    if (factor != 0) {
+      add_scaled(coeff_rows_[r], coeff, factor);
+      add_scaled(payload_rows_[r], payload, factor);
+    }
+  }
+  coeff_rows_.push_back(std::move(coeff));
+  payload_rows_.push_back(std::move(payload));
+  pivot_of_row_.push_back(pivot);
+  ++rank_;
+  return true;
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> Decoder::decode() const {
+  if (!complete()) return std::nullopt;
+  std::vector<std::vector<std::uint8_t>> out(k_);
+  for (std::size_t r = 0; r < rank_; ++r) {
+    out[pivot_of_row_[r]] = payload_rows_[r];
+  }
+  return out;
+}
+
+std::optional<CodedBlock> Decoder::recode(sim::Rng& rng) const {
+  if (rank_ == 0) return std::nullopt;
+  CodedBlock out;
+  out.coefficients.assign(k_, 0);
+  out.payload.assign(block_size_, 0);
+  bool any = false;
+  while (!any) {
+    for (std::size_t r = 0; r < rank_; ++r) {
+      const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+      if (c != 0) any = true;
+      add_scaled(out.coefficients, coeff_rows_[r], c);
+      add_scaled(out.payload, payload_rows_[r], c);
+    }
+  }
+  return out;
+}
+
+std::size_t gf256_rank(std::vector<std::vector<std::uint8_t>> rows) {
+  if (rows.empty()) return 0;
+  const std::size_t cols = rows.front().size();
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows.size(); ++col) {
+    // Find a pivot row for this column.
+    std::size_t pivot = rows.size();
+    for (std::size_t r = rank; r < rows.size(); ++r) {
+      if (rows[r].size() != cols) throw std::invalid_argument("ragged matrix");
+      if (rows[r][col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    const std::uint8_t inv = GF256::inv(rows[rank][col]);
+    scale(rows[rank], inv);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != rank && rows[r][col] != 0) {
+        add_scaled(rows[r], rows[rank], rows[r][col]);
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace lotus::coding

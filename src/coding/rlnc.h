@@ -1,0 +1,75 @@
+// Random linear network coding over GF(256) (Avalanche-style).
+//
+// Content is k source blocks of `block_size` bytes. Peers exchange coded
+// blocks: a coefficient vector over GF(256)^k plus the corresponding linear
+// combination of the payloads. A decoder accumulates blocks and can
+// reconstruct once its coefficient matrix reaches rank k — *which* blocks it
+// holds no longer matters, defeating the rare-token attack of §3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace lotus::coding {
+
+struct CodedBlock {
+  std::vector<std::uint8_t> coefficients;  // length k
+  std::vector<std::uint8_t> payload;       // length block_size
+};
+
+/// Encodes random linear combinations of the source blocks.
+class Encoder {
+ public:
+  /// `source` is k blocks, all the same size, k >= 1.
+  explicit Encoder(std::vector<std::vector<std::uint8_t>> source);
+
+  [[nodiscard]] std::size_t generation_size() const noexcept { return source_.size(); }
+  [[nodiscard]] std::size_t block_size() const noexcept { return source_.front().size(); }
+
+  /// A fresh coded block with coefficients drawn from `rng` (not all zero).
+  [[nodiscard]] CodedBlock encode(sim::Rng& rng) const;
+
+  /// A "systematic" block: source block i verbatim (unit coefficient vector).
+  [[nodiscard]] CodedBlock systematic(std::size_t i) const;
+
+ private:
+  std::vector<std::vector<std::uint8_t>> source_;
+};
+
+/// Incremental Gaussian-elimination decoder.
+class Decoder {
+ public:
+  Decoder(std::size_t generation_size, std::size_t block_size);
+
+  /// Absorbs a block; returns true if it was innovative (increased rank).
+  bool add(const CodedBlock& block);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+  [[nodiscard]] std::size_t generation_size() const noexcept { return k_; }
+  [[nodiscard]] bool complete() const noexcept { return rank_ == k_; }
+
+  /// The decoded source blocks, or nullopt until rank k is reached.
+  [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> decode() const;
+
+  /// Re-encodes from the blocks held so far (recoding, the property that
+  /// lets intermediate nodes help without decoding first).
+  [[nodiscard]] std::optional<CodedBlock> recode(sim::Rng& rng) const;
+
+ private:
+  std::size_t k_;
+  std::size_t block_size_;
+  std::size_t rank_ = 0;
+  // Row-reduced rows: coefficient part and payload part kept side by side.
+  std::vector<std::vector<std::uint8_t>> coeff_rows_;
+  std::vector<std::vector<std::uint8_t>> payload_rows_;
+  std::vector<std::size_t> pivot_of_row_;
+};
+
+/// Rank of an arbitrary coefficient matrix over GF(256); helper for tests
+/// and for the token model's coded-satiation function.
+[[nodiscard]] std::size_t gf256_rank(std::vector<std::vector<std::uint8_t>> rows);
+
+}  // namespace lotus::coding

@@ -1,0 +1,51 @@
+#include "core/observation.h"
+
+#include <memory>
+
+#include "token/allocation.h"
+#include "token/attack.h"
+#include "token/satiation.h"
+
+namespace lotus::core {
+
+ObservationOutcome demonstrate_observation_31(const net::Graph& graph,
+                                              token::NodeId target,
+                                              std::size_t tokens,
+                                              double altruism,
+                                              std::uint64_t seed) {
+  token::ModelConfig config;
+  config.tokens = tokens;
+  config.contact_bound = 2;
+  config.altruism = altruism;
+  config.max_rounds = 200;
+  config.seed = seed;
+
+  sim::Rng alloc_rng{sim::derive_seed(seed, 0x616c6cULL)};
+  auto allocation = token::allocate_uniform_replicas(
+      graph.node_count(), tokens, /*replicas=*/3, alloc_rng);
+
+  token::TokenModel model{
+      graph, config, std::move(allocation),
+      std::make_shared<token::CompleteSetSatiation>()};
+
+  // The attacker satiates exactly the target, every round, before any
+  // exchange happens — the "sufficiently rapid" extreme of Observation 3.1.
+  token::SetAttacker attacker{"observation-3.1", {target}};
+  const auto result = model.run(attacker);
+
+  ObservationOutcome outcome;
+  outcome.target_services = result.services_provided[target];
+  double others = 0.0;
+  std::size_t count = 0;
+  for (token::NodeId v = 0; v < graph.node_count(); ++v) {
+    if (v == target) continue;
+    others += static_cast<double>(result.services_provided[v]);
+    ++count;
+  }
+  outcome.mean_other_services = count ? others / static_cast<double>(count) : 0.0;
+  outcome.target_ever_unsatiated =
+      result.completion_round[target] > 0;
+  return outcome;
+}
+
+}  // namespace lotus::core

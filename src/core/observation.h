@@ -1,0 +1,31 @@
+// Observation 3.1: "In a system where a satiation-compatible protocol is
+// used, an attacker that can provide a node with tokens sufficiently rapidly
+// can prevent it from ever providing service."
+//
+// This module demonstrates the observation constructively on the token
+// model: target one node, satiate it every round before it acts, and verify
+// it never provides service (altruism a = 0).
+#pragma once
+
+#include <cstdint>
+
+#include "token/model.h"
+
+namespace lotus::core {
+
+struct ObservationOutcome {
+  /// Service interactions the targeted node took part in. Observation 3.1
+  /// says this must be zero when the attacker is fast enough and a == 0.
+  std::uint64_t target_services = 0;
+  /// Same count for the average untargeted node, for contrast.
+  double mean_other_services = 0.0;
+  bool target_ever_unsatiated = false;
+};
+
+/// Runs the token model on `graph` with a single-node instant satiator and
+/// returns the service counts. `altruism` is the model's a parameter.
+[[nodiscard]] ObservationOutcome demonstrate_observation_31(
+    const net::Graph& graph, token::NodeId target, std::size_t tokens,
+    double altruism, std::uint64_t seed);
+
+}  // namespace lotus::core

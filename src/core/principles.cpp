@@ -1,0 +1,51 @@
+#include "core/principles.h"
+
+namespace lotus::core {
+
+const std::array<PrincipleInfo, 4>& defense_catalogue() noexcept {
+  static const std::array<PrincipleInfo, 4> catalogue{{
+      {DefensePrinciple::kNonRandomFailureResilience,
+       "resilience to non-random failures", "§4 (first principle)",
+       "Choose the graph and the initial allocation so that satiating any "
+       "affordable node set neither cuts the graph nor removes the only "
+       "holder of a token.",
+       "net::make_erdos_renyi / allocate_uniform_replicas vs. make_grid / "
+       "allocate_with_rare_token (bench_token_cut, bench_token_rare)"},
+      {DefensePrinciple::kHardSatiation, "making satiation hard",
+       "§4 (second principle)",
+       "Change the effective token set so few nodes can be satiated at once: "
+       "scrip (fixed money supply), network coding (any k independent blocks "
+       "decode), rarest-first piece selection.",
+       "scrip::Economy, coding::Decoder, bt::PieceSelection::kRarestFirst "
+       "(bench_scrip_defense, bench_coding_defense, bench_bt_attack)"},
+      {DefensePrinciple::kLeverageObedience, "leveraging obedience",
+       "§4 (third principle)",
+       "Obedient nodes enforce a service pace: per-exchange caps plus signed "
+       "excessive-service reports that evict offenders.",
+       "GossipConfig::service_cap, reporting_enabled, obedient_fraction "
+       "(bench_obedience_report)"},
+      {DefensePrinciple::kEncourageAltruism, "encouraging altruism",
+       "§4 (fourth principle)",
+       "Keep satiated nodes useful: larger optimistic pushes, slightly "
+       "unbalanced exchanges, seeding, altruism probability a > 0.",
+       "GossipConfig::push_size / unbalanced_exchange, ModelConfig::altruism "
+       "(bench_fig2_pushsize, bench_fig3_obedient, bench_token_altruism)"},
+  }};
+  return catalogue;
+}
+
+std::string_view attack_vector_name(AttackVector v) noexcept {
+  switch (v) {
+    case AttackVector::kGraphCut:
+      return "graph cut (exploits G)";
+    case AttackVector::kRareToken:
+      return "rare token (exploits f)";
+    case AttackVector::kMassSatiation:
+      return "mass satiation (exploits c)";
+    case AttackVector::kOutOfProtocol:
+      return "out-of-protocol injection (exploits the implementation)";
+  }
+  return "unknown";
+}
+
+}  // namespace lotus::core

@@ -1,0 +1,41 @@
+// The paper's conceptual framework as a queryable taxonomy (§3-§4).
+//
+// Examples and docs use this to enumerate the attacks and the four defence
+// principles with the configuration knob each maps to in this library.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace lotus::core {
+
+/// The ways a lotus-eater attacker exploits the (G, T, sat, f, c, a) model.
+enum class AttackVector {
+  kGraphCut,        // exploit structure of G: satiate a cut
+  kRareToken,       // exploit f: satiate the holders of a rare token
+  kMassSatiation,   // exploit c: reduce trade opportunities system-wide
+  kOutOfProtocol,   // exploit the implementation to satiate instantly
+};
+
+/// The four design principles of §4.
+enum class DefensePrinciple {
+  kNonRandomFailureResilience,  // choose G and f to survive targeted removal
+  kHardSatiation,               // scrip / coding / rarest-first
+  kLeverageObedience,           // reporting + rate limits via obedient nodes
+  kEncourageAltruism,           // pushes, seeding, a > 0
+};
+
+struct PrincipleInfo {
+  DefensePrinciple principle;
+  std::string_view name;
+  std::string_view paper_section;
+  std::string_view summary;
+  std::string_view library_knobs;
+};
+
+/// Static catalogue, one entry per principle.
+[[nodiscard]] const std::array<PrincipleInfo, 4>& defense_catalogue() noexcept;
+
+[[nodiscard]] std::string_view attack_vector_name(AttackVector v) noexcept;
+
+}  // namespace lotus::core

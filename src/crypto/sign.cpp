@@ -1,0 +1,61 @@
+#include "crypto/sign.h"
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace lotus::crypto {
+
+KeyRegistry::KeyRegistry(std::size_t count, std::uint64_t seed) {
+  secrets_.reserve(count);
+  std::uint64_t sm = seed ^ 0x6b657973ULL;  // domain tag "keys"
+  for (std::size_t i = 0; i < count; ++i) {
+    secrets_.push_back(lotus::sim::split_mix64(sm));
+  }
+}
+
+KeyPair KeyRegistry::key_of(PublicId id) const {
+  if (id >= secrets_.size()) throw std::out_of_range("unknown principal");
+  return KeyPair{id, secrets_[id]};
+}
+
+Signature KeyRegistry::sign(const KeyPair& key,
+                            std::uint64_t message_digest) const {
+  return hash_words({key.secret, message_digest});
+}
+
+bool KeyRegistry::verify(PublicId signer, std::uint64_t message_digest,
+                         Signature sig) const {
+  if (signer >= secrets_.size()) return false;
+  return hash_words({secrets_[signer], message_digest}) == sig;
+}
+
+ExchangeRecord make_record(const KeyRegistry& registry, std::uint32_t round,
+                           PublicId giver, PublicId receiver,
+                           std::uint32_t updates_given) {
+  ExchangeRecord rec;
+  rec.round = round;
+  rec.giver = giver;
+  rec.receiver = receiver;
+  rec.updates_given = updates_given;
+  const auto digest = rec.digest();
+  rec.giver_sig = registry.sign(registry.key_of(giver), digest);
+  rec.receiver_sig = registry.sign(registry.key_of(receiver), digest);
+  return rec;
+}
+
+bool verify_record(const KeyRegistry& registry, const ExchangeRecord& record) {
+  const auto digest = record.digest();
+  return registry.verify(record.giver, digest, record.giver_sig) &&
+         registry.verify(record.receiver, digest, record.receiver_sig);
+}
+
+std::optional<PublicId> check_excessive_service(
+    const KeyRegistry& registry, const ExchangeRecord& record,
+    std::uint32_t per_exchange_limit) {
+  if (!verify_record(registry, record)) return std::nullopt;
+  if (record.updates_given <= per_exchange_limit) return std::nullopt;
+  return record.giver;
+}
+
+}  // namespace lotus::crypto

@@ -1,0 +1,78 @@
+// Simulated signatures and signed exchange records.
+//
+// A KeyPair is a (public id, secret) pair; a signature is a keyed MAC over
+// the message digest. Within the simulation the "registry" knows every
+// node's secret and can verify, mirroring a PKI. The point is to exercise
+// the §4 defence: exchange records signed by both parties are
+// non-repudiable, so an obedient node can *prove* it received excessive
+// service and have the provider evicted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.h"
+
+namespace lotus::crypto {
+
+using PublicId = std::uint32_t;
+using Signature = std::uint64_t;
+
+struct KeyPair {
+  PublicId id = 0;
+  std::uint64_t secret = 0;
+};
+
+/// Issues key pairs and verifies signatures; the simulation's stand-in for a
+/// certificate authority plus signature verification.
+class KeyRegistry {
+ public:
+  /// Creates keys for `count` principals, deterministically from `seed`.
+  explicit KeyRegistry(std::size_t count, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return secrets_.size(); }
+  [[nodiscard]] KeyPair key_of(PublicId id) const;
+
+  [[nodiscard]] Signature sign(const KeyPair& key, std::uint64_t message_digest) const;
+  [[nodiscard]] bool verify(PublicId signer, std::uint64_t message_digest,
+                            Signature sig) const;
+
+ private:
+  std::vector<std::uint64_t> secrets_;
+};
+
+/// A dual-signed record of one exchange: who gave how many updates to whom
+/// in which round. Produced by the gossip engine when the reporting defence
+/// is enabled.
+struct ExchangeRecord {
+  std::uint32_t round = 0;
+  PublicId giver = 0;
+  PublicId receiver = 0;
+  std::uint32_t updates_given = 0;
+  Signature giver_sig = 0;
+  Signature receiver_sig = 0;
+
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    return hash_words({round, giver, receiver, updates_given});
+  }
+};
+
+/// Builds a dual-signed record. Both principals must exist in the registry.
+[[nodiscard]] ExchangeRecord make_record(const KeyRegistry& registry,
+                                         std::uint32_t round, PublicId giver,
+                                         PublicId receiver,
+                                         std::uint32_t updates_given);
+
+/// Verifies both signatures on a record.
+[[nodiscard]] bool verify_record(const KeyRegistry& registry,
+                                 const ExchangeRecord& record);
+
+/// A proof of misbehaviour: a verified record showing `giver` exceeded the
+/// per-exchange service limit. `nullopt` if the record does not prove it
+/// (bad signatures or within limits).
+[[nodiscard]] std::optional<PublicId> check_excessive_service(
+    const KeyRegistry& registry, const ExchangeRecord& record,
+    std::uint32_t per_exchange_limit);
+
+}  // namespace lotus::crypto

@@ -1,0 +1,19 @@
+#include "gossip/config.h"
+
+namespace lotus::gossip {
+
+const char* attack_name(AttackKind kind) noexcept {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "none";
+    case AttackKind::kCrash:
+      return "crash";
+    case AttackKind::kIdealLotus:
+      return "ideal-lotus";
+    case AttackKind::kTradeLotus:
+      return "trade-lotus";
+  }
+  return "unknown";
+}
+
+}  // namespace lotus::gossip

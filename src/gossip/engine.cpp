@@ -1,0 +1,414 @@
+#include "gossip/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lotus::gossip {
+
+namespace {
+constexpr std::size_t kUncapped = std::numeric_limits<std::size_t>::max();
+}
+
+GossipEngine::GossipEngine(GossipConfig config, AttackPlan plan)
+    : config_(config),
+      plan_(plan),
+      clock_(config_),
+      cast_(),
+      schedule_(sim::derive_seed(config_.seed, 0x70617274ULL), config_.nodes),
+      registry_(config_.nodes, sim::derive_seed(config_.seed, 0x6b657973ULL)),
+      rng_(config_.seed),
+      attacker_pool_(config_.total_updates()),
+      attacker_pool_lagged_(config_.total_updates()) {
+  if (config_.nodes < 2) throw std::invalid_argument("need >= 2 nodes");
+  if (config_.update_lifetime == 0) {
+    throw std::invalid_argument("update lifetime must be >= 1");
+  }
+  if (config_.copies_seeded > config_.nodes) {
+    throw std::invalid_argument("cannot seed more copies than nodes");
+  }
+  sim::Rng cast_rng{sim::derive_seed(config_.seed, 0x63617374ULL)};
+  cast_ = make_cast(config_, plan_, cast_rng);
+  holdings_.assign(config_.nodes,
+                   sim::DynamicBitset{config_.total_updates()});
+  evicted_.assign(config_.nodes, false);
+  oob_received_.assign(config_.nodes, 0);
+  order_.resize(config_.nodes);
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) order_[v] = v;
+  satiate_set_ = cast_.satiate_set;
+  ever_satiated_ = cast_.satiate_set;
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    if (cast_.roles[v] == Role::kHonest) rotation_order_.push_back(v);
+  }
+  sim::Rng rotation_rng{sim::derive_seed(config_.seed, 0x726f74ULL)};
+  rotation_rng.shuffle(std::span<std::uint32_t>{rotation_order_});
+}
+
+void GossipEngine::rotate_satiate_set(Round round) {
+  if (plan_.rotation_period == 0) return;
+  if (plan_.kind != AttackKind::kIdealLotus &&
+      plan_.kind != AttackKind::kTradeLotus) {
+    return;
+  }
+  if (round % plan_.rotation_period != 0) return;
+  // Attacker nodes stay in; the honest fill is a sliding window over a
+  // fixed shuffled order, advanced once per period.
+  const auto target = static_cast<std::uint32_t>(
+      std::clamp(plan_.satiate_fraction, 0.0, 1.0) *
+      static_cast<double>(config_.nodes) + 0.5);
+  std::fill(satiate_set_.begin(), satiate_set_.end(), false);
+  std::uint32_t members = 0;
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    if (cast_.roles[v] == Role::kAttacker || cast_.roles[v] == Role::kCrash) {
+      satiate_set_[v] = true;
+      ++members;
+    }
+  }
+  if (rotation_order_.empty()) return;
+  const std::uint32_t fill =
+      target > members ? target - members : 0;
+  const std::size_t offset = static_cast<std::size_t>(
+                                 round / plan_.rotation_period) *
+                             fill % rotation_order_.size();
+  for (std::uint32_t i = 0; i < fill; ++i) {
+    const auto v = rotation_order_[(offset + i) % rotation_order_.size()];
+    satiate_set_[v] = true;
+    ever_satiated_[v] = true;
+  }
+}
+
+bool GossipEngine::participates(std::uint32_t v) const noexcept {
+  return !evicted_[v] && cast_.roles[v] != Role::kCrash;
+}
+
+bool GossipEngine::is_trade_attacker(std::uint32_t v) const noexcept {
+  return cast_.roles[v] == Role::kAttacker &&
+         plan_.kind == AttackKind::kTradeLotus;
+}
+
+std::size_t GossipEngine::apply_service_cap(std::size_t wanted) const noexcept {
+  if (config_.service_cap == 0) return wanted;
+  return std::min<std::size_t>(wanted, config_.service_cap);
+}
+
+GossipResult GossipEngine::run() {
+  stats_ = GossipResult{};
+  for (Round round = 0; round < config_.rounds; ++round) {
+    rotate_satiate_set(round);
+    attacker_pool_lagged_ = attacker_pool_;
+    seed_updates(round);
+    if (plan_.kind == AttackKind::kIdealLotus) ideal_multicast(round);
+    run_balanced_exchanges(round);
+    run_optimistic_pushes(round);
+    process_reports(round);
+  }
+  return collect_metrics();
+}
+
+void GossipEngine::seed_updates(Round round) {
+  const IdRange released = clock_.released_in(round);
+  for (UpdateId u = released.lo; u < released.hi; ++u) {
+    for (const auto v : rng_.sample_without_replacement(config_.nodes,
+                                                        config_.copies_seeded)) {
+      if (evicted_[v]) continue;  // evicted nodes are out of the membership
+      holdings_[v].set(u);
+      if (cast_.roles[v] == Role::kAttacker) attacker_pool_.set(u);
+    }
+  }
+}
+
+void GossipEngine::ideal_multicast(Round round) {
+  // Out-of-band instant forwarding of everything the attacker has received
+  // from the broadcaster. Needs at least one live attacker node. The service
+  // cap does NOT apply: this attack bypasses the protocol entirely (§2), so
+  // rate limiting cannot touch it — only reporting can.
+  bool any_attacker = false;
+  std::uint32_t reporter_target = 0;
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    if (cast_.roles[v] == Role::kAttacker && !evicted_[v]) {
+      any_attacker = true;
+      reporter_target = v;
+      break;
+    }
+  }
+  if (!any_attacker) return;
+  const IdRange active = clock_.active(round);
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    if (cast_.roles[v] != Role::kHonest || !satiate_set_[v]) continue;
+    const std::size_t given = holdings_[v].transfer_from(
+        attacker_pool_, active.lo, active.hi, kUncapped);
+    stats_.attacker_dump_updates += given;
+    // Unsolicited sends drip-feed below any single-message limit, so
+    // obedient receivers account for them cumulatively; each report names
+    // the sender of the excess (the next live attacker node) and resets
+    // the tally.
+    oob_received_[v] += given;
+    if (oob_received_[v] > config_.service_limit) {
+      maybe_report(reporter_target, v, oob_received_[v], round);
+      oob_received_[v] = 0;
+    }
+  }
+}
+
+void GossipEngine::run_balanced_exchanges(Round round) {
+  rng_.shuffle(std::span<std::uint32_t>{order_});
+  for (const std::uint32_t i : order_) {
+    if (!participates(i)) continue;
+    if (cast_.roles[i] == Role::kAttacker &&
+        plan_.kind == AttackKind::kIdealLotus) {
+      continue;  // ideal attacker never trades
+    }
+    const std::uint32_t j = schedule_.partner_of(
+        round, i, crypto::PartnerPurpose::kBalancedExchange);
+    if (!participates(j)) continue;
+    if (is_trade_attacker(i)) {
+      attacker_interaction(i, j, round, kUncapped);
+    } else if (is_trade_attacker(j)) {
+      // The attacker was merely chosen as a partner; whether he can stuff
+      // extra updates into a responder slot is a modelling choice (config).
+      if (config_.trade_dump_on_response) {
+        attacker_interaction(j, i, round, kUncapped);
+      }
+    } else if (cast_.roles[j] == Role::kAttacker) {
+      // ideal attacker as responder: never trades
+    } else if (cast_.roles[i] == Role::kHonest &&
+               cast_.roles[j] == Role::kHonest) {
+      balanced_exchange(i, j, round);
+    }
+  }
+}
+
+void GossipEngine::run_optimistic_pushes(Round round) {
+  const IdRange expiring = clock_.expiring_soon(round);
+  for (const std::uint32_t i : order_) {
+    if (!participates(i)) continue;
+    if (is_trade_attacker(i)) {
+      // The attacker uses his push initiation slot too, but the responder's
+      // protocol accepts at most push_size updates in a push.
+      const std::uint32_t j = schedule_.partner_of(
+          round, i, crypto::PartnerPurpose::kOptimisticPush);
+      if (participates(j)) {
+        attacker_interaction(i, j, round, config_.push_size);
+      }
+      continue;
+    }
+    if (cast_.roles[i] != Role::kHonest) continue;
+    // A node initiates a push only when it is missing soon-expiring updates
+    // (a rational node has nothing to gain otherwise, and the protocol only
+    // calls for pushes then).
+    const std::size_t missing_old =
+        expiring.size() - holdings_[i].count_range(expiring.lo, expiring.hi);
+    if (missing_old == 0) continue;
+    const std::uint32_t j =
+        schedule_.partner_of(round, i, crypto::PartnerPurpose::kOptimisticPush);
+    if (!participates(j)) continue;
+    if (is_trade_attacker(j)) {
+      if (config_.trade_dump_on_response) {
+        attacker_interaction(j, i, round, config_.push_size);
+      }
+    } else if (cast_.roles[j] == Role::kAttacker) {
+      // ideal attacker ignores pushes
+    } else if (cast_.roles[j] == Role::kHonest) {
+      optimistic_push(i, j, round);
+    }
+  }
+}
+
+void GossipEngine::balanced_exchange(std::uint32_t i, std::uint32_t j,
+                                     Round round) {
+  const IdRange active = clock_.active(round);
+  const std::size_t i_can_give =
+      holdings_[i].count_and_not_range(holdings_[j], active.lo, active.hi);
+  const std::size_t j_can_give =
+      holdings_[j].count_and_not_range(holdings_[i], active.lo, active.hi);
+  const std::size_t m = std::min(i_can_give, j_can_give);
+
+  std::size_t give_i = m;  // i -> j
+  std::size_t give_j = m;  // j -> i
+  if (config_.unbalanced_exchange && m >= 1) {
+    // Figure 3 variant: an obedient node is willing to hand over one more
+    // update than it receives, provided it receives at least one.
+    if (cast_.obedient[i]) give_i = std::min(m + 1, i_can_give);
+    if (cast_.obedient[j]) give_j = std::min(m + 1, j_can_give);
+  }
+  give_i = apply_service_cap(give_i);
+  give_j = apply_service_cap(give_j);
+  if (give_i == 0 && give_j == 0) return;
+
+  const std::size_t moved_to_j =
+      holdings_[j].transfer_from(holdings_[i], active.lo, active.hi, give_i);
+  const std::size_t moved_to_i =
+      holdings_[i].transfer_from(holdings_[j], active.lo, active.hi, give_j);
+  if (moved_to_i + moved_to_j > 0) ++stats_.balanced_exchanges;
+  stats_.exchange_updates += moved_to_i + moved_to_j;
+  maybe_report(i, j, moved_to_j, round);
+  maybe_report(j, i, moved_to_i, round);
+}
+
+void GossipEngine::optimistic_push(std::uint32_t i, std::uint32_t j,
+                                   Round round) {
+  const IdRange recent = clock_.recent(round);
+  const IdRange expiring = clock_.expiring_soon(round);
+  // Responder j takes up to push_size recently released updates it lacks.
+  const std::size_t offered =
+      holdings_[i].count_and_not_range(holdings_[j], recent.lo, recent.hi);
+  const std::size_t take =
+      apply_service_cap(std::min<std::size_t>(offered, config_.push_size));
+  if (take == 0) return;  // nothing in it for the responder: no exchange
+  const std::size_t taken =
+      holdings_[j].transfer_from(holdings_[i], recent.lo, recent.hi, take);
+  // In exchange the responder returns the same number of items: requested
+  // soon-expiring updates when it has them, junk data otherwise.
+  const std::size_t returned = holdings_[i].transfer_from(
+      holdings_[j], expiring.lo, expiring.hi, taken);
+  const std::size_t junk = taken - returned;
+  ++stats_.pushes;
+  stats_.push_updates += returned;
+  stats_.junk_updates += junk;
+  maybe_report(i, j, taken, round);
+  maybe_report(j, i, returned, round);
+}
+
+void GossipEngine::attacker_interaction(std::uint32_t a, std::uint32_t partner,
+                                        Round round, std::size_t limit) {
+  if (evicted_[a] || evicted_[partner]) return;
+  if (cast_.roles[partner] != Role::kHonest) return;
+  if (!satiate_set_[partner]) return;  // isolated nodes get nothing
+  const IdRange active = clock_.active(round);
+  // Dump: every update the attacker has ("every update he has", §2), up to
+  // the protocol ceiling of this slot and the rate-limit defence. As in the
+  // paper's ideal attack, attacking nodes forward what they receive from the
+  // broadcaster (pooled across the colluding nodes); they do not grow their
+  // pool through trades. The trade attack differs from the ideal attack
+  // only in the delivery channel: protocol interactions instead of instant
+  // out-of-band multicast, which is why it needs far more nodes — contact
+  // frequency, not knowledge, is its binding constraint (§2).
+  std::size_t cap = limit;
+  if (config_.service_cap != 0) {
+    cap = std::min<std::size_t>(cap, config_.service_cap);
+  }
+  const std::size_t given = holdings_[partner].transfer_from(
+      attacker_pool_lagged_, active.lo, active.hi, cap);
+  stats_.attacker_dump_updates += given;
+  maybe_report(a, partner, given, round);
+}
+
+void GossipEngine::maybe_report(std::uint32_t giver, std::uint32_t receiver,
+                                std::size_t updates_given, Round round) {
+  if (!config_.reporting_enabled) return;
+  if (updates_given <= config_.service_limit) return;
+  if (cast_.roles[receiver] != Role::kHonest || !cast_.obedient[receiver]) {
+    return;  // rational nodes keep quiet about service they benefit from
+  }
+  pending_reports_.push_back(crypto::make_record(
+      registry_, round, giver, receiver,
+      static_cast<std::uint32_t>(updates_given)));
+  ++stats_.reports_filed;
+}
+
+void GossipEngine::process_reports(Round round) {
+  for (const auto& record : pending_reports_) {
+    const auto offender = crypto::check_excessive_service(
+        registry_, record, config_.service_limit);
+    if (!offender.has_value()) continue;
+    if (evicted_[*offender]) continue;
+    evicted_[*offender] = true;
+    if (cast_.roles[*offender] == Role::kAttacker ||
+        cast_.roles[*offender] == Role::kCrash) {
+      ++stats_.attackers_evicted;
+      if (stats_.attackers_evicted == cast_.attacker_count &&
+          stats_.full_eviction_round == 0) {
+        stats_.full_eviction_round = round + 1;
+      }
+    }
+  }
+  pending_reports_.clear();
+}
+
+GossipResult GossipEngine::collect_metrics() const {
+  GossipResult result = stats_;
+  const IdRange measured = clock_.measured(config_.warmup_rounds);
+  const auto total = static_cast<double>(measured.size());
+  if (measured.empty()) {
+    throw std::logic_error(
+        "no measured updates: increase rounds or reduce warmup");
+  }
+
+  const bool lotus = plan_.kind == AttackKind::kIdealLotus ||
+                     plan_.kind == AttackKind::kTradeLotus;
+  double isolated_sum = 0.0;
+  double satiated_sum = 0.0;
+  double overall_sum = 0.0;
+  std::uint32_t isolated_n = 0;
+  std::uint32_t satiated_n = 0;
+  std::uint32_t honest_n = 0;
+  std::uint32_t below_n = 0;
+  double worst = 1.0;
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    if (cast_.roles[v] != Role::kHonest) continue;
+    const double got =
+        static_cast<double>(holdings_[v].count_range(measured.lo, measured.hi)) /
+        total;
+    ++honest_n;
+    overall_sum += got;
+    worst = std::min(worst, got);
+    if (got <= config_.usability_threshold) ++below_n;
+    // Under rotation a node counts as satiated if the attacker ever fed it.
+    if (lotus && ever_satiated_[v]) {
+      ++satiated_n;
+      satiated_sum += got;
+    } else {
+      ++isolated_n;
+      isolated_sum += got;
+    }
+  }
+  result.isolated_nodes = isolated_n;
+  result.satiated_honest_nodes = satiated_n;
+  result.attacker_nodes = cast_.attacker_count;
+  result.overall_delivery = honest_n ? overall_sum / honest_n : 1.0;
+  result.isolated_delivery = isolated_n ? isolated_sum / isolated_n : 1.0;
+  result.satiated_delivery = satiated_n ? satiated_sum / satiated_n : 1.0;
+  result.honest_below_usability =
+      honest_n ? static_cast<double>(below_n) / honest_n : 0.0;
+  result.worst_honest_delivery = honest_n ? worst : 1.0;
+
+  // Time-resolved usability over release generations.
+  const auto first_gen = static_cast<Round>(
+      measured.lo / config_.updates_per_round);
+  const auto end_gen = static_cast<Round>(
+      measured.hi / config_.updates_per_round);
+  const double gen_size = config_.updates_per_round;
+  std::uint64_t unusable_pairs = 0;
+  std::uint32_t stretched_nodes = 0;
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    if (cast_.roles[v] != Role::kHonest) continue;
+    std::uint32_t unusable = 0;
+    for (Round g = first_gen; g < end_gen; ++g) {
+      const auto lo = static_cast<UpdateId>(g) * config_.updates_per_round;
+      const double got =
+          static_cast<double>(holdings_[v].count_range(
+              lo, lo + config_.updates_per_round)) / gen_size;
+      if (got <= config_.usability_threshold) ++unusable;
+    }
+    unusable_pairs += unusable;
+    if (unusable * 10 >= (end_gen - first_gen)) ++stretched_nodes;
+  }
+  const auto generations = static_cast<double>(end_gen - first_gen);
+  result.unusable_node_generations =
+      honest_n && generations > 0
+          ? static_cast<double>(unusable_pairs) / (honest_n * generations)
+          : 0.0;
+  result.nodes_with_unusable_stretch =
+      honest_n ? static_cast<double>(stretched_nodes) / honest_n : 0.0;
+  result.attacker_coverage =
+      static_cast<double>(attacker_pool_.count_range(measured.lo, measured.hi)) /
+      total;
+  return result;
+}
+
+GossipResult run_gossip(const GossipConfig& config, const AttackPlan& plan) {
+  GossipEngine engine{config, plan};
+  return engine.run();
+}
+
+}  // namespace lotus::gossip

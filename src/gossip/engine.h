@@ -1,0 +1,112 @@
+// The BAR Gossip round engine (paper §2).
+//
+// Each round:
+//   1. the broadcaster seeds each new update to `copies_seeded` random nodes;
+//   2. attacker bookkeeping (pool of collectively known updates; the ideal
+//      attacker multicasts the pool to the satiated set out of band);
+//   3. every eligible node initiates one balanced exchange with its
+//      pseudorandomly assigned partner;
+//   4. every node missing soon-expiring updates initiates one optimistic
+//      push with its (different) assigned partner;
+//   5. excessive-service reports are processed and proven offenders evicted.
+//
+// Protocol behaviours, attacker behaviours, and defences are all driven by
+// GossipConfig / AttackPlan; see config.h.
+#pragma once
+
+#include <vector>
+
+#include "crypto/partner.h"
+#include "crypto/sign.h"
+#include "gossip/attack.h"
+#include "gossip/config.h"
+#include "gossip/metrics.h"
+#include "gossip/update_store.h"
+#include "sim/bitset.h"
+#include "sim/rng.h"
+
+namespace lotus::gossip {
+
+class GossipEngine {
+ public:
+  GossipEngine(GossipConfig config, AttackPlan plan);
+
+  /// Runs the full horizon and returns the delivery metrics.
+  [[nodiscard]] GossipResult run();
+
+  /// Read-only views for tests.
+  [[nodiscard]] const Cast& cast() const noexcept { return cast_; }
+  [[nodiscard]] const GossipConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const sim::DynamicBitset& holdings_of(std::uint32_t v) const {
+    return holdings_[v];
+  }
+  [[nodiscard]] bool evicted(std::uint32_t v) const { return evicted_[v]; }
+
+ private:
+  // --- Round phases ------------------------------------------------------
+  void rotate_satiate_set(Round round);
+  void seed_updates(Round round);
+  void ideal_multicast(Round round);
+  void run_balanced_exchanges(Round round);
+  void run_optimistic_pushes(Round round);
+  void process_reports(Round round);
+
+  // --- Interactions --------------------------------------------------------
+  /// Protocol-abiding balanced exchange between two honest nodes.
+  void balanced_exchange(std::uint32_t i, std::uint32_t j, Round round);
+  /// Protocol-abiding optimistic push initiated by `i` toward `j`.
+  void optimistic_push(std::uint32_t i, std::uint32_t j, Round round);
+  /// Trade-lotus attacker `a` interacting with `partner` inside a protocol
+  /// slot: dump to satiated targets (up to `limit` updates), nothing for
+  /// anyone else. `limit` is the protocol ceiling of the slot: unbounded for
+  /// a balanced exchange the attacker initiates, push_size for a push.
+  void attacker_interaction(std::uint32_t a, std::uint32_t partner, Round round,
+                            std::size_t limit);
+
+  [[nodiscard]] bool participates(std::uint32_t v) const noexcept;
+  [[nodiscard]] bool is_trade_attacker(std::uint32_t v) const noexcept;
+  [[nodiscard]] std::size_t apply_service_cap(std::size_t wanted) const noexcept;
+  void maybe_report(std::uint32_t giver, std::uint32_t receiver,
+                    std::size_t updates_given, Round round);
+
+  [[nodiscard]] GossipResult collect_metrics() const;
+
+  GossipConfig config_;
+  AttackPlan plan_;
+  UpdateClock clock_;
+  Cast cast_;
+  crypto::PartnerSchedule schedule_;
+  crypto::KeyRegistry registry_;
+  sim::Rng rng_;
+
+  std::vector<sim::DynamicBitset> holdings_;  // per node, total_updates bits
+  sim::DynamicBitset attacker_pool_;          // union of attacker knowledge
+  /// The pool as of the end of the previous round. The ideal attack assumes
+  /// instant coordination ("as soon as they receive them", §2) and uses
+  /// attacker_pool_; the trade attack's colluding nodes synchronise with one
+  /// round of lag and dump from this snapshot instead.
+  sim::DynamicBitset attacker_pool_lagged_;
+  std::vector<bool> evicted_;
+  std::vector<std::uint32_t> order_;  // per-round shuffled initiation order
+  /// Cumulative unsolicited (out-of-band) updates received per node since
+  /// its last report. The ideal attacker drip-feeds below any per-message
+  /// limit, so obedient nodes must account cumulatively to catch it.
+  std::vector<std::uint64_t> oob_received_;
+  /// The live satiated set (equals cast_.satiate_set unless the plan
+  /// rotates it) and which honest nodes were ever in it.
+  std::vector<bool> satiate_set_;
+  std::vector<bool> ever_satiated_;
+  std::vector<std::uint32_t> rotation_order_;  // honest nodes, shuffled
+
+  // Pending eviction reports (proofs verified at end of round).
+  std::vector<crypto::ExchangeRecord> pending_reports_;
+
+  GossipResult stats_;  // traffic counters accumulated during run()
+};
+
+/// Convenience wrapper used by benches and sweeps: run one configuration
+/// with one attack and return the metrics.
+[[nodiscard]] GossipResult run_gossip(const GossipConfig& config,
+                                      const AttackPlan& plan);
+
+}  // namespace lotus::gossip

@@ -1,0 +1,4 @@
+// Translation unit ensuring metrics.h compiles standalone.
+#include "gossip/metrics.h"
+
+namespace lotus::gossip {}  // namespace lotus::gossip

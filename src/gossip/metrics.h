@@ -1,0 +1,73 @@
+// Result of one BAR Gossip run and the delivery metrics the figures report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gossip/config.h"
+
+namespace lotus::gossip {
+
+using Round = std::uint32_t;
+
+enum class Role : std::uint8_t {
+  kHonest,    // follows the protocol (obedient or rational)
+  kCrash,     // does nothing (crash attack / wasting Byzantine)
+  kAttacker,  // lotus-eater attacker node
+};
+
+struct GossipResult {
+  // --- Headline figure metric -------------------------------------------
+  /// Mean over measured updates of (isolated nodes holding the update at its
+  /// deadline) / (number of isolated nodes). The y axis of Figures 1-3.
+  double isolated_delivery = 1.0;
+  /// Same metric over the satiated honest nodes (paper: "satiated nodes
+  /// receive near perfect service").
+  double satiated_delivery = 1.0;
+  /// Over all honest nodes.
+  double overall_delivery = 1.0;
+  /// Fraction of honest nodes whose own delivery is at or below the
+  /// usability threshold — the "unusable for whom" view. A static attack
+  /// breaks only the isolated minority; a rotating one breaks everyone.
+  double honest_below_usability = 0.0;
+  /// Worst single honest node's delivery.
+  double worst_honest_delivery = 1.0;
+  /// Time-resolved usability: fraction of (honest node, release generation)
+  /// pairs where the node received <= threshold of that generation's
+  /// updates before expiry.
+  double unusable_node_generations = 0.0;
+  /// Fraction of honest nodes for which at least 10% of generations were
+  /// unusable — "who experiences real outages". Static lotus attacks
+  /// concentrate this on the isolated minority; rotating ones spread it
+  /// over everyone ("intermittently unusable for all nodes", §1).
+  double nodes_with_unusable_stretch = 0.0;
+
+  // --- Attack bookkeeping -------------------------------------------------
+  /// Fraction of measured updates that entered the attacker's pool (paper
+  /// reports 39% for the critical ideal attack).
+  double attacker_coverage = 0.0;
+  std::uint32_t isolated_nodes = 0;
+  std::uint32_t satiated_honest_nodes = 0;
+  std::uint32_t attacker_nodes = 0;
+
+  // --- Traffic accounting -------------------------------------------------
+  std::uint64_t balanced_exchanges = 0;   // exchanges with >= 1 update moved
+  std::uint64_t exchange_updates = 0;     // updates moved in balanced exchanges
+  std::uint64_t pushes = 0;               // optimistic pushes that moved data
+  std::uint64_t push_updates = 0;         // useful old updates returned
+  std::uint64_t junk_updates = 0;         // junk padding in push returns
+  std::uint64_t attacker_dump_updates = 0;  // updates injected by the attacker
+
+  // --- Defence bookkeeping -------------------------------------------------
+  std::uint64_t reports_filed = 0;
+  std::uint32_t attackers_evicted = 0;
+  /// Round by which every attacker node was evicted; 0 when not applicable.
+  Round full_eviction_round = 0;
+
+  /// Paper usability rule: stream usable iff delivery > threshold.
+  [[nodiscard]] bool usable_for_isolated(const GossipConfig& config) const noexcept {
+    return isolated_delivery > config.usability_threshold;
+  }
+};
+
+}  // namespace lotus::gossip

@@ -1,0 +1,4 @@
+// Translation unit ensuring update_store.h compiles standalone.
+#include "gossip/update_store.h"
+
+namespace lotus::gossip {}  // namespace lotus::gossip

@@ -1,0 +1,157 @@
+#include "net/analysis.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <stack>
+
+namespace lotus::net {
+
+namespace {
+constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  return components_after_removal(g, std::vector<bool>(g.node_count(), false));
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto comp = connected_components(g);
+  return std::all_of(comp.begin(), comp.end(),
+                     [](std::uint32_t c) { return c == 0; });
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnassigned);
+  if (source >= g.node_count()) return dist;
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const NodeId u : g.neighbors(v)) {
+      if (dist[u] == kUnassigned) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> components_after_removal(
+    const Graph& g, const std::vector<bool>& removed) {
+  std::vector<std::uint32_t> comp(g.node_count(), kUnassigned);
+  std::uint32_t next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (comp[start] != kUnassigned || removed[start]) continue;
+    comp[start] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const NodeId u : g.neighbors(v)) {
+        if (!removed[u] && comp[u] == kUnassigned) {
+          comp[u] = next;
+          frontier.push(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool removal_disconnects(const Graph& g, const std::vector<bool>& removed) {
+  const auto comp = components_after_removal(g, removed);
+  std::uint32_t max_comp = 0;
+  bool any = false;
+  for (std::size_t v = 0; v < comp.size(); ++v) {
+    if (removed[v]) continue;
+    any = true;
+    max_comp = std::max(max_comp, comp[v]);
+  }
+  return !any || max_comp > 0;
+}
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> disc(n, kUnassigned);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<NodeId> parent(n, kUnassigned);
+  std::vector<bool> is_cut(n, false);
+  std::uint32_t timer = 0;
+
+  // Iterative Tarjan to avoid deep recursion on path-like graphs.
+  struct Frame {
+    NodeId v;
+    std::size_t next_neighbor;
+  };
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != kUnassigned) continue;
+    std::stack<Frame> stack;
+    stack.push({root, 0});
+    disc[root] = low[root] = timer++;
+    std::uint32_t root_children = 0;
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.top();
+      const auto nbrs = g.neighbors(v);
+      if (idx < nbrs.size()) {
+        const NodeId u = nbrs[idx++];
+        if (disc[u] == kUnassigned) {
+          parent[u] = v;
+          if (v == root) ++root_children;
+          disc[u] = low[u] = timer++;
+          stack.push({u, 0});
+        } else if (u != parent[v]) {
+          low[v] = std::min(low[v], disc[u]);
+        }
+      } else {
+        stack.pop();
+        if (!stack.empty()) {
+          const NodeId p = stack.top().v;
+          low[p] = std::min(low[p], low[v]);
+          if (p != root && low[v] >= disc[p]) is_cut[p] = true;
+        }
+      }
+    }
+    if (root_children > 1) is_cut[root] = true;
+  }
+
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_cut[v]) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> grid_column_cut(std::size_t rows, std::size_t cols,
+                                    std::size_t col) {
+  std::vector<NodeId> out;
+  out.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    out.push_back(static_cast<NodeId>(r * cols + col));
+  }
+  return out;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  if (g.node_count() == 0) return stats;
+  stats.min = std::numeric_limits<std::size_t>::max();
+  double total = 0.0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::size_t d = g.degree(v);
+    total += static_cast<double>(d);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  stats.mean = total / static_cast<double>(g.node_count());
+  return stats;
+}
+
+}  // namespace lotus::net

@@ -1,0 +1,49 @@
+// Graph analysis used to reason about cut-based lotus-eater attacks:
+// connectivity, components, BFS distances, vertex cuts.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace lotus::net {
+
+/// Component id per node (ids are dense, starting at 0).
+[[nodiscard]] std::vector<std::uint32_t> connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// BFS hop distances from `source`; unreachable nodes get UINT32_MAX.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId source);
+
+/// Components of the graph after deleting `removed` nodes (removed nodes are
+/// assigned UINT32_MAX). This models satiated nodes that no longer relay.
+[[nodiscard]] std::vector<std::uint32_t> components_after_removal(
+    const Graph& g, const std::vector<bool>& removed);
+
+/// True if removing `removed` disconnects the surviving nodes (or leaves
+/// none). The attacker's goal in the §3 cut attack.
+[[nodiscard]] bool removal_disconnects(const Graph& g,
+                                       const std::vector<bool>& removed);
+
+/// Articulation points (cut vertices): nodes whose individual removal
+/// disconnects their component. Cheap single-node cut targets.
+[[nodiscard]] std::vector<NodeId> articulation_points(const Graph& g);
+
+/// A column cut of a rows x cols grid built by make_grid: the nodes of
+/// column `col`. Satiating them splits the grid left/right.
+[[nodiscard]] std::vector<NodeId> grid_column_cut(std::size_t rows,
+                                                  std::size_t cols,
+                                                  std::size_t col);
+
+struct DegreeStats {
+  double mean = 0.0;
+  std::size_t min = 0;
+  std::size_t max = 0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+}  // namespace lotus::net

@@ -1,0 +1,24 @@
+#include "net/graph.h"
+
+#include <algorithm>
+
+namespace lotus::net {
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  if (a == b) return false;
+  if (a >= node_count() || b >= node_count()) return false;
+  auto& na = adjacency_[a];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return false;
+  na.push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const noexcept {
+  if (a >= node_count() || b >= node_count()) return false;
+  const auto& na = adjacency_[a];
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+}  // namespace lotus::net

@@ -1,0 +1,39 @@
+// Undirected simple graph used as the communication topology G = (V, E) of
+// the paper's token-collecting model (Section 3) and the BitTorrent overlay.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lotus::net {
+
+using NodeId = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Adds the undirected edge {a, b}. Self-loops and duplicates are ignored
+  /// (the model graphs are simple). Returns true if the edge was new.
+  bool add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const noexcept;
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return adjacency_[v];
+  }
+  [[nodiscard]] std::size_t degree(NodeId v) const noexcept {
+    return adjacency_[v].size();
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace lotus::net

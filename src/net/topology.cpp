@@ -1,0 +1,126 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+namespace lotus::net {
+
+Graph make_complete(std::size_t n) {
+  Graph g{n};
+  for (NodeId a = 0; a + 1 < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph make_ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("ring needs >= 3 nodes");
+  Graph g{n};
+  for (NodeId i = 0; i < n; ++i) {
+    g.add_edge(i, static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  Graph g{rows * cols};
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  if (rows < 3 || cols < 3) throw std::invalid_argument("torus needs >= 3x3");
+  Graph g{rows * cols};
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("star needs >= 2 nodes");
+  Graph g{n};
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, sim::Rng& rng) {
+  Graph g{n};
+  for (NodeId a = 0; a + 1 < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (rng.next_bernoulli(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                          sim::Rng& rng) {
+  if (n < 2 * k + 1) throw std::invalid_argument("watts-strogatz needs n > 2k");
+  Graph g{n};
+  // Ring lattice: each node connected to k neighbours on each side.
+  for (NodeId i = 0; i < n; ++i) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      const auto other = static_cast<NodeId>((i + j) % n);
+      // Rewire the forward edge with probability beta.
+      if (rng.next_bernoulli(beta)) {
+        // Retry until we find a valid non-duplicate target; bounded retries
+        // keep this total even on dense graphs.
+        bool placed = false;
+        for (int attempt = 0; attempt < 32 && !placed; ++attempt) {
+          const auto target = static_cast<NodeId>(rng.next_below(n));
+          placed = g.add_edge(i, target);
+        }
+        if (!placed) g.add_edge(i, other);
+      } else {
+        g.add_edge(i, other);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t m, sim::Rng& rng) {
+  if (m == 0 || n <= m) throw std::invalid_argument("barabasi-albert needs n > m >= 1");
+  Graph g{n};
+  // Seed clique over the first m+1 nodes.
+  for (NodeId a = 0; a <= m; ++a) {
+    for (NodeId b = a + 1; b <= m; ++b) g.add_edge(a, b);
+  }
+  // Endpoint list: each edge contributes both endpoints, so sampling a
+  // uniform entry is sampling proportionally to degree.
+  std::vector<NodeId> endpoints;
+  for (NodeId v = 0; v <= m; ++v) {
+    for (std::size_t d = 0; d < g.degree(v); ++d) endpoints.push_back(v);
+  }
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < m && attempts < 64 * m) {
+      ++attempts;
+      const NodeId target =
+          endpoints[rng.next_below(endpoints.size())];
+      if (g.add_edge(v, target)) {
+        ++added;
+        endpoints.push_back(v);
+        endpoints.push_back(target);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace lotus::net

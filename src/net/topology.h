@@ -1,0 +1,40 @@
+// Standard topology builders. The paper analyses grids (cheap cuts), random
+// graphs (resist cuts), and structured sensor-network-like topologies.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.h"
+#include "sim/rng.h"
+
+namespace lotus::net {
+
+/// Every pair of distinct nodes connected. This models systems such as BAR
+/// Gossip where any node can be paired with any other.
+[[nodiscard]] Graph make_complete(std::size_t n);
+
+/// Cycle over n nodes (n >= 3).
+[[nodiscard]] Graph make_ring(std::size_t n);
+
+/// rows x cols 4-neighbour grid.
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// rows x cols 4-neighbour torus (grid with wraparound).
+[[nodiscard]] Graph make_torus(std::size_t rows, std::size_t cols);
+
+/// Hub-and-spokes: node 0 connected to all others.
+[[nodiscard]] Graph make_star(std::size_t n);
+
+/// Erdős–Rényi G(n, p).
+[[nodiscard]] Graph make_erdos_renyi(std::size_t n, double p, sim::Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbours per
+/// side, each edge rewired with probability beta.
+[[nodiscard]] Graph make_watts_strogatz(std::size_t n, std::size_t k,
+                                        double beta, sim::Rng& rng);
+
+/// Barabási–Albert preferential attachment with m edges per arriving node.
+[[nodiscard]] Graph make_barabasi_albert(std::size_t n, std::size_t m,
+                                         sim::Rng& rng);
+
+}  // namespace lotus::net

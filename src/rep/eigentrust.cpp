@@ -1,0 +1,69 @@
+#include "rep/eigentrust.h"
+
+#include <stdexcept>
+
+namespace lotus::rep {
+
+TrustMatrix::TrustMatrix(std::size_t agents)
+    : n_(agents), values_(agents * agents, 0.0) {
+  if (agents == 0) throw std::invalid_argument("need >= 1 agent");
+}
+
+void TrustMatrix::add_trust(std::size_t i, std::size_t j, double amount) {
+  if (i >= n_ || j >= n_) throw std::out_of_range("agent index");
+  if (amount < 0.0) throw std::invalid_argument("trust must be non-negative");
+  if (i == j) return;  // self-ratings are ignored, as in EigenTrust
+  values_[i * n_ + j] += amount;
+}
+
+double TrustMatrix::local(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) throw std::out_of_range("agent index");
+  return values_[i * n_ + j];
+}
+
+void TrustMatrix::decay(double factor) noexcept {
+  for (auto& v : values_) v *= factor;
+}
+
+std::vector<double> eigentrust(const TrustMatrix& matrix, double damping,
+                               std::size_t iterations, double max_row_share) {
+  const std::size_t n = matrix.n_;
+  const double uniform = 1.0 / static_cast<double>(n);
+  if (max_row_share <= 0.0 || max_row_share > 1.0) {
+    throw std::invalid_argument("max_row_share must be in (0, 1]");
+  }
+
+  // Precompute row-normalised (and share-capped) transition weights.
+  std::vector<double> weights(n * n, 0.0);
+  std::vector<double> leftover(n, 1.0);  // mass redistributed uniformly
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row_sum += matrix.values_[i * n + j];
+    if (row_sum <= 0.0) continue;  // leftover stays 1: fully uniform
+    double assigned = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double share =
+          std::min(matrix.values_[i * n + j] / row_sum, max_row_share);
+      weights[i * n + j] = share;
+      assigned += share;
+    }
+    leftover[i] = assigned < 1.0 ? 1.0 - assigned : 0.0;
+  }
+
+  std::vector<double> t(n, uniform);
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), damping * uniform);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scale = (1.0 - damping) * t[i];
+      const double spread = scale * leftover[i] * uniform;
+      for (std::size_t j = 0; j < n; ++j) {
+        next[j] += scale * weights[i * n + j] + spread;
+      }
+    }
+    t.swap(next);
+  }
+  return t;
+}
+
+}  // namespace lotus::rep

@@ -1,0 +1,49 @@
+// EigenTrust-style global reputation (Kamvar et al., cited by the paper as
+// the canonical indirect-reciprocity reputation system).
+//
+// Local trust c_ij (non-negative) is row-normalised and the global trust
+// vector is the damped principal eigenvector, computed by power iteration:
+//   t <- (1 - d) * C^T t + d * p
+// with p the pre-trust (uniform here) and d the damping factor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lotus::rep {
+
+class TrustMatrix {
+ public:
+  explicit TrustMatrix(std::size_t agents);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Adds `amount` to i's local trust in j (a positive interaction).
+  void add_trust(std::size_t i, std::size_t j, double amount);
+  [[nodiscard]] double local(std::size_t i, std::size_t j) const;
+
+  /// Multiplies every entry by `factor` — the trust-decay defence.
+  void decay(double factor) noexcept;
+
+ private:
+  std::size_t n_;
+  std::vector<double> values_;  // row-major
+  friend std::vector<double> eigentrust(const TrustMatrix&, double,
+                                        std::size_t, double);
+};
+
+/// Damped power iteration; returns the global trust vector (sums to 1).
+/// Agents whose row is all zero distribute their trust uniformly.
+///
+/// `max_row_share` (in (0, 1]) caps the fraction of one rater's voice any
+/// single ratee may receive; the excess is redistributed uniformly. 1.0
+/// disables the cap. This is the anti-centralisation defence used against
+/// reputation-inflation lotus-eater attacks: because rows are normalised,
+/// capping *amounts* is a no-op — only capping *shares* limits how much of
+/// its influence a rater can concentrate on chosen favourites.
+[[nodiscard]] std::vector<double> eigentrust(const TrustMatrix& matrix,
+                                             double damping = 0.15,
+                                             std::size_t iterations = 20,
+                                             double max_row_share = 1.0);
+
+}  // namespace lotus::rep

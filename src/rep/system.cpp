@@ -1,0 +1,148 @@
+#include "rep/system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lotus::rep {
+
+ReputationSystem::ReputationSystem(SystemConfig config, RepAttack attack)
+    : config_(config), attack_(attack), rng_(config.seed) {
+  if (config_.agents < 2) throw std::invalid_argument("need >= 2 agents");
+  if (attack_.enabled && attack_.target_count > config_.agents) {
+    throw std::invalid_argument("more targets than agents");
+  }
+  if (config_.rare_providers > config_.agents) {
+    throw std::invalid_argument("more rare providers than agents");
+  }
+}
+
+SystemResult ReputationSystem::run() {
+  const std::uint32_t honest = config_.agents;
+  const std::uint32_t total =
+      honest + (attack_.enabled ? attack_.attacker_agents : 0);
+  TrustMatrix trust{total};
+  const double uniform = 1.0 / static_cast<double>(total);
+
+  SystemResult result;
+  sim::RunningStats satiated_stats;
+  sim::RunningStats target_rep_stats;
+  std::uint64_t untargeted_requests = 0;
+  std::uint64_t untargeted_served = 0;
+  std::uint64_t rare_requests = 0;
+  std::uint64_t rare_served = 0;
+
+  std::vector<bool> targeted(honest, false);
+  for (std::uint32_t v = 0; v < honest && v < attack_.target_count; ++v) {
+    targeted[v] = true;
+  }
+
+  std::vector<std::uint32_t> requesters;
+  std::vector<std::uint32_t> volunteers;
+
+  for (std::uint32_t round = 0; round < config_.rounds; ++round) {
+    // Attacker identities pump fake trust into the targets. The weight this
+    // carries under EigenTrust grows with the attackers' own reputation,
+    // which they earn below by genuinely serving — the lotus-eater pattern
+    // of attacking by being useful.
+    if (attack_.enabled) {
+      for (std::uint32_t a = honest; a < total; ++a) {
+        for (std::uint32_t t = 0; t < honest; ++t) {
+          if (targeted[t]) {
+            trust.add_trust(a, t, attack_.fake_trust_per_round);
+          }
+        }
+      }
+    }
+
+    const auto reputation =
+        eigentrust(trust, 0.15, config_.eigentrust_iterations,
+                   config_.rating_share_cap);
+    const double satiation_cut = config_.satiation_multiple * uniform;
+    const double access_cut = config_.access_floor_multiple * uniform;
+
+    const bool measured = round >= config_.warmup_rounds;
+    if (measured) {
+      std::size_t satiated = 0;
+      for (std::uint32_t v = 0; v < honest; ++v) {
+        if (reputation[v] >= satiation_cut) ++satiated;
+      }
+      satiated_stats.add(static_cast<double>(satiated) /
+                         static_cast<double>(honest));
+      if (attack_.target_count > 0) {
+        double target_sum = 0.0;
+        for (std::uint32_t v = 0; v < honest; ++v) {
+          if (targeted[v]) target_sum += reputation[v];
+        }
+        target_rep_stats.add(target_sum /
+                             static_cast<double>(attack_.target_count) /
+                             uniform);
+      }
+    }
+
+    // Requests. An agent below the access floor is refused outright; a rare
+    // request can only be served by an unsatiated rare provider; a generic
+    // request by any unsatiated honest agent or an attacker identity
+    // (attackers always volunteer: service is their route to influence).
+    requesters.clear();
+    for (std::uint32_t v = 0; v < honest; ++v) {
+      if (rng_.next_bernoulli(config_.request_probability)) {
+        requesters.push_back(v);
+      }
+    }
+    rng_.shuffle(std::span<std::uint32_t>{requesters});
+    for (const auto requester : requesters) {
+      const bool rare = config_.rare_providers > 0 &&
+                        rng_.next_bernoulli(config_.rare_request_fraction);
+      if (measured) {
+        ++result.requests;
+        if (rare) ++rare_requests;
+        if (!targeted[requester]) ++untargeted_requests;
+      }
+      if (reputation[requester] < access_cut) continue;  // refused
+      volunteers.clear();
+      if (rare) {
+        for (std::uint32_t v = 0; v < config_.rare_providers; ++v) {
+          if (v == requester) continue;
+          if (reputation[v] < satiation_cut) volunteers.push_back(v);
+        }
+      } else {
+        for (std::uint32_t v = 0; v < honest; ++v) {
+          if (v == requester) continue;
+          if (reputation[v] < satiation_cut) volunteers.push_back(v);
+        }
+        for (std::uint32_t a = honest; a < total; ++a) {
+          volunteers.push_back(a);
+        }
+      }
+      if (volunteers.empty()) continue;
+      const auto provider = volunteers[rng_.next_below(volunteers.size())];
+      trust.add_trust(requester, provider, config_.trust_per_service);
+      if (measured) {
+        ++result.served;
+        if (rare) ++rare_served;
+        if (!targeted[requester]) ++untargeted_served;
+        if (provider >= honest) ++result.attacker_served;
+      }
+    }
+
+    if (config_.trust_decay < 1.0) trust.decay(config_.trust_decay);
+  }
+
+  result.availability =
+      result.requests ? static_cast<double>(result.served) /
+                            static_cast<double>(result.requests)
+                      : 1.0;
+  result.rare_availability =
+      rare_requests ? static_cast<double>(rare_served) /
+                          static_cast<double>(rare_requests)
+                    : 1.0;
+  result.untargeted_availability =
+      untargeted_requests ? static_cast<double>(untargeted_served) /
+                                static_cast<double>(untargeted_requests)
+                          : 1.0;
+  result.satiated_fraction = satiated_stats.mean();
+  result.target_reputation_multiple = target_rep_stats.mean();
+  return result;
+}
+
+}  // namespace lotus::rep

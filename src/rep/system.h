@@ -1,0 +1,103 @@
+// A reputation-gated service system and its lotus-eater attack (paper §1):
+// "If an attacker can ensure that a peer maintains a good reputation ...
+// despite any requests the peer makes, then that peer will no longer provide
+// service for others."
+//
+// Agents provide service to *earn* reputation and need reputation to *spend*
+// (their requests are honoured only while their global trust is above an
+// access floor). Rational agents therefore follow a threshold strategy, the
+// reputation analogue of scrip: serve while reputation is below a satiation
+// threshold, coast once above it.
+//
+// The attacker runs extra identities that (a) genuinely serve requests —
+// the lotus-eater signature move of being useful — to earn rating weight
+// under EigenTrust's normalisation, and (b) spend that weight on fake
+// ratings for the targets, who then coast forever. Following §1, the
+// headline damage metric targets the agents who exclusively provide a
+// *rare* service class; trust decay is the defence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rep/eigentrust.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace lotus::rep {
+
+struct SystemConfig {
+  std::uint32_t agents = 100;
+  /// P(an agent requests service in a round).
+  double request_probability = 0.2;
+  /// Satiation threshold as a multiple of the uniform reputation 1/n: an
+  /// agent with global trust >= multiple/n stops providing service.
+  double satiation_multiple = 2.0;
+  /// Access floor as a multiple of 1/n: requests from agents below this are
+  /// refused (what makes reputation worth earning).
+  double access_floor_multiple = 0.25;
+  /// Per-round multiplicative trust decay (1.0 = no decay). Because
+  /// EigenTrust row-normalises, a uniform decay alone does not blunt a
+  /// persistent attacker; the working defence is rating_share_cap below.
+  double trust_decay = 1.0;
+  /// Caps the fraction of one rater's influence any single ratee can
+  /// receive (1.0 = uncapped); see eigentrust(). The §5-flavoured
+  /// anti-centralisation defence: a rater cannot pour its whole voice into
+  /// a few chosen favourites.
+  double rating_share_cap = 1.0;
+  /// Trust credited to the provider per served request.
+  double trust_per_service = 1.0;
+  /// The first rare_providers agents are the only ones able to serve
+  /// rare-class requests (0 disables the scenario).
+  std::uint32_t rare_providers = 0;
+  /// P(a request is rare-class | a request happens).
+  double rare_request_fraction = 0.0;
+  std::uint32_t rounds = 300;
+  std::uint32_t warmup_rounds = 50;
+  std::uint32_t eigentrust_iterations = 15;
+  std::uint64_t seed = 1;
+};
+
+struct RepAttack {
+  bool enabled = false;
+  /// Attacker identities appended to the system. They serve real requests
+  /// to earn rating weight, then pour it into the targets.
+  std::uint32_t attacker_agents = 0;
+  /// Honest agents whose reputation the attacker inflates (the first
+  /// target_count agents — the rare providers when that scenario is on).
+  std::uint32_t target_count = 0;
+  /// Fake trust each attacker identity adds to each target per round.
+  double fake_trust_per_round = 5.0;
+};
+
+struct SystemResult {
+  /// Fraction of (post-warmup) requests served.
+  double availability = 1.0;
+  /// Availability of rare-class requests (the §1 damage metric).
+  double rare_availability = 1.0;
+  /// Availability restricted to agents the attacker did not target.
+  double untargeted_availability = 1.0;
+  /// Mean fraction of honest agents satiated (coasting) per round.
+  double satiated_fraction = 0.0;
+  /// Mean global trust of targets over the measured window, as a multiple
+  /// of 1/n.
+  double target_reputation_multiple = 0.0;
+  /// Requests served by attacker identities (the "attack" is real service).
+  std::uint64_t attacker_served = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t served = 0;
+};
+
+class ReputationSystem {
+ public:
+  ReputationSystem(SystemConfig config, RepAttack attack);
+
+  [[nodiscard]] SystemResult run();
+
+ private:
+  SystemConfig config_;
+  RepAttack attack_;
+  sim::Rng rng_;
+};
+
+}  // namespace lotus::rep

@@ -1,0 +1,243 @@
+#include "scrip/economy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lotus::scrip {
+
+Economy::Economy(EconomyConfig config, ScripAttack attack)
+    : config_(config), attack_(attack), rng_(config.seed) {
+  if (config_.agents < 2) throw std::invalid_argument("need >= 2 agents");
+  if (config_.threshold == 0) throw std::invalid_argument("threshold >= 1");
+  if (config_.rare_providers > config_.agents) {
+    throw std::invalid_argument("more rare providers than agents");
+  }
+  agents_.resize(config_.agents);
+  for (auto& agent : agents_) agent.money = config_.initial_money;
+  for (std::uint32_t v = 0; v < config_.rare_providers; ++v) {
+    agents_[v].rare_provider = true;
+  }
+  // Altruists are drawn from the non-rare-provider population so the two
+  // scenarios compose cleanly.
+  for (std::uint32_t v = config_.rare_providers; v < config_.agents; ++v) {
+    agents_[v].altruist = rng_.next_bernoulli(config_.altruist_fraction);
+  }
+  attacker_wallet_ = attack_.budget;
+}
+
+bool Economy::volunteers(const Agent& agent) const noexcept {
+  if (agent.altruist) return true;
+  return agent.working && agent.money < config_.threshold;
+}
+
+void Economy::apply_attack(std::uint32_t round) {
+  if (attack_.kind == ScripAttack::Kind::kNone || attack_.target_count == 0) {
+    return;
+  }
+  (void)round;
+  // Pick targets once: rare providers first if requested, then lowest ids.
+  // Each round, top every target up to the satiation threshold while the
+  // wallet lasts. Cheap service tops up more slowly (one scrip per round per
+  // target, the price of one generous overpayment).
+  std::uint32_t targeted = 0;
+  for (std::uint32_t v = 0; v < config_.agents && targeted < attack_.target_count;
+       ++v) {
+    const std::uint32_t idx =
+        attack_.target_rare_providers ? v : config_.agents - 1 - v;
+    Agent& agent = agents_[idx];
+    if (agent.altruist) continue;
+    ++targeted;
+    const std::uint64_t goal = config_.threshold + attack_.overshoot;
+    if (agent.money >= goal) continue;
+    std::uint64_t need = goal - agent.money;
+    if (attack_.kind == ScripAttack::Kind::kCheapService) {
+      need = std::min<std::uint64_t>(need, 1);
+    }
+    const std::uint64_t pay = std::min<std::uint64_t>(need, attacker_wallet_);
+    if (pay == 0) continue;
+    agent.money += pay;
+    attacker_wallet_ -= pay;
+    attacker_spent_ += pay;
+    agent.ever_targeted = true;
+  }
+}
+
+EconomyResult Economy::run() {
+  EconomyResult result;
+  result.availability_per_round.name = "availability";
+
+  const std::uint64_t initial_supply =
+      static_cast<std::uint64_t>(config_.agents) * config_.initial_money +
+      attack_.budget;
+
+  std::uint64_t requests_total = 0;
+  std::uint64_t served_total = 0;
+  std::uint64_t rare_requests = 0;
+  std::uint64_t rare_served = 0;
+  std::uint64_t untargeted_requests = 0;
+  std::uint64_t untargeted_served = 0;
+  sim::RunningStats satiated_stats;
+  sim::RunningStats quit_stats;
+
+  std::vector<AgentId> requesters;
+  std::vector<AgentId> candidates;
+
+  for (std::uint32_t round = 0; round < config_.rounds; ++round) {
+    apply_attack(round);
+    for (auto& agent : agents_) agent.served_this_round = 0;
+
+    // Collect this round's requests.
+    requesters.clear();
+    for (AgentId v = 0; v < config_.agents; ++v) {
+      if (rng_.next_bernoulli(config_.request_probability)) {
+        requesters.push_back(v);
+      }
+    }
+    rng_.shuffle(std::span<AgentId>{requesters});
+
+    const bool measured = round >= config_.warmup_rounds;
+    std::uint64_t round_requests = 0;
+    std::uint64_t round_served = 0;
+
+    for (const AgentId requester : requesters) {
+      const bool rare =
+          config_.rare_providers > 0 &&
+          rng_.next_bernoulli(config_.rare_request_fraction);
+      Agent& req = agents_[requester];
+      ++round_requests;
+      if (measured) {
+        ++requests_total;
+        if (rare) ++rare_requests;
+        if (!req.ever_targeted) ++untargeted_requests;
+      }
+      ++req.recent_requests;
+
+      // Eligible providers. Rare requests only the rare providers can serve;
+      // altruists serve generic requests for free.
+      candidates.clear();
+      bool free_available = false;
+      for (AgentId v = 0; v < config_.agents; ++v) {
+        if (v == requester) continue;
+        Agent& provider = agents_[v];
+        if (provider.served_this_round >= config_.provider_capacity) continue;
+        if (rare) {
+          if (!provider.rare_provider) continue;
+          if (!volunteers(provider)) continue;
+          candidates.push_back(v);
+        } else {
+          if (provider.rare_provider) continue;  // specialists sit out
+          if (!volunteers(provider)) continue;
+          candidates.push_back(v);
+          if (provider.altruist) free_available = true;
+        }
+      }
+
+      // Requesters prefer free (altruist) service; paid service needs at
+      // least one scrip.
+      AgentId chosen = config_.agents;
+      bool free_service = false;
+      if (free_available) {
+        // Uniform over altruist candidates.
+        std::vector<AgentId> altruists;
+        for (const AgentId v : candidates) {
+          if (agents_[v].altruist) altruists.push_back(v);
+        }
+        chosen = altruists[rng_.next_below(altruists.size())];
+        free_service = true;
+      } else if (!candidates.empty() && req.money >= 1) {
+        chosen = candidates[rng_.next_below(candidates.size())];
+      }
+
+      if (chosen == config_.agents) continue;  // request unserved
+      Agent& provider = agents_[chosen];
+      ++provider.served_this_round;
+      ++round_served;
+      if (free_service) {
+        ++req.recent_free;
+        ++result.free_served;
+      } else {
+        req.money -= 1;
+        provider.money += 1;
+        ++result.paid_served;
+      }
+      if (measured) {
+        ++served_total;
+        if (rare) ++rare_served;
+        if (!req.ever_targeted) ++untargeted_served;
+      }
+    }
+
+    // Stylised best response to abundant free service (EC'07 crash).
+    for (auto& agent : agents_) {
+      if (agent.altruist) continue;
+      if (agent.recent_requests >= 10) {
+        const double free_rate = static_cast<double>(agent.recent_free) /
+                                 static_cast<double>(agent.recent_requests);
+        if (free_rate > config_.free_ride_sensitivity) {
+          agent.working = false;
+        } else if (free_rate < 0.5 * config_.free_ride_sensitivity) {
+          agent.working = true;
+        }
+        agent.recent_requests = 0;
+        agent.recent_free = 0;
+      }
+    }
+
+    if (measured) {
+      std::size_t satiated = 0;
+      std::size_t quit = 0;
+      std::size_t rational = 0;
+      for (const auto& agent : agents_) {
+        if (agent.altruist) continue;
+        ++rational;
+        if (agent.money >= config_.threshold) ++satiated;
+        if (!agent.working) ++quit;
+      }
+      satiated_stats.add(rational ? static_cast<double>(satiated) /
+                                        static_cast<double>(rational)
+                                  : 0.0);
+      quit_stats.add(rational ? static_cast<double>(quit) /
+                                    static_cast<double>(rational)
+                              : 0.0);
+      result.availability_per_round.add(
+          static_cast<double>(round),
+          round_requests ? static_cast<double>(round_served) /
+                               static_cast<double>(round_requests)
+                         : 1.0);
+    }
+  }
+
+  result.requests = requests_total;
+  result.availability = requests_total
+                            ? static_cast<double>(served_total) /
+                                  static_cast<double>(requests_total)
+                            : 1.0;
+  result.rare_availability =
+      rare_requests ? static_cast<double>(rare_served) /
+                          static_cast<double>(rare_requests)
+                    : 1.0;
+  result.untargeted_availability =
+      untargeted_requests ? static_cast<double>(untargeted_served) /
+                                static_cast<double>(untargeted_requests)
+                          : 1.0;
+  result.satiated_fraction = satiated_stats.mean();
+  result.quit_fraction = quit_stats.mean();
+  result.attacker_spent = attacker_spent_;
+
+  std::uint64_t supply = attacker_wallet_;
+  for (const auto& agent : agents_) supply += agent.money;
+  result.final_supply = supply;
+  if (supply != initial_supply) {
+    throw std::logic_error("scrip supply not conserved");
+  }
+  return result;
+}
+
+std::uint64_t satiable_bound(std::uint64_t budget, std::uint32_t threshold,
+                             double mean_balance) noexcept {
+  const double gap = static_cast<double>(threshold) - mean_balance;
+  if (gap <= 0.0) return std::uint64_t{0} - 1;  // everyone already satiated
+  return static_cast<std::uint64_t>(static_cast<double>(budget) / gap);
+}
+
+}  // namespace lotus::scrip

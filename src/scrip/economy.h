@@ -1,0 +1,146 @@
+// A scrip-system economy with threshold strategies (Kash, Friedman, Halpern,
+// EC'07), the substrate for the paper's indirect-reciprocity discussion.
+//
+// Agents hold integer scrip. Each round some agents have a service request
+// worth utility; a requester pays one scrip to a volunteer. Rational agents
+// follow a threshold strategy: volunteer only while their balance is below
+// their threshold — which makes them *satiable*: push an agent's balance to
+// its threshold and it stops serving (the lotus-eater attack in this
+// setting, §1). Altruists serve for free, which §4 notes can crash an
+// otherwise healthy economy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace lotus::scrip {
+
+using AgentId = std::uint32_t;
+
+struct EconomyConfig {
+  std::uint32_t agents = 200;
+  /// Initial balance per agent; the money supply is agents * initial_money
+  /// and is conserved by every transaction.
+  std::uint32_t initial_money = 5;
+  /// Threshold strategy: volunteer while balance < threshold.
+  std::uint32_t threshold = 10;
+  /// P(an agent has a service request in a round).
+  double request_probability = 0.15;
+  /// Fraction of agents that are altruists: they serve for free regardless
+  /// of balance (and requesters prefer free service).
+  double altruist_fraction = 0.0;
+  /// Stylised best-response to free service: once the fraction of an
+  /// agent's recent requests served free exceeds this, the agent stops
+  /// earning (sets its working threshold to zero); it resumes if the free
+  /// rate falls below half of it. Models the EC'07 observation that
+  /// unmanaged altruists make rational agents quit, crashing the economy.
+  double free_ride_sensitivity = 0.5;
+  /// Service capacity: each provider serves at most this many requests per
+  /// round.
+  std::uint32_t provider_capacity = 1;
+
+  /// Rare-resource scenario (§3): requests are of class 0 ("rare") with
+  /// probability rare_request_fraction and can be served only by the first
+  /// rare_providers agents; all other requests are generic. Rare providers
+  /// are specialists: they do not volunteer for generic requests, so their
+  /// earnings stay in balance with their spending and they do not satiate
+  /// naturally (the §4 remark about key nodes happening to satiate).
+  std::uint32_t rare_providers = 0;
+  double rare_request_fraction = 0.0;
+
+  std::uint32_t rounds = 400;
+  std::uint32_t warmup_rounds = 50;
+  std::uint64_t seed = 1;
+};
+
+/// The lotus-eater attack in scrip terms: raise targets' balances to their
+/// satiation threshold so they stop volunteering.
+struct ScripAttack {
+  enum class Kind : std::uint8_t {
+    kNone,
+    /// Give scrip directly until targets reach their threshold.
+    kMoneyGift,
+    /// Serve targets' requests for free *and* pay them generously for
+    /// theirs: the slower, stealthier route to the same balance.
+    kCheapService,
+  };
+  Kind kind = Kind::kNone;
+  /// Scrip the attacker starts with. The §4 defence: this is bounded by the
+  /// fixed money supply, so satiating many agents is impossible.
+  std::uint64_t budget = 0;
+  /// If true, targets the rare providers first; otherwise random agents.
+  bool target_rare_providers = true;
+  /// Number of agents the attacker tries to satiate.
+  std::uint32_t target_count = 0;
+  /// Scrip above the threshold the attacker maintains per target, so one
+  /// purchase doesn't dip a target back below its threshold ("a large
+  /// amount of money", §1).
+  std::uint32_t overshoot = 5;
+};
+
+struct EconomyResult {
+  /// Fraction of (post-warmup) requests that found a provider.
+  double availability = 1.0;
+  /// Availability restricted to rare-class requests.
+  double rare_availability = 1.0;
+  /// Availability restricted to requests by agents the attacker never paid.
+  double untargeted_availability = 1.0;
+  /// Mean fraction of agents at-or-above threshold (satiated) per round.
+  double satiated_fraction = 0.0;
+  /// Mean fraction of rational agents that quit earning (altruist crash).
+  double quit_fraction = 0.0;
+  /// Scrip actually spent by the attacker.
+  std::uint64_t attacker_spent = 0;
+  /// Requests served free by altruists or the attacker.
+  std::uint64_t free_served = 0;
+  std::uint64_t paid_served = 0;
+  std::uint64_t requests = 0;
+  /// Money supply at the end (must equal the start: conservation).
+  std::uint64_t final_supply = 0;
+
+  sim::Series availability_per_round;  // x = round, y = availability
+};
+
+class Economy {
+ public:
+  Economy(EconomyConfig config, ScripAttack attack);
+
+  [[nodiscard]] EconomyResult run();
+
+  [[nodiscard]] const EconomyConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Agent {
+    std::uint64_t money = 0;
+    bool altruist = false;
+    bool working = true;     // false once the agent quits earning
+    bool rare_provider = false;
+    bool ever_targeted = false;
+    std::uint32_t served_this_round = 0;
+    // Sliding tallies for the free-ride best response.
+    std::uint32_t recent_requests = 0;
+    std::uint32_t recent_free = 0;
+  };
+
+  void apply_attack(std::uint32_t round);
+  [[nodiscard]] bool volunteers(const Agent& agent) const noexcept;
+
+  EconomyConfig config_;
+  ScripAttack attack_;
+  sim::Rng rng_;
+  std::vector<Agent> agents_;
+  std::uint64_t attacker_wallet_ = 0;
+  std::uint64_t attacker_spent_ = 0;
+};
+
+/// §4 back-of-envelope: how many agents an attacker with `budget` scrip can
+/// hold at threshold, given the mean balance. The bench checks the simulated
+/// count against this bound.
+[[nodiscard]] std::uint64_t satiable_bound(std::uint64_t budget,
+                                           std::uint32_t threshold,
+                                           double mean_balance) noexcept;
+
+}  // namespace lotus::scrip

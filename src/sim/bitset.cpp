@@ -1,0 +1,3 @@
+// Translation unit ensuring bitset.h compiles standalone; the type itself is
+// header-only for inlining in simulator hot loops.
+#include "sim/bitset.h"

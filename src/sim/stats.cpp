@@ -1,0 +1,108 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lotus::sim {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Series::first_crossing_below(double threshold) const {
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (ys[i] < threshold) {
+      if (i == 0) return xs[0];
+      const double x0 = xs[i - 1];
+      const double x1 = xs[i];
+      const double y0 = ys[i - 1];
+      const double y1 = ys[i];
+      if (y0 == y1) return x1;
+      return x0 + (x1 - x0) * (y0 - threshold) / (y0 - y1);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(lo < hi)) {
+    throw std::invalid_argument("Histogram requires bins > 0 and lo < hi");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::quantile(double p) const noexcept {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::size_t>(
+      p * static_cast<double>(total_));
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > target) return bin_low(i);
+  }
+  return hi_;
+}
+
+}  // namespace lotus::sim

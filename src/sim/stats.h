@@ -1,0 +1,78 @@
+// Streaming and batch statistics used by every experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lotus::sim {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sum of all samples added so far.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation percentile of a sample set (p in [0, 1]).
+/// Copies and sorts; intended for end-of-run reporting, not hot loops.
+[[nodiscard]] double percentile(std::span<const double> samples, double p);
+
+/// A named series of (x, y) points, the unit of output for figure benches.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+
+  void add(double x, double y) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+
+  /// First x at which the series drops strictly below `threshold`, linearly
+  /// interpolated between bracketing points; returns NaN if it never does.
+  /// Assumes xs are ascending.
+  [[nodiscard]] double first_crossing_below(double threshold) const;
+};
+
+/// Histogram with fixed-width bins over [lo, hi); out-of-range samples clamp
+/// to the edge bins so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t i) const noexcept;
+  /// Smallest x with cumulative mass >= p (p in [0,1]); bin lower edge.
+  [[nodiscard]] double quantile(double p) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace lotus::sim

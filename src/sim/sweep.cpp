@@ -1,0 +1,72 @@
+#include "sim/sweep.h"
+
+#include <stdexcept>
+
+namespace lotus::sim {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+Series sweep_mean(
+    std::string name, const std::vector<double>& xs, std::size_t seeds,
+    std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial) {
+  return sweep_stats(std::move(name), xs, seeds, base_seed, trial).mean;
+}
+
+SweepResult sweep_stats(
+    std::string name, const std::vector<double>& xs, std::size_t seeds,
+    std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial) {
+  if (seeds == 0) throw std::invalid_argument("sweep needs >= 1 seed");
+  SweepResult result;
+  result.mean.name = name;
+  result.stddev.name = name + " (sd)";
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    RunningStats stats;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      // Seed depends only on (replica index), not on x, so adjacent sweep
+      // points see common random numbers and curves are smooth.
+      stats.add(trial(xs[xi], derive_seed(base_seed, s)));
+    }
+    result.mean.add(xs[xi], stats.mean());
+    result.stddev.add(xs[xi], stats.stddev());
+  }
+  return result;
+}
+
+double critical_point(
+    double lo, double hi, double tolerance, double threshold,
+    std::size_t seeds, std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial) {
+  const auto probe = [&](double x) {
+    RunningStats stats;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      stats.add(trial(x, derive_seed(base_seed, s)));
+    }
+    return stats.mean();
+  };
+  if (probe(lo) < threshold) return lo;
+  if (probe(hi) >= threshold) return hi;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid) < threshold) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace lotus::sim

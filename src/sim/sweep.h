@@ -1,0 +1,45 @@
+// Multi-seed parameter sweep helpers shared by figure benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace lotus::sim {
+
+/// Evenly spaced values from lo to hi inclusive (n >= 2), or {lo} when n == 1.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Runs `trial(x, seed)` for every x and `seeds` independent seeds derived
+/// from `base_seed`, and returns the per-x mean as a Series.
+///
+/// This is the common shape of every figure in the paper: x is the attacker
+/// fraction, y is a delivery metric averaged over seeds.
+[[nodiscard]] Series sweep_mean(
+    std::string name, const std::vector<double>& xs, std::size_t seeds,
+    std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial);
+
+/// As sweep_mean but also reports the per-x standard deviation.
+struct SweepResult {
+  Series mean;
+  Series stddev;
+};
+
+[[nodiscard]] SweepResult sweep_stats(
+    std::string name, const std::vector<double>& xs, std::size_t seeds,
+    std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial);
+
+/// Bisection search for the smallest x in [lo, hi] at which `metric(x)` drops
+/// below `threshold`. Assumes metric is (noisily) non-increasing in x; each
+/// probe averages `seeds` runs. Returns hi if the threshold is never crossed.
+[[nodiscard]] double critical_point(
+    double lo, double hi, double tolerance, double threshold,
+    std::size_t seeds, std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial);
+
+}  // namespace lotus::sim

@@ -1,0 +1,116 @@
+#include "sim/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lotus::sim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs >= 1 column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("row has more cells than headers");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(std::span<const double> cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const double c : cells) row.push_back(format_double(c, precision));
+  add_row(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      const auto& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ',';
+      os << (c < row.size() ? row[c] : std::string{});
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_double(double v, int precision) {
+  if (std::isnan(v)) return "n/a";
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+Table series_table(const std::string& x_name, std::span<const Series> series,
+                   int precision) {
+  std::vector<std::string> headers{x_name};
+  for (const auto& s : series) headers.push_back(s.name);
+  Table t{std::move(headers)};
+  if (series.empty()) return t;
+  const auto& xs = series.front().xs;
+  for (const auto& s : series) {
+    if (s.xs != xs) throw std::invalid_argument("series x axes differ");
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{format_double(xs[i], precision)};
+    for (const auto& s : series) row.push_back(format_double(s.ys[i], precision));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void ascii_chart(std::ostream& os, const Series& s, double y_lo, double y_hi,
+                 int width, int height) {
+  if (s.xs.empty() || height < 2 || width < 2) return;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const double x_lo = s.xs.front();
+  const double x_hi = s.xs.back();
+  const double x_span = x_hi > x_lo ? x_hi - x_lo : 1.0;
+  const double y_span = y_hi > y_lo ? y_hi - y_lo : 1.0;
+  for (std::size_t i = 0; i < s.xs.size(); ++i) {
+    const double xf = (s.xs[i] - x_lo) / x_span;
+    const double yf = std::clamp((s.ys[i] - y_lo) / y_span, 0.0, 1.0);
+    const auto col = static_cast<std::size_t>(xf * (width - 1));
+    const auto row = static_cast<std::size_t>((1.0 - yf) * (height - 1));
+    grid[row][col] = '*';
+  }
+  os << s.name << " (y: " << format_double(y_lo, 2) << ".."
+     << format_double(y_hi, 2) << ")\n";
+  for (const auto& line : grid) os << '|' << line << "|\n";
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+}
+
+}  // namespace lotus::sim

@@ -1,0 +1,51 @@
+// Console / CSV table output shared by benches and examples.
+//
+// Every figure bench prints (a) the paper-style series as an aligned table
+// and (b) optionally a CSV block that can be piped into a plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace lotus::sim {
+
+/// Simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(std::span<const double> cells, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+/// Renders one or more series that share an x axis as a single table whose
+/// first column is x. Series must have identical xs (checked).
+[[nodiscard]] Table series_table(const std::string& x_name,
+                                 std::span<const Series> series,
+                                 int precision = 4);
+
+/// Crude ASCII line chart for quick visual inspection in a terminal;
+/// y is clamped to [y_lo, y_hi]. Intended for examples, not benches.
+void ascii_chart(std::ostream& os, const Series& s, double y_lo, double y_hi,
+                 int width = 64, int height = 16);
+
+}  // namespace lotus::sim

@@ -1,0 +1,79 @@
+#include "token/allocation.h"
+
+#include <stdexcept>
+
+namespace lotus::token {
+
+namespace {
+Allocation empty_allocation(std::size_t nodes, std::size_t tokens) {
+  return Allocation(nodes, sim::DynamicBitset{tokens});
+}
+}  // namespace
+
+Allocation allocate_uniform_replicas(std::size_t nodes, std::size_t tokens,
+                                     std::size_t replicas, sim::Rng& rng) {
+  if (replicas == 0 || replicas > nodes) {
+    throw std::invalid_argument("replicas must be in [1, nodes]");
+  }
+  auto alloc = empty_allocation(nodes, tokens);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    for (const auto holder : rng.sample_without_replacement(
+             static_cast<std::uint32_t>(nodes),
+             static_cast<std::uint32_t>(replicas))) {
+      alloc[holder].set(t);
+    }
+  }
+  return alloc;
+}
+
+Allocation allocate_one_holder_each(std::size_t nodes, std::size_t tokens) {
+  if (nodes == 0) throw std::invalid_argument("need >= 1 node");
+  auto alloc = empty_allocation(nodes, tokens);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    alloc[t % nodes].set(t);
+  }
+  return alloc;
+}
+
+Allocation allocate_with_rare_token(std::size_t nodes, std::size_t tokens,
+                                    std::size_t replicas,
+                                    std::size_t rare_token, NodeId rare_holder,
+                                    sim::Rng& rng) {
+  if (rare_token >= tokens) throw std::invalid_argument("rare_token out of range");
+  if (rare_holder >= nodes) throw std::invalid_argument("rare_holder out of range");
+  auto alloc = allocate_uniform_replicas(nodes, tokens, replicas, rng);
+  for (auto& held : alloc) held.reset(rare_token);
+  alloc[rare_holder].set(rare_token);
+  return alloc;
+}
+
+Allocation allocate_clustered(std::size_t nodes, std::size_t tokens,
+                              std::size_t replicas, std::size_t spread,
+                              sim::Rng& rng) {
+  if (replicas == 0 || nodes == 0) {
+    throw std::invalid_argument("need replicas >= 1 and nodes >= 1");
+  }
+  if (spread == 0) spread = 1;
+  auto alloc = empty_allocation(nodes, tokens);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const std::size_t center = tokens == 0 ? 0 : t * nodes / std::max<std::size_t>(tokens, 1);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const std::size_t offset = rng.next_below(spread);
+      alloc[(center + offset) % nodes].set(t);
+    }
+  }
+  return alloc;
+}
+
+std::vector<std::size_t> token_multiplicities(const Allocation& allocation,
+                                              std::size_t tokens) {
+  std::vector<std::size_t> mult(tokens, 0);
+  for (const auto& held : allocation) {
+    for (std::size_t t = 0; t < tokens; ++t) {
+      if (held.test(t)) ++mult[t];
+    }
+  }
+  return mult;
+}
+
+}  // namespace lotus::token

@@ -1,0 +1,53 @@
+// Initial allocations f : V -> 2^T for the token model.
+//
+// The paper's f maps each node to a token; we generalise slightly to token
+// sets so allocations like "r replicas of every token" are expressible. The
+// §3 analysis turns on whether tokens are rare and whether holders are
+// spread out, so builders cover those regimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "sim/bitset.h"
+#include "sim/rng.h"
+
+namespace lotus::token {
+
+using NodeId = std::uint32_t;
+using Allocation = std::vector<sim::DynamicBitset>;  // per node, |T| bits
+
+/// Each token assigned to exactly `replicas` distinct uniformly random nodes.
+[[nodiscard]] Allocation allocate_uniform_replicas(std::size_t nodes,
+                                                   std::size_t tokens,
+                                                   std::size_t replicas,
+                                                   sim::Rng& rng);
+
+/// Token j held only by node (j mod nodes): every token initially rare.
+[[nodiscard]] Allocation allocate_one_holder_each(std::size_t nodes,
+                                                  std::size_t tokens);
+
+/// All tokens replicated `replicas` times except token `rare_token`, which is
+/// held only by `rare_holder`. The §3 rare-token attack target.
+[[nodiscard]] Allocation allocate_with_rare_token(std::size_t nodes,
+                                                  std::size_t tokens,
+                                                  std::size_t replicas,
+                                                  std::size_t rare_token,
+                                                  NodeId rare_holder,
+                                                  sim::Rng& rng);
+
+/// Tokens clustered by locality: token j's replicas are placed on nodes with
+/// ids near (j * nodes / tokens). On a grid this concentrates each token in
+/// one region, which makes cut attacks pay off.
+[[nodiscard]] Allocation allocate_clustered(std::size_t nodes,
+                                            std::size_t tokens,
+                                            std::size_t replicas,
+                                            std::size_t spread,
+                                            sim::Rng& rng);
+
+/// Number of nodes initially holding each token.
+[[nodiscard]] std::vector<std::size_t> token_multiplicities(
+    const Allocation& allocation, std::size_t tokens);
+
+}  // namespace lotus::token

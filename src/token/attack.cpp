@@ -1,0 +1,62 @@
+#include "token/attack.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lotus::token {
+
+void FractionAttacker::prepare(const AttackerView& view, sim::Rng& rng) {
+  if (view.graph == nullptr) throw std::invalid_argument("view needs a graph");
+  const auto n = static_cast<std::uint32_t>(view.graph->node_count());
+  const auto k = static_cast<std::uint32_t>(
+      std::clamp(fraction_, 0.0, 1.0) * static_cast<double>(n) + 0.5);
+  chosen_.clear();
+  for (const auto v : rng.sample_without_replacement(n, k)) {
+    chosen_.push_back(v);
+  }
+}
+
+void RareTokenAttacker::prepare(const AttackerView& view, sim::Rng&) {
+  if (view.initial_allocation == nullptr) {
+    throw std::invalid_argument("rare-token attacker needs the allocation");
+  }
+  const auto mult = token_multiplicities(*view.initial_allocation, view.tokens);
+  token_ = 0;
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (std::size_t t = 0; t < mult.size(); ++t) {
+    if (mult[t] > 0 && mult[t] < best) {
+      best = mult[t];
+      token_ = t;
+    }
+  }
+  holders_.clear();
+  const auto& alloc = *view.initial_allocation;
+  for (NodeId v = 0; v < alloc.size(); ++v) {
+    if (alloc[v].test(token_)) holders_.push_back(v);
+  }
+}
+
+void RotatingAttacker::prepare(const AttackerView& view, sim::Rng& rng) {
+  if (view.graph == nullptr) throw std::invalid_argument("view needs a graph");
+  const auto n = static_cast<std::uint32_t>(view.graph->node_count());
+  order_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
+  rng.shuffle(std::span<NodeId>{order_});
+}
+
+std::vector<NodeId> RotatingAttacker::targets(Round round, sim::Rng&) {
+  const std::size_t n = order_.size();
+  const auto k = static_cast<std::size_t>(
+      std::clamp(fraction_, 0.0, 1.0) * static_cast<double>(n) + 0.5);
+  if (k == 0 || n == 0) return {};
+  const std::size_t window = (round / period_) * k % n;
+  std::vector<NodeId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(order_[(window + i) % n]);
+  }
+  return out;
+}
+
+}  // namespace lotus::token

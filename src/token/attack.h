@@ -1,0 +1,141 @@
+// Attacker strategies for the token model.
+//
+// The paper's model attacker "chooses a subset of the nodes at the start of
+// every round and gives each node in the set all the tokens". Strategies
+// differ only in how the subset is chosen; the §3 discussion maps each choice
+// to a parameter the attacker exploits (G for cuts, f for rare tokens, c for
+// mass satiation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/graph.h"
+#include "sim/bitset.h"
+#include "sim/rng.h"
+#include "token/allocation.h"
+#include "token/satiation.h"
+
+namespace lotus::token {
+
+/// A view of the system the attacker may inspect when choosing targets.
+struct AttackerView {
+  const net::Graph* graph = nullptr;
+  const Allocation* initial_allocation = nullptr;
+  std::size_t tokens = 0;
+};
+
+/// Chooses which nodes to satiate each round.
+class Attacker {
+ public:
+  virtual ~Attacker() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Called once before round 0.
+  virtual void prepare(const AttackerView& view, sim::Rng& rng) = 0;
+  /// Nodes to satiate this round (attacker hands them every token).
+  [[nodiscard]] virtual std::vector<NodeId> targets(Round round,
+                                                    sim::Rng& rng) = 0;
+};
+
+/// No attack; baseline.
+class NullAttacker final : public Attacker {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+  void prepare(const AttackerView&, sim::Rng&) override {}
+  [[nodiscard]] std::vector<NodeId> targets(Round, sim::Rng&) override {
+    return {};
+  }
+};
+
+/// Satiates a fixed uniformly random fraction of nodes, chosen once. The
+/// "mass satiation" attack that degrades the effective contact bound c.
+class FractionAttacker final : public Attacker {
+ public:
+  explicit FractionAttacker(double fraction) : fraction_(fraction) {}
+  [[nodiscard]] std::string name() const override { return "fraction"; }
+  void prepare(const AttackerView& view, sim::Rng& rng) override;
+  [[nodiscard]] std::vector<NodeId> targets(Round, sim::Rng&) override {
+    return chosen_;
+  }
+
+ private:
+  double fraction_;
+  std::vector<NodeId> chosen_;
+};
+
+/// Satiates an explicit node set every round (e.g. a grid column cut).
+class SetAttacker final : public Attacker {
+ public:
+  SetAttacker(std::string name, std::vector<NodeId> nodes)
+      : name_(std::move(name)), nodes_(std::move(nodes)) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  void prepare(const AttackerView&, sim::Rng&) override {}
+  [[nodiscard]] std::vector<NodeId> targets(Round, sim::Rng&) override {
+    return nodes_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<NodeId> nodes_;
+};
+
+/// Inspects the initial allocation, finds the token with fewest holders, and
+/// satiates exactly its holders. The §3 rare-token attack.
+class RareTokenAttacker final : public Attacker {
+ public:
+  [[nodiscard]] std::string name() const override { return "rare-token"; }
+  void prepare(const AttackerView& view, sim::Rng& rng) override;
+  [[nodiscard]] std::vector<NodeId> targets(Round, sim::Rng&) override {
+    return holders_;
+  }
+  [[nodiscard]] std::size_t chosen_token() const noexcept { return token_; }
+
+ private:
+  std::size_t token_ = 0;
+  std::vector<NodeId> holders_;
+};
+
+/// Delays another attacker's onset by `delay` rounds — the §3 caveat that
+/// "an attacker cannot always satiate instantly", so the initial allocation
+/// effectively includes the first exchanges. Replication + any delay defeats
+/// the rare-token attack: by the time the attacker strikes, the token has
+/// spread beyond the initial holders.
+class DelayedAttacker final : public Attacker {
+ public:
+  DelayedAttacker(Attacker& inner, Round delay)
+      : inner_(inner), delay_(delay) {}
+  [[nodiscard]] std::string name() const override {
+    return inner_.name() + "+delay";
+  }
+  void prepare(const AttackerView& view, sim::Rng& rng) override {
+    inner_.prepare(view, rng);
+  }
+  [[nodiscard]] std::vector<NodeId> targets(Round round,
+                                            sim::Rng& rng) override {
+    if (round < delay_) return {};
+    return inner_.targets(round, rng);
+  }
+
+ private:
+  Attacker& inner_;
+  Round delay_;
+};
+
+/// Rotates satiation across the population: each round satiates a different
+/// window of the node list ("changing who is satiated over time", §1).
+class RotatingAttacker final : public Attacker {
+ public:
+  RotatingAttacker(double fraction, Round period)
+      : fraction_(fraction), period_(period == 0 ? 1 : period) {}
+  [[nodiscard]] std::string name() const override { return "rotating"; }
+  void prepare(const AttackerView& view, sim::Rng& rng) override;
+  [[nodiscard]] std::vector<NodeId> targets(Round round, sim::Rng&) override;
+
+ private:
+  double fraction_;
+  Round period_;
+  std::vector<NodeId> order_;
+};
+
+}  // namespace lotus::token

@@ -1,0 +1,144 @@
+#include "token/model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lotus::token {
+
+double ModelResult::satiated_fraction() const {
+  if (completion_round.empty()) return 0.0;
+  const auto satiated = static_cast<double>(std::count_if(
+      completion_round.begin(), completion_round.end(),
+      [this](Round r) { return r <= rounds_run; }));
+  return satiated / static_cast<double>(completion_round.size());
+}
+
+double ModelResult::mean_coverage(std::size_t tokens) const {
+  if (holdings.empty() || tokens == 0) return 0.0;
+  double total = 0.0;
+  for (const auto& held : holdings) {
+    total += static_cast<double>(held.count()) / static_cast<double>(tokens);
+  }
+  return total / static_cast<double>(holdings.size());
+}
+
+double ModelResult::untargeted_satiated_fraction() const {
+  std::size_t untargeted = 0;
+  std::size_t satiated = 0;
+  for (std::size_t v = 0; v < completion_round.size(); ++v) {
+    if (v < ever_targeted.size() && ever_targeted[v]) continue;
+    ++untargeted;
+    if (completion_round[v] <= rounds_run) ++satiated;
+  }
+  if (untargeted == 0) return 1.0;
+  return static_cast<double>(satiated) / static_cast<double>(untargeted);
+}
+
+TokenModel::TokenModel(const net::Graph& graph, ModelConfig config,
+                       Allocation initial_allocation,
+                       std::shared_ptr<const SatiationFunction> satiation)
+    : graph_(graph),
+      config_(config),
+      initial_(std::move(initial_allocation)),
+      satiation_(std::move(satiation)) {
+  if (initial_.size() != graph_.node_count()) {
+    throw std::invalid_argument("allocation size != node count");
+  }
+  for (const auto& held : initial_) {
+    if (held.size() != config_.tokens) {
+      throw std::invalid_argument("allocation token width != config.tokens");
+    }
+  }
+  if (satiation_ == nullptr) throw std::invalid_argument("null satiation fn");
+}
+
+ModelResult TokenModel::run(Attacker& attacker) const {
+  const std::size_t n = graph_.node_count();
+  sim::Rng rng{config_.seed};
+  sim::Rng attacker_rng{sim::derive_seed(config_.seed, 0x61747461ULL)};
+
+  ModelResult result;
+  result.holdings = initial_;
+  result.completion_round.assign(n, config_.max_rounds + 1);
+  result.ever_targeted.assign(n, false);
+  result.services_provided.assign(n, 0);
+
+  AttackerView view{&graph_, &initial_, config_.tokens};
+  attacker.prepare(view, attacker_rng);
+
+  std::vector<bool> satiated(n, false);
+  const auto refresh_satiation = [&](Round round) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!satiated[v] &&
+          satiation_->satiated(v, round, result.holdings[v])) {
+        satiated[v] = true;
+        result.completion_round[v] = round;
+      }
+    }
+  };
+  refresh_satiation(0);
+
+  for (Round round = 0; round < config_.max_rounds; ++round) {
+    RoundStats stats;
+    stats.round = round;
+
+    // 1. Attacker satiates its chosen subset.
+    for (const NodeId v : attacker.targets(round, attacker_rng)) {
+      if (v >= n) continue;
+      result.ever_targeted[v] = true;
+      result.holdings[v].set_all();
+    }
+    refresh_satiation(round);
+
+    // 2. Simultaneous exchanges over the start-of-round snapshot.
+    const auto snapshot = result.holdings;
+    for (NodeId i = 0; i < n; ++i) {
+      if (satiated[i]) continue;  // satiated nodes stop initiating
+      const auto neighbors = graph_.neighbors(i);
+      if (neighbors.empty()) continue;
+      const auto contacts = std::min<std::size_t>(config_.contact_bound,
+                                                  neighbors.size());
+      for (const auto idx : rng.sample_without_replacement(
+               static_cast<std::uint32_t>(neighbors.size()),
+               static_cast<std::uint32_t>(contacts))) {
+        const NodeId j = neighbors[idx];
+        // A satiated partner responds only with probability a.
+        if (satiated[j] && !rng.next_bernoulli(config_.altruism)) continue;
+        ++stats.exchanges;
+        const std::size_t gain_i =
+            snapshot[j].count_and_not(result.holdings[i]);
+        const std::size_t gain_j =
+            snapshot[i].count_and_not(result.holdings[j]);
+        result.holdings[i] |= snapshot[j];
+        result.holdings[j] |= snapshot[i];
+        stats.tokens_transferred += gain_i + gain_j;
+        // Both parties hand over their token copies: mutual service.
+        ++result.services_provided[i];
+        ++result.services_provided[j];
+      }
+    }
+
+    refresh_satiation(round + 1);
+    stats.satiated_nodes = static_cast<std::size_t>(
+        std::count(satiated.begin(), satiated.end(), true));
+    result.history.push_back(stats);
+    result.rounds_run = round + 1;
+
+    if (stats.satiated_nodes == n) {
+      result.all_satiated = true;
+      break;
+    }
+    // Early exit when the system is frozen: nothing moved and no altruism to
+    // thaw it and the attacker is static.
+    if (stats.tokens_transferred == 0 && config_.altruism == 0.0 &&
+        round > 0 && result.history[result.history.size() - 2].tokens_transferred == 0) {
+      break;
+    }
+  }
+
+  result.all_satiated = static_cast<std::size_t>(std::count(
+                            satiated.begin(), satiated.end(), true)) == n;
+  return result;
+}
+
+}  // namespace lotus::token

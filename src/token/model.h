@@ -1,0 +1,83 @@
+// The Section 3 token-collecting model: a system is (G, T, sat, f, c, a).
+//
+// Round semantics follow the paper exactly:
+//  * the attacker first hands every token to its chosen subset;
+//  * each unsatiated node i selects up to c partners among its neighbours;
+//    i copies the tokens each responding partner has and each responding
+//    partner copies i's tokens (all copies use the start-of-round snapshot —
+//    "assume all of these events happen simultaneously");
+//  * a satiated node never initiates, and responds to requests only with
+//    probability a (the altruism parameter).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/graph.h"
+#include "sim/bitset.h"
+#include "sim/rng.h"
+#include "token/allocation.h"
+#include "token/attack.h"
+#include "token/satiation.h"
+
+namespace lotus::token {
+
+struct ModelConfig {
+  std::size_t tokens = 32;           // |T|
+  std::size_t contact_bound = 1;     // c: partners contacted per round
+  double altruism = 0.0;             // a: P(respond while satiated)
+  Round max_rounds = 1000;           // simulation horizon
+  std::uint64_t seed = 1;
+};
+
+/// Per-round aggregate snapshot.
+struct RoundStats {
+  Round round = 0;
+  std::size_t satiated_nodes = 0;      // nodes whose sat() is true
+  std::size_t exchanges = 0;           // responded contacts this round
+  std::size_t tokens_transferred = 0;  // new (node, token) placements
+};
+
+struct ModelResult {
+  std::vector<RoundStats> history;
+  /// Round at which each node first became satiated; max_rounds+1 if never.
+  std::vector<Round> completion_round;
+  /// Final token sets.
+  std::vector<sim::DynamicBitset> holdings;
+  /// Number of exchanges in which each node handed its tokens to a peer
+  /// (service provided). Observation 3.1 is about driving this to zero.
+  std::vector<std::uint64_t> services_provided;
+  Round rounds_run = 0;
+  bool all_satiated = false;
+
+  [[nodiscard]] double satiated_fraction() const;
+  /// Mean over nodes of final |tokens held| / |T|.
+  [[nodiscard]] double mean_coverage(std::size_t tokens) const;
+  /// Fraction of nodes satiated among those NOT targeted by the attacker in
+  /// any round (the model analogue of the paper's "isolated nodes" metric).
+  [[nodiscard]] double untargeted_satiated_fraction() const;
+
+  std::vector<bool> ever_targeted;  // filled by the engine
+};
+
+/// Runs the model to completion (all satiated) or the round horizon.
+class TokenModel {
+ public:
+  TokenModel(const net::Graph& graph, ModelConfig config,
+             Allocation initial_allocation,
+             std::shared_ptr<const SatiationFunction> satiation);
+
+  /// Runs with the given attacker (NullAttacker for baseline).
+  [[nodiscard]] ModelResult run(Attacker& attacker) const;
+
+  [[nodiscard]] const ModelConfig& config() const noexcept { return config_; }
+
+ private:
+  const net::Graph& graph_;
+  ModelConfig config_;
+  Allocation initial_;
+  std::shared_ptr<const SatiationFunction> satiation_;
+};
+
+}  // namespace lotus::token

@@ -1,0 +1,4 @@
+// Translation unit anchoring the SatiationFunction vtable.
+#include "token/satiation.h"
+
+namespace lotus::token {}  // namespace lotus::token

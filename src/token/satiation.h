@@ -1,0 +1,87 @@
+// Satiation functions for the Section 3 token-collecting model.
+//
+// The paper defines sat(i, t, T') -> {true, false}: node i with token set T'
+// at time t needs nothing more. sat must be monotone in T' (more tokens never
+// un-satiates). We provide the paper's canonical choice (T' == T) plus the
+// variants its §4 defences correspond to (thresholds, coded rank).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/bitset.h"
+
+namespace lotus::token {
+
+using NodeId = std::uint32_t;
+using Round = std::uint32_t;
+
+/// Interface for sat(i, t, T'). Implementations must be monotone in the
+/// token set: adding tokens never turns true into false.
+class SatiationFunction {
+ public:
+  virtual ~SatiationFunction() = default;
+  [[nodiscard]] virtual bool satiated(NodeId node, Round round,
+                                      const sim::DynamicBitset& tokens) const = 0;
+};
+
+/// The paper's model choice: satiated iff the node holds *every* token.
+class CompleteSetSatiation final : public SatiationFunction {
+ public:
+  [[nodiscard]] bool satiated(NodeId, Round,
+                              const sim::DynamicBitset& tokens) const override {
+    return tokens.all();
+  }
+};
+
+/// Satiated once the node holds at least `threshold` tokens. Models scrip /
+/// reputation satiation where only the *amount* matters ("the set of
+/// relevant tokens is changed", §4).
+class ThresholdSatiation final : public SatiationFunction {
+ public:
+  explicit ThresholdSatiation(std::size_t threshold) : threshold_(threshold) {}
+  [[nodiscard]] bool satiated(NodeId, Round,
+                              const sim::DynamicBitset& tokens) const override {
+    return tokens.count() >= threshold_;
+  }
+
+ private:
+  std::size_t threshold_;
+};
+
+/// Network-coding satiation: tokens are coded blocks and a node is satiated
+/// once it holds any `required_rank` *distinct* blocks. With random linear
+/// coding over a large field, distinct blocks are independent with
+/// overwhelming probability, so set cardinality is the faithful abstraction
+/// (the exact-rank machinery lives in lotus::coding and is exercised by the
+/// coding tests/benches).
+class CodedRankSatiation final : public SatiationFunction {
+ public:
+  explicit CodedRankSatiation(std::size_t required_rank)
+      : required_(required_rank) {}
+  [[nodiscard]] bool satiated(NodeId, Round,
+                              const sim::DynamicBitset& tokens) const override {
+    return tokens.count() >= required_;
+  }
+
+ private:
+  std::size_t required_;
+};
+
+/// Wraps an arbitrary predicate; used by tests to build exotic (including
+/// deliberately non-monotone) functions.
+class LambdaSatiation final : public SatiationFunction {
+ public:
+  using Fn = std::function<bool(NodeId, Round, const sim::DynamicBitset&)>;
+  explicit LambdaSatiation(Fn fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] bool satiated(NodeId node, Round round,
+                              const sim::DynamicBitset& tokens) const override {
+    return fn_(node, round, tokens);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace lotus::token

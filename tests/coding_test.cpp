@@ -1,0 +1,215 @@
+// Tests for GF(256) arithmetic and random linear network coding.
+#include <gtest/gtest.h>
+
+#include "coding/gf256.h"
+#include "coding/rlnc.h"
+#include "sim/rng.h"
+
+namespace lotus::coding {
+namespace {
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(GF256::add(7, 7), 0);
+  EXPECT_EQ(GF256::sub(7, 7), 0);
+}
+
+TEST(GF256, MultiplicationKnownValues) {
+  // Classic AES examples under polynomial 0x11b.
+  EXPECT_EQ(GF256::mul(0x53, 0xCA), 0x01);
+  EXPECT_EQ(GF256::mul(0x57, 0x83), 0xC1);
+  EXPECT_EQ(GF256::mul(2, 128), 0x1b);
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto e = static_cast<GF256::Element>(a);
+    EXPECT_EQ(GF256::mul(e, 1), e);
+    EXPECT_EQ(GF256::mul(e, 0), 0);
+  }
+}
+
+TEST(GF256, EveryNonZeroHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto e = static_cast<GF256::Element>(a);
+    EXPECT_EQ(GF256::mul(e, GF256::inv(e)), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (unsigned a = 0; a < 256; a += 7) {
+    for (unsigned b = 1; b < 256; b += 11) {
+      const auto ea = static_cast<GF256::Element>(a);
+      const auto eb = static_cast<GF256::Element>(b);
+      EXPECT_EQ(GF256::div(GF256::mul(ea, eb), eb), ea);
+    }
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  GF256::Element acc = 1;
+  for (unsigned e = 0; e < 16; ++e) {
+    EXPECT_EQ(GF256::pow(3, e), acc);
+    acc = GF256::mul(acc, 3);
+  }
+  EXPECT_EQ(GF256::pow(0, 0), 1);
+  EXPECT_EQ(GF256::pow(0, 5), 0);
+}
+
+// Field-axiom property sweep over pseudorandom triples.
+class GF256Axioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GF256Axioms, AssociativeCommutativeDistributive) {
+  sim::Rng rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<GF256::Element>(rng.next_below(256));
+    const auto b = static_cast<GF256::Element>(rng.next_below(256));
+    const auto c = static_cast<GF256::Element>(rng.next_below(256));
+    EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+    EXPECT_EQ(GF256::mul(GF256::mul(a, b), c), GF256::mul(a, GF256::mul(b, c)));
+    EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+              GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GF256Axioms, ::testing::Values(1u, 2u, 3u));
+
+std::vector<std::vector<std::uint8_t>> test_blocks(std::size_t k,
+                                                   std::size_t size,
+                                                   std::uint64_t seed) {
+  sim::Rng rng{seed};
+  std::vector<std::vector<std::uint8_t>> blocks(k);
+  for (auto& block : blocks) {
+    block.resize(size);
+    for (auto& byte : block) byte = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return blocks;
+}
+
+TEST(Rlnc, DecodeAfterExactlyKInnovativeBlocks) {
+  const auto source = test_blocks(8, 32, 5);
+  const Encoder encoder{source};
+  Decoder decoder{8, 32};
+  sim::Rng rng{6};
+  std::size_t accepted = 0;
+  while (!decoder.complete()) {
+    accepted += decoder.add(encoder.encode(rng)) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 8u);
+  const auto decoded = decoder.decode();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, source);
+}
+
+TEST(Rlnc, SystematicBlocksDecode) {
+  const auto source = test_blocks(5, 16, 7);
+  const Encoder encoder{source};
+  Decoder decoder{5, 16};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(decoder.add(encoder.systematic(i)));
+  }
+  const auto decoded = decoder.decode();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, source);
+}
+
+TEST(Rlnc, DuplicateBlockNotInnovative) {
+  const auto source = test_blocks(4, 8, 9);
+  const Encoder encoder{source};
+  Decoder decoder{4, 8};
+  sim::Rng rng{10};
+  const auto block = encoder.encode(rng);
+  EXPECT_TRUE(decoder.add(block));
+  EXPECT_FALSE(decoder.add(block));
+  EXPECT_EQ(decoder.rank(), 1u);
+}
+
+TEST(Rlnc, IncompleteDecodeReturnsNothing) {
+  Decoder decoder{4, 8};
+  EXPECT_FALSE(decoder.decode().has_value());
+  EXPECT_FALSE(decoder.complete());
+}
+
+TEST(Rlnc, RecodedBlocksDecodeAtSink) {
+  // Source -> relay (collects 6 of 6) -> sink decodes from recoded blocks
+  // only: the Avalanche property that intermediaries help without decoding.
+  const auto source = test_blocks(6, 24, 11);
+  const Encoder encoder{source};
+  sim::Rng rng{12};
+  Decoder relay{6, 24};
+  while (!relay.complete()) relay.add(encoder.encode(rng));
+  Decoder sink{6, 24};
+  int safety = 0;
+  while (!sink.complete() && safety < 200) {
+    const auto block = relay.recode(rng);
+    ASSERT_TRUE(block.has_value());
+    sink.add(*block);
+    ++safety;
+  }
+  ASSERT_TRUE(sink.complete());
+  EXPECT_EQ(*sink.decode(), source);
+}
+
+TEST(Rlnc, RecodeFromEmptyDecoderFails) {
+  Decoder decoder{4, 8};
+  sim::Rng rng{1};
+  EXPECT_FALSE(decoder.recode(rng).has_value());
+}
+
+TEST(Rlnc, ShapeValidation) {
+  EXPECT_THROW((Encoder{{}}), std::invalid_argument);
+  EXPECT_THROW((Encoder{{{1, 2}, {1}}}), std::invalid_argument);
+  EXPECT_THROW((Decoder{0, 8}), std::invalid_argument);
+  Decoder decoder{2, 4};
+  CodedBlock bad;
+  bad.coefficients = {1};
+  bad.payload = {0, 0, 0, 0};
+  EXPECT_THROW(decoder.add(bad), std::invalid_argument);
+}
+
+TEST(Rank, IdentityAndDependence) {
+  EXPECT_EQ(gf256_rank({{1, 0}, {0, 1}}), 2u);
+  EXPECT_EQ(gf256_rank({{1, 2}, {2, 4}}), 1u);  // 2*(1,2) over GF(256)
+  EXPECT_EQ(gf256_rank({{0, 0}, {0, 0}}), 0u);
+  EXPECT_EQ(gf256_rank({}), 0u);
+}
+
+TEST(Rank, RandomMatricesNearFullRank) {
+  // The heart of the coding defence: k random blocks are independent with
+  // overwhelming probability, so "any k distinct blocks" decodes.
+  sim::Rng rng{13};
+  int full = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<std::uint8_t>> rows(10);
+    for (auto& row : rows) {
+      row.resize(10);
+      for (auto& v : row) v = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    if (gf256_rank(rows) == 10u) ++full;
+  }
+  EXPECT_GE(full, 48);
+}
+
+// Property: decoding succeeds from k random blocks for many generation sizes.
+class RlncRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RlncRoundTrip, KRandomBlocksSuffice) {
+  const std::size_t k = GetParam();
+  const auto source = test_blocks(k, 16, 100 + k);
+  const Encoder encoder{source};
+  Decoder decoder{k, 16};
+  sim::Rng rng{200 + k};
+  int attempts = 0;
+  while (!decoder.complete() && attempts < static_cast<int>(4 * k + 16)) {
+    decoder.add(encoder.encode(rng));
+    ++attempts;
+  }
+  ASSERT_TRUE(decoder.complete()) << "k=" << k;
+  EXPECT_EQ(*decoder.decode(), source);
+}
+
+INSTANTIATE_TEST_SUITE_P(GenerationSizes, RlncRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace lotus::coding

@@ -1,0 +1,101 @@
+// Tests for the core framework: defence catalogue, Observation 3.1, and the
+// critical-fraction machinery.
+#include <gtest/gtest.h>
+
+#include "core/critical.h"
+#include "core/observation.h"
+#include "core/principles.h"
+#include "net/topology.h"
+
+namespace lotus::core {
+namespace {
+
+TEST(Principles, CatalogueCoversAllFour) {
+  const auto& catalogue = defense_catalogue();
+  ASSERT_EQ(catalogue.size(), 4u);
+  EXPECT_EQ(catalogue[0].principle,
+            DefensePrinciple::kNonRandomFailureResilience);
+  EXPECT_EQ(catalogue[1].principle, DefensePrinciple::kHardSatiation);
+  EXPECT_EQ(catalogue[2].principle, DefensePrinciple::kLeverageObedience);
+  EXPECT_EQ(catalogue[3].principle, DefensePrinciple::kEncourageAltruism);
+  for (const auto& entry : catalogue) {
+    EXPECT_FALSE(entry.name.empty());
+    EXPECT_FALSE(entry.summary.empty());
+    EXPECT_FALSE(entry.library_knobs.empty());
+  }
+}
+
+TEST(Principles, AttackVectorNames) {
+  EXPECT_NE(attack_vector_name(AttackVector::kGraphCut).find("G"),
+            std::string_view::npos);
+  EXPECT_NE(attack_vector_name(AttackVector::kRareToken).find("f"),
+            std::string_view::npos);
+  EXPECT_NE(attack_vector_name(AttackVector::kMassSatiation).find("c"),
+            std::string_view::npos);
+}
+
+TEST(Observation31, TargetNeverServesWithoutAltruism) {
+  sim::Rng rng{4};
+  const auto graph = net::make_erdos_renyi(50, 0.2, rng);
+  const auto outcome = demonstrate_observation_31(graph, 5, 32, 0.0, 21);
+  EXPECT_EQ(outcome.target_services, 0u);
+  EXPECT_GT(outcome.mean_other_services, 1.0);
+}
+
+TEST(Observation31, AltruismBreaksTheObservation) {
+  // With a > 0 the protocol is no longer satiation-compatible and the
+  // targeted node does serve occasionally.
+  sim::Rng rng{4};
+  const auto graph = net::make_erdos_renyi(50, 0.2, rng);
+  const auto outcome = demonstrate_observation_31(graph, 5, 32, 0.5, 21);
+  EXPECT_GT(outcome.target_services, 0u);
+}
+
+TEST(Critical, DeliveryCurveIsWellFormed) {
+  CriticalQuery query;
+  query.config.nodes = 50;
+  query.config.rounds = 50;
+  query.config.copies_seeded = 6;
+  query.config.seed = 13;
+  query.attack = gossip::AttackKind::kCrash;
+  query.seeds = 1;
+  const auto curve = delivery_curve(query, 5);
+  ASSERT_EQ(curve.xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve.xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(curve.xs.back(), 0.9);
+  // Delivery at zero attack strictly better than at maximum.
+  EXPECT_GT(curve.ys.front(), curve.ys.back());
+}
+
+TEST(Critical, OrderingIdealStrongerThanCrash) {
+  CriticalQuery query;
+  query.config.nodes = 80;
+  query.config.rounds = 60;
+  query.config.copies_seeded = 8;
+  query.config.seed = 17;
+  query.seeds = 1;
+  query.tolerance = 0.05;
+  query.attack = gossip::AttackKind::kIdealLotus;
+  const double ideal = critical_attacker_fraction(query);
+  query.attack = gossip::AttackKind::kCrash;
+  const double crash = critical_attacker_fraction(query);
+  // The headline of the paper: the lotus-eater attack needs far fewer nodes.
+  EXPECT_LT(ideal, crash);
+}
+
+TEST(Critical, DeliveryAtEndpointsBrackets) {
+  CriticalQuery query;
+  query.config.nodes = 50;
+  query.config.rounds = 50;
+  query.config.copies_seeded = 6;
+  query.config.seed = 19;
+  query.seeds = 1;
+  query.attack = gossip::AttackKind::kIdealLotus;
+  const double at_zero = isolated_delivery_at(query, 0.0);
+  const double at_half = isolated_delivery_at(query, 0.5);
+  EXPECT_GT(at_zero, query.config.usability_threshold);
+  EXPECT_LT(at_half, at_zero);
+}
+
+}  // namespace
+}  // namespace lotus::core

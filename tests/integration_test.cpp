@@ -1,0 +1,226 @@
+// Integration tests: cross-module flows that mirror how the paper's
+// arguments chain together — the abstract model predicting the gossip
+// system, defences composing, and the same attack idea expressed in four
+// different substrates.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bt/swarm.h"
+#include "core/critical.h"
+#include "core/observation.h"
+#include "gossip/engine.h"
+#include "net/topology.h"
+#include "rep/system.h"
+#include "scrip/economy.h"
+#include "token/model.h"
+
+namespace lotus {
+namespace {
+
+// The paper's headline, end to end: in BOTH the abstract token model and
+// the concrete gossip system, satiating peers (a friendly act) out-damages
+// crashing the same number of peers (a hostile act).
+TEST(Integration, FriendlinessOutDamagesHostility) {
+  // Token model: compare satiating 50% vs removing (crashing) 50%.
+  sim::Rng rng{1};
+  const auto graph = net::make_erdos_renyi(100, 0.08, rng);
+  sim::Rng alloc_rng{2};
+  const auto alloc = token::allocate_uniform_replicas(100, 32, 3, alloc_rng);
+  token::ModelConfig config;
+  config.tokens = 32;
+  config.contact_bound = 2;
+  config.max_rounds = 40;
+  config.seed = 3;
+  const token::TokenModel model{graph, config, alloc,
+                                std::make_shared<token::CompleteSetSatiation>()};
+  token::FractionAttacker satiate{0.5};
+  const auto satiated_run = model.run(satiate);
+
+  // Gossip: at the same 20% strength, the lotus attacks beat the crash.
+  gossip::GossipConfig gconfig;
+  gconfig.nodes = 100;
+  gconfig.rounds = 60;
+  gconfig.copies_seeded = 8;
+  gconfig.seed = 4;
+  gossip::AttackPlan crash;
+  crash.kind = gossip::AttackKind::kCrash;
+  crash.attacker_fraction = 0.2;
+  gossip::AttackPlan lotus = crash;
+  lotus.kind = gossip::AttackKind::kIdealLotus;
+  const auto crash_run = gossip::run_gossip(gconfig, crash);
+  const auto lotus_run = gossip::run_gossip(gconfig, lotus);
+
+  EXPECT_LT(satiated_run.untargeted_satiated_fraction(), 0.5);
+  EXPECT_LT(lotus_run.isolated_delivery, crash_run.isolated_delivery);
+}
+
+// Observation 3.1 transfers from the model to the gossip system: satiated
+// honest nodes move (almost) no updates to the isolated class.
+TEST(Integration, SatiatedNodesStopServing) {
+  sim::Rng rng{5};
+  const auto graph = net::make_complete(40);
+  const auto outcome = core::demonstrate_observation_31(graph, 7, 24, 0.0, 6);
+  EXPECT_EQ(outcome.target_services, 0u);
+
+  gossip::GossipConfig config;
+  config.nodes = 100;
+  config.rounds = 60;
+  config.copies_seeded = 8;
+  config.seed = 6;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kIdealLotus;
+  plan.attacker_fraction = 0.15;
+  const auto result = gossip::run_gossip(config, plan);
+  // Satiated nodes get near-perfect service while isolated nodes suffer —
+  // the attack harms only by omission.
+  EXPECT_GT(result.satiated_delivery, 0.97);
+  EXPECT_LT(result.isolated_delivery, result.satiated_delivery - 0.05);
+}
+
+// §4 defences compose: push size + unbalanced exchanges + reporting beats
+// each alone against the same trade attack.
+TEST(Integration, DefencesCompose) {
+  gossip::AttackPlan trade;
+  trade.kind = gossip::AttackKind::kTradeLotus;
+  trade.attacker_fraction = 0.3;
+
+  gossip::GossipConfig base;
+  base.nodes = 120;
+  base.rounds = 80;
+  base.seed = 7;
+
+  const double undefended =
+      gossip::run_gossip(base, trade).isolated_delivery;
+
+  auto push_only = base;
+  push_only.push_size = 6;
+  const double with_push =
+      gossip::run_gossip(push_only, trade).isolated_delivery;
+
+  auto all_three = push_only;
+  all_three.unbalanced_exchange = true;
+  all_three.reporting_enabled = true;
+  all_three.obedient_fraction = 0.5;
+  const double combined =
+      gossip::run_gossip(all_three, trade).isolated_delivery;
+
+  EXPECT_GT(with_push, undefended);
+  EXPECT_GT(combined, with_push);
+}
+
+// The same lotus-eater idea expressed in all four substrates produces the
+// same signature: targets prosper, the system's service to others drops.
+TEST(Integration, SameSignatureAcrossSubstrates) {
+  // Gossip.
+  {
+    gossip::GossipConfig config;
+    config.nodes = 100;
+    config.rounds = 60;
+    config.copies_seeded = 8;
+    config.seed = 8;
+    gossip::AttackPlan plan;
+    plan.kind = gossip::AttackKind::kIdealLotus;
+    plan.attacker_fraction = 0.1;
+    const auto result = gossip::run_gossip(config, plan);
+    EXPECT_GT(result.satiated_delivery, result.isolated_delivery);
+  }
+  // Scrip.
+  {
+    scrip::EconomyConfig config;
+    config.agents = 120;
+    config.rare_providers = 5;
+    config.rare_request_fraction = 0.025;
+    config.rounds = 250;
+    config.warmup_rounds = 40;
+    config.seed = 9;
+    scrip::ScripAttack attack;
+    attack.kind = scrip::ScripAttack::Kind::kMoneyGift;
+    attack.budget = 100000;
+    attack.target_count = 5;
+    const auto attacked = scrip::Economy{config, attack}.run();
+    const auto baseline = scrip::Economy{config, scrip::ScripAttack{}}.run();
+    EXPECT_LT(attacked.rare_availability, baseline.rare_availability - 0.3);
+    EXPECT_GT(attacked.availability, 0.8);  // everyone else barely notices
+  }
+  // Reputation.
+  {
+    rep::SystemConfig config;
+    config.agents = 60;
+    config.rare_providers = 4;
+    config.rare_request_fraction = 0.05;
+    config.rounds = 120;
+    config.warmup_rounds = 30;
+    config.seed = 10;
+    rep::RepAttack attack;
+    attack.enabled = true;
+    attack.attacker_agents = 10;
+    attack.target_count = 4;
+    const auto attacked = rep::ReputationSystem{config, attack}.run();
+    const auto baseline =
+        rep::ReputationSystem{config, rep::RepAttack{}}.run();
+    EXPECT_LT(attacked.rare_availability, baseline.rare_availability);
+  }
+  // BitTorrent: the outlier by design — the attack mostly doesn't work.
+  {
+    bt::SwarmConfig config;
+    config.leechers = 40;
+    config.seeds = 2;
+    config.pieces = 60;
+    config.seed_value = 11;
+    bt::SwarmAttack attack;
+    attack.enabled = true;
+    attack.attacker_peers = 4;
+    attack.target_count = 8;
+    const auto attacked_run = bt::Swarm{config, attack}.run();
+    const auto baseline_run = bt::Swarm{config, bt::SwarmAttack{}}.run();
+    ASSERT_TRUE(attacked_run.all_completed);
+    EXPECT_LT(attacked_run.mean_completion_untargeted,
+              baseline_run.mean_completion_untargeted * 1.35);
+  }
+}
+
+// Cross-check the bisection against the sweep: the critical fraction found
+// by core::critical_attacker_fraction must bracket the sweep's crossing.
+TEST(Integration, CriticalFractionMatchesSweep) {
+  core::CriticalQuery query;
+  query.config.nodes = 100;
+  query.config.rounds = 60;
+  query.config.copies_seeded = 8;
+  query.config.seed = 12;
+  query.attack = gossip::AttackKind::kIdealLotus;
+  query.seeds = 2;
+  query.tolerance = 0.02;
+  const double critical = core::critical_attacker_fraction(query);
+  const double below = core::isolated_delivery_at(query, critical * 0.3);
+  const double above = core::isolated_delivery_at(query, critical * 2.0 + 0.05);
+  EXPECT_GT(below, query.config.usability_threshold);
+  EXPECT_LT(above, query.config.usability_threshold);
+}
+
+// Determinism across the whole stack: identical configs give bitwise
+// identical results, and the partner schedule is verifiable after the fact.
+TEST(Integration, EndToEndDeterminismAndVerifiability) {
+  gossip::GossipConfig config;
+  config.nodes = 80;
+  config.rounds = 50;
+  config.copies_seeded = 8;
+  config.seed = 13;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.25;
+
+  gossip::GossipEngine a{config, plan};
+  gossip::GossipEngine b{config, plan};
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.isolated_delivery, rb.isolated_delivery);
+  EXPECT_EQ(ra.attacker_dump_updates, rb.attacker_dump_updates);
+  EXPECT_EQ(ra.reports_filed, rb.reports_filed);
+  for (std::uint32_t v = 0; v < config.nodes; ++v) {
+    EXPECT_EQ(a.holdings_of(v), b.holdings_of(v));
+  }
+}
+
+}  // namespace
+}  // namespace lotus

@@ -1,0 +1,249 @@
+// Property suites (TEST_P) for the headline invariants of the paper, swept
+// across seeds and scales. These are the claims that must survive any
+// reasonable parameter choice, not just the calibrated defaults.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gossip/engine.h"
+#include "net/topology.h"
+#include "scrip/economy.h"
+#include "token/model.h"
+
+namespace lotus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gossip invariants across seeds.
+// ---------------------------------------------------------------------------
+
+class GossipSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  gossip::GossipConfig config() const {
+    gossip::GossipConfig c;
+    c.nodes = 100;
+    c.rounds = 70;
+    c.copies_seeded = 8;
+    c.seed = GetParam();
+    return c;
+  }
+};
+
+TEST_P(GossipSeedSweep, BaselineUsable) {
+  const auto result = gossip::run_gossip(config(), gossip::AttackPlan{});
+  EXPECT_GT(result.isolated_delivery, 0.93) << "seed " << GetParam();
+}
+
+TEST_P(GossipSeedSweep, LotusBeatsCrashAtEqualStrength) {
+  gossip::AttackPlan crash;
+  crash.kind = gossip::AttackKind::kCrash;
+  crash.attacker_fraction = 0.2;
+  gossip::AttackPlan ideal = crash;
+  ideal.kind = gossip::AttackKind::kIdealLotus;
+  const auto crash_run = gossip::run_gossip(config(), crash);
+  const auto ideal_run = gossip::run_gossip(config(), ideal);
+  EXPECT_LT(ideal_run.isolated_delivery, crash_run.isolated_delivery)
+      << "seed " << GetParam();
+}
+
+TEST_P(GossipSeedSweep, SatiatedAlwaysOutperformIsolated) {
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.25;
+  const auto result = gossip::run_gossip(config(), plan);
+  EXPECT_GE(result.satiated_delivery, result.isolated_delivery)
+      << "seed " << GetParam();
+}
+
+TEST_P(GossipSeedSweep, AttackerMonotoneInStrength) {
+  gossip::AttackPlan weak;
+  weak.kind = gossip::AttackKind::kIdealLotus;
+  weak.attacker_fraction = 0.05;
+  gossip::AttackPlan strong = weak;
+  strong.attacker_fraction = 0.30;
+  const auto weak_run = gossip::run_gossip(config(), weak);
+  const auto strong_run = gossip::run_gossip(config(), strong);
+  EXPECT_LE(strong_run.isolated_delivery, weak_run.isolated_delivery + 0.03)
+      << "seed " << GetParam();
+}
+
+TEST_P(GossipSeedSweep, PushSizeMonotoneUnderAttack) {
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kIdealLotus;
+  plan.attacker_fraction = 0.12;
+  auto small_push = config();
+  small_push.push_size = 2;
+  auto big_push = config();
+  big_push.push_size = 10;
+  const auto small_run = gossip::run_gossip(small_push, plan);
+  const auto big_run = gossip::run_gossip(big_push, plan);
+  EXPECT_GE(big_run.isolated_delivery, small_run.isolated_delivery - 0.01)
+      << "seed " << GetParam();
+}
+
+TEST_P(GossipSeedSweep, DumpsOnlyReachTheSatiateSet) {
+  // The trade attacker refuses isolated nodes by construction: with a
+  // satiate target equal to the attacker fraction itself, no honest node is
+  // in the set and no dump is ever delivered.
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.2;
+  plan.satiate_fraction = 0.2;  // attacker nodes only
+  const auto result = gossip::run_gossip(config(), plan);
+  EXPECT_EQ(result.attacker_dump_updates, 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GossipSeedSweep,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+// ---------------------------------------------------------------------------
+// Token model invariants across topologies.
+// ---------------------------------------------------------------------------
+
+struct TopologyParam {
+  const char* name;
+  net::Graph (*build)(std::uint64_t);
+};
+
+class TokenTopologySweep : public ::testing::TestWithParam<TopologyParam> {};
+
+TEST_P(TokenTopologySweep, AltruismNeverHurts) {
+  const auto graph = GetParam().build(7);
+  sim::Rng alloc_rng{8};
+  const auto alloc = token::allocate_uniform_replicas(
+      graph.node_count(), 24, 3, alloc_rng);
+  token::ModelConfig stingy;
+  stingy.tokens = 24;
+  stingy.contact_bound = 2;
+  stingy.max_rounds = 80;
+  stingy.seed = 9;
+  auto generous = stingy;
+  generous.altruism = 0.3;
+  token::FractionAttacker a1{0.6};
+  token::FractionAttacker a2{0.6};
+  const auto stingy_run =
+      token::TokenModel{graph, stingy, alloc,
+                        std::make_shared<token::CompleteSetSatiation>()}
+          .run(a1);
+  const auto generous_run =
+      token::TokenModel{graph, generous, alloc,
+                        std::make_shared<token::CompleteSetSatiation>()}
+          .run(a2);
+  EXPECT_GE(generous_run.untargeted_satiated_fraction() + 1e-9,
+            stingy_run.untargeted_satiated_fraction())
+      << GetParam().name;
+}
+
+TEST_P(TokenTopologySweep, HoldingsOnlyGrow) {
+  const auto graph = GetParam().build(7);
+  sim::Rng alloc_rng{8};
+  const auto alloc = token::allocate_uniform_replicas(
+      graph.node_count(), 16, 2, alloc_rng);
+  token::ModelConfig config;
+  config.tokens = 16;
+  config.contact_bound = 1;
+  config.max_rounds = 30;
+  config.seed = 10;
+  token::NullAttacker none;
+  const auto result =
+      token::TokenModel{graph, config, alloc,
+                        std::make_shared<token::CompleteSetSatiation>()}
+          .run(none);
+  // Final holdings are a superset of the initial allocation.
+  for (std::size_t v = 0; v < alloc.size(); ++v) {
+    EXPECT_EQ(alloc[v].count_and_not(result.holdings[v]), 0u)
+        << GetParam().name << " node " << v;
+  }
+}
+
+TEST_P(TokenTopologySweep, CompletionImpliesFullCoverage) {
+  const auto graph = GetParam().build(7);
+  sim::Rng alloc_rng{8};
+  const auto alloc = token::allocate_uniform_replicas(
+      graph.node_count(), 16, 3, alloc_rng);
+  token::ModelConfig config;
+  config.tokens = 16;
+  config.contact_bound = 2;
+  config.altruism = 0.2;
+  config.max_rounds = 300;
+  config.seed = 11;
+  token::NullAttacker none;
+  const auto result =
+      token::TokenModel{graph, config, alloc,
+                        std::make_shared<token::CompleteSetSatiation>()}
+          .run(none);
+  ASSERT_TRUE(result.all_satiated) << GetParam().name;
+  for (const auto& held : result.holdings) {
+    EXPECT_TRUE(held.all());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, TokenTopologySweep,
+    ::testing::Values(
+        TopologyParam{"complete",
+                      [](std::uint64_t) { return net::make_complete(60); }},
+        TopologyParam{"torus",
+                      [](std::uint64_t) { return net::make_torus(8, 8); }},
+        TopologyParam{"erdos_renyi",
+                      [](std::uint64_t seed) {
+                        sim::Rng rng{seed};
+                        return net::make_erdos_renyi(60, 0.15, rng);
+                      }},
+        TopologyParam{"small_world",
+                      [](std::uint64_t seed) {
+                        sim::Rng rng{seed};
+                        return net::make_watts_strogatz(60, 3, 0.2, rng);
+                      }}),
+    [](const ::testing::TestParamInfo<TopologyParam>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Scrip invariants across seeds: conservation and threshold honesty.
+// ---------------------------------------------------------------------------
+
+class ScripSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScripSeedSweep, SupplyConservedUnderEveryAttack) {
+  for (const auto kind : {scrip::ScripAttack::Kind::kNone,
+                          scrip::ScripAttack::Kind::kMoneyGift,
+                          scrip::ScripAttack::Kind::kCheapService}) {
+    scrip::EconomyConfig config;
+    config.agents = 80;
+    config.rounds = 150;
+    config.warmup_rounds = 20;
+    config.seed = GetParam();
+    scrip::ScripAttack attack;
+    attack.kind = kind;
+    attack.budget = 300;
+    attack.target_count = kind == scrip::ScripAttack::Kind::kNone ? 0 : 20;
+    attack.target_rare_providers = false;
+    scrip::Economy economy{config, attack};
+    // Economy::run throws std::logic_error if a single scrip is minted or
+    // burned anywhere.
+    EXPECT_NO_THROW((void)economy.run());
+  }
+}
+
+TEST_P(ScripSeedSweep, AltruistFractionMonotoneInQuitting) {
+  scrip::EconomyConfig config;
+  config.agents = 120;
+  config.rounds = 250;
+  config.warmup_rounds = 40;
+  config.seed = GetParam();
+  auto few = config;
+  few.altruist_fraction = 0.02;
+  auto many = config;
+  many.altruist_fraction = 0.25;
+  const auto few_run = scrip::Economy{few, scrip::ScripAttack{}}.run();
+  const auto many_run = scrip::Economy{many, scrip::ScripAttack{}}.run();
+  EXPECT_GE(many_run.quit_fraction + 0.05, few_run.quit_fraction)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScripSeedSweep,
+                         ::testing::Values(1u, 17u, 23u));
+
+}  // namespace
+}  // namespace lotus

@@ -1,0 +1,193 @@
+// Tests for the reputation substrate: EigenTrust and the reputation-gated
+// service system under the inflation (lotus-eater) attack.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rep/eigentrust.h"
+#include "rep/system.h"
+
+namespace lotus::rep {
+namespace {
+
+TEST(TrustMatrix, Basics) {
+  TrustMatrix m{3};
+  m.add_trust(0, 1, 2.0);
+  m.add_trust(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(m.local(0, 1), 3.0);
+  m.add_trust(1, 1, 5.0);  // self-rating ignored
+  EXPECT_DOUBLE_EQ(m.local(1, 1), 0.0);
+  EXPECT_THROW(m.add_trust(0, 9, 1.0), std::out_of_range);
+  EXPECT_THROW(m.add_trust(0, 1, -1.0), std::invalid_argument);
+  m.decay(0.5);
+  EXPECT_DOUBLE_EQ(m.local(0, 1), 1.5);
+}
+
+TEST(EigenTrust, UniformWithoutRatings) {
+  const TrustMatrix m{4};
+  const auto t = eigentrust(m);
+  for (const auto v : t) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(EigenTrust, SumsToOne) {
+  TrustMatrix m{5};
+  m.add_trust(0, 1, 3.0);
+  m.add_trust(2, 3, 1.0);
+  m.add_trust(4, 1, 2.0);
+  const auto t = eigentrust(m);
+  EXPECT_NEAR(std::accumulate(t.begin(), t.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(EigenTrust, PopularAgentRanksHighest) {
+  TrustMatrix m{5};
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i != 2) m.add_trust(i, 2, 1.0);
+  }
+  const auto t = eigentrust(m);
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i != 2) {
+      EXPECT_GT(t[2], t[i]);
+    }
+  }
+}
+
+TEST(EigenTrust, TransitiveTrustFlows) {
+  // 0 trusts 1, 1 trusts 2: 2 should outrank an isolated agent 3.
+  TrustMatrix m{4};
+  m.add_trust(0, 1, 1.0);
+  m.add_trust(1, 2, 1.0);
+  const auto t = eigentrust(m);
+  EXPECT_GT(t[2], t[3]);
+  EXPECT_GT(t[1], t[3]);
+}
+
+TEST(EigenTrust, DampingBoundsInfluence) {
+  // With damping d, even an agent everyone maximally trusts cannot absorb
+  // the d * uniform floor of the others.
+  TrustMatrix m{10};
+  for (std::size_t i = 1; i < 10; ++i) m.add_trust(i, 0, 100.0);
+  const auto t = eigentrust(m, 0.15);
+  EXPECT_LT(t[0], 0.95);
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_GT(t[i], 0.15 / 10.0 * 0.9);
+}
+
+SystemConfig small_system() {
+  SystemConfig c;
+  c.agents = 60;
+  c.rounds = 150;
+  c.warmup_rounds = 30;
+  c.seed = 9;
+  return c;
+}
+
+TEST(System, HealthyBaseline) {
+  ReputationSystem system{small_system(), RepAttack{}};
+  const auto result = system.run();
+  EXPECT_GT(result.availability, 0.8);
+  EXPECT_LT(result.satiated_fraction, 0.4);
+}
+
+TEST(System, Deterministic) {
+  ReputationSystem a{small_system(), RepAttack{}};
+  ReputationSystem b{small_system(), RepAttack{}};
+  EXPECT_EQ(a.run().availability, b.run().availability);
+}
+
+SystemConfig rare_system() {
+  auto c = small_system();
+  c.rare_providers = 5;
+  c.rare_request_fraction = 0.05;
+  return c;
+}
+
+RepAttack rare_attack() {
+  RepAttack attack;
+  attack.enabled = true;
+  attack.attacker_agents = 12;
+  attack.target_count = 5;  // the rare providers
+  attack.fake_trust_per_round = 10.0;
+  return attack;
+}
+
+TEST(System, RareBaselineHealthy) {
+  ReputationSystem system{rare_system(), RepAttack{}};
+  const auto result = system.run();
+  EXPECT_GT(result.rare_availability, 0.8);
+}
+
+TEST(System, InflationSatiatesRareProviders) {
+  ReputationSystem system{rare_system(), rare_attack()};
+  const auto result = system.run();
+  // The attacker identities earn influence by genuinely serving...
+  EXPECT_GT(result.attacker_served, 0u);
+  // ...targets coast above the satiation threshold...
+  EXPECT_GT(result.target_reputation_multiple,
+            rare_system().satiation_multiple);
+  // ...and the rare service class collapses for everyone (§1).
+  const auto baseline = ReputationSystem{rare_system(), RepAttack{}}.run();
+  EXPECT_GT(baseline.rare_availability, 0.8);
+  EXPECT_LT(result.rare_availability, 0.3);
+  // Generic service is untouched: the attack harms nobody directly.
+  EXPECT_GT(result.availability, 0.75);
+}
+
+TEST(System, ShareCapDefenceRestoresRareService) {
+  auto defended_config = rare_system();
+  defended_config.rating_share_cap = 0.05;
+  const auto attacked = ReputationSystem{rare_system(), rare_attack()}.run();
+  const auto defended =
+      ReputationSystem{defended_config, rare_attack()}.run();
+  // With the share cap a rater cannot concentrate its voice on the five
+  // targets, so the pump stops satiating them and rare service recovers.
+  EXPECT_LT(defended.target_reputation_multiple,
+            attacked.target_reputation_multiple);
+  EXPECT_GT(defended.rare_availability, attacked.rare_availability + 0.3);
+}
+
+TEST(EigenTrust, ShareCapLimitsConcentration) {
+  // One agent pours everything into a single favourite; the cap redirects
+  // most of that voice to the uniform pool.
+  TrustMatrix m{10};
+  for (std::size_t i = 1; i < 10; ++i) m.add_trust(i, 0, 10.0);
+  const auto uncapped = eigentrust(m, 0.15, 20, 1.0);
+  const auto capped = eigentrust(m, 0.15, 20, 0.10);
+  EXPECT_LT(capped[0], uncapped[0] * 0.5);
+  EXPECT_THROW(eigentrust(m, 0.15, 20, 0.0), std::invalid_argument);
+  EXPECT_THROW(eigentrust(m, 0.15, 20, 1.5), std::invalid_argument);
+}
+
+TEST(System, RejectsBadConfig) {
+  auto config = small_system();
+  config.agents = 1;
+  EXPECT_THROW((ReputationSystem{config, RepAttack{}}), std::invalid_argument);
+  RepAttack attack;
+  attack.enabled = true;
+  attack.target_count = 999;
+  EXPECT_THROW((ReputationSystem{small_system(), attack}),
+               std::invalid_argument);
+}
+
+// Property: more attacker identities -> at least as much target inflation.
+class InflationScaling : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(InflationScaling, MoreSybilsMoreReputation) {
+  RepAttack small_attack;
+  small_attack.enabled = true;
+  small_attack.attacker_agents = 1;
+  small_attack.target_count = 10;
+  RepAttack big_attack = small_attack;
+  big_attack.attacker_agents = GetParam();
+  auto config = small_system();
+  config.rounds = 80;
+  config.warmup_rounds = 20;
+  const auto small_result = ReputationSystem{config, small_attack}.run();
+  const auto big_result = ReputationSystem{config, big_attack}.run();
+  EXPECT_GE(big_result.target_reputation_multiple + 0.05,
+            small_result.target_reputation_multiple);
+}
+
+INSTANTIATE_TEST_SUITE_P(SybilCounts, InflationScaling,
+                         ::testing::Values(2u, 4u, 8u));
+
+}  // namespace
+}  // namespace lotus::rep

@@ -1,0 +1,197 @@
+// Tests for the scrip economy substrate and its lotus-eater attack.
+#include <gtest/gtest.h>
+
+#include "scrip/analysis.h"
+#include "scrip/economy.h"
+
+namespace lotus::scrip {
+namespace {
+
+EconomyConfig small_economy() {
+  EconomyConfig c;
+  c.agents = 100;
+  c.initial_money = 5;
+  c.threshold = 10;
+  c.request_probability = 0.2;
+  c.rounds = 300;
+  c.warmup_rounds = 50;
+  c.seed = 3;
+  return c;
+}
+
+TEST(Economy, HealthyBaseline) {
+  Economy economy{small_economy(), ScripAttack{}};
+  const auto result = economy.run();
+  EXPECT_GT(result.availability, 0.9);
+  EXPECT_LT(result.satiated_fraction, 0.5);
+  EXPECT_EQ(result.free_served, 0u);  // no altruists configured
+  EXPECT_GT(result.paid_served, 0u);
+}
+
+TEST(Economy, MoneyConserved) {
+  auto config = small_economy();
+  ScripAttack attack;
+  attack.kind = ScripAttack::Kind::kMoneyGift;
+  attack.budget = 200;
+  attack.target_count = 20;
+  attack.target_rare_providers = false;
+  Economy economy{config, attack};
+  const auto result = economy.run();
+  // run() itself throws on violation; double-check the reported figure.
+  EXPECT_EQ(result.final_supply,
+            static_cast<std::uint64_t>(config.agents) * config.initial_money +
+                attack.budget);
+}
+
+TEST(Economy, Deterministic) {
+  Economy a{small_economy(), ScripAttack{}};
+  Economy b{small_economy(), ScripAttack{}};
+  EXPECT_EQ(a.run().availability, b.run().availability);
+}
+
+TEST(Economy, RejectsDegenerateConfigs) {
+  auto config = small_economy();
+  config.agents = 1;
+  EXPECT_THROW((Economy{config, ScripAttack{}}), std::invalid_argument);
+  config = small_economy();
+  config.threshold = 0;
+  EXPECT_THROW((Economy{config, ScripAttack{}}), std::invalid_argument);
+  config = small_economy();
+  config.rare_providers = config.agents + 1;
+  EXPECT_THROW((Economy{config, ScripAttack{}}), std::invalid_argument);
+}
+
+TEST(Economy, MoneyGiftSatiatesTargets) {
+  auto config = small_economy();
+  ScripAttack attack;
+  attack.kind = ScripAttack::Kind::kMoneyGift;
+  attack.budget = 100000;  // effectively unlimited
+  attack.target_count = 50;
+  attack.target_rare_providers = false;
+  Economy economy{config, attack};
+  const auto result = economy.run();
+  // Half the agents are held at threshold: satiated fraction reflects it.
+  EXPECT_GT(result.satiated_fraction, 0.45);
+  EXPECT_GT(result.attacker_spent, 0u);
+}
+
+TEST(Economy, LimitedBudgetBoundsSatiation) {
+  // §4 defence: with a small budget the attacker cannot hold many agents at
+  // threshold, because scrip he gives away circulates back into the economy.
+  auto config = small_economy();
+  ScripAttack small_attack;
+  small_attack.kind = ScripAttack::Kind::kMoneyGift;
+  small_attack.budget = 50;  // ~10 satiations' worth of gap
+  small_attack.target_count = 50;
+  small_attack.target_rare_providers = false;
+  ScripAttack big_attack = small_attack;
+  big_attack.budget = 100000;
+  const auto small_result = Economy{config, small_attack}.run();
+  const auto big_result = Economy{config, big_attack}.run();
+  EXPECT_LT(small_result.satiated_fraction, big_result.satiated_fraction - 0.2);
+  EXPECT_LE(small_result.attacker_spent, 50u);
+}
+
+TEST(Economy, RareProviderAttackDeniesRareService) {
+  auto config = small_economy();
+  config.rare_providers = 5;
+  // Kept low so the providers' earnings stay in balance with their own
+  // spending; heavier rare traffic satiates them naturally, even unattacked
+  // (the §4 remark about key nodes happening to satiate).
+  config.rare_request_fraction = 0.05;
+  ScripAttack attack;
+  attack.kind = ScripAttack::Kind::kMoneyGift;
+  attack.budget = 100000;
+  attack.target_count = 5;
+  attack.target_rare_providers = true;
+  const auto baseline = Economy{config, ScripAttack{}}.run();
+  const auto attacked = Economy{config, attack}.run();
+  EXPECT_GT(baseline.rare_availability, 0.85);
+  EXPECT_LT(attacked.rare_availability, 0.2);
+  // Generic service barely moves: the attack is surgical (§1: "targeting a
+  // user or users who control important or rare resources").
+  EXPECT_GT(attacked.availability, baseline.availability - 0.25);
+}
+
+TEST(Economy, CheapServiceSlowerThanGift) {
+  auto config = small_economy();
+  config.rounds = 100;
+  config.warmup_rounds = 10;
+  ScripAttack gift;
+  gift.kind = ScripAttack::Kind::kMoneyGift;
+  gift.budget = 100000;
+  gift.target_count = 30;
+  gift.target_rare_providers = false;
+  ScripAttack cheap = gift;
+  cheap.kind = ScripAttack::Kind::kCheapService;
+  const auto gift_result = Economy{config, gift}.run();
+  const auto cheap_result = Economy{config, cheap}.run();
+  EXPECT_GE(gift_result.satiated_fraction, cheap_result.satiated_fraction);
+}
+
+TEST(Economy, AltruistsCrashRationalParticipation) {
+  // §4 / EC'07: enough altruists and rational agents stop earning; total
+  // service falls to what the altruists can carry.
+  auto config = small_economy();
+  config.altruist_fraction = 0.15;
+  config.free_ride_sensitivity = 0.5;
+  Economy economy{config, ScripAttack{}};
+  const auto crashed = economy.run();
+  EXPECT_GT(crashed.quit_fraction, 0.4);
+  const auto healthy = Economy{small_economy(), ScripAttack{}}.run();
+  EXPECT_LT(crashed.availability, healthy.availability);
+}
+
+TEST(Economy, FewAltruistsAreHarmless) {
+  auto config = small_economy();
+  config.altruist_fraction = 0.02;
+  Economy economy{config, ScripAttack{}};
+  const auto result = economy.run();
+  EXPECT_LT(result.quit_fraction, 0.2);
+  EXPECT_GT(result.availability, 0.85);
+}
+
+TEST(Analysis, BudgetPointRunsCleanly) {
+  auto config = small_economy();
+  config.rare_providers = 5;
+  config.rare_request_fraction = 0.05;
+  const auto point = run_budget_point(config, 1000, 20, true);
+  EXPECT_EQ(point.budget, 1000u);
+  EXPECT_GT(point.satiated_fraction, 0.0);
+}
+
+TEST(Analysis, AltruistPointTracksPaidShare) {
+  const auto none = run_altruist_point(small_economy(), 0.0);
+  EXPECT_DOUBLE_EQ(none.paid_share, 1.0);
+  const auto many = run_altruist_point(small_economy(), 0.3);
+  EXPECT_LT(many.paid_share, 0.5);
+}
+
+TEST(SatiableBound, Arithmetic) {
+  EXPECT_EQ(satiable_bound(100, 10, 5.0), 20u);
+  EXPECT_EQ(satiable_bound(0, 10, 5.0), 0u);
+  EXPECT_EQ(satiable_bound(99, 10, 9.5), 198u);
+  // Already-satiated economy: bound is "everyone".
+  EXPECT_EQ(satiable_bound(5, 10, 12.0), std::uint64_t{0} - 1);
+}
+
+// Property: availability degrades monotonically (within noise) as the
+// attacker's budget grows.
+class BudgetMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BudgetMonotonicity, MoreBudgetNoBetterAvailability) {
+  auto config = small_economy();
+  config.rare_providers = 5;
+  config.rare_request_fraction = 0.05;
+  config.seed = GetParam();
+  const auto lo = run_budget_point(config, 20, 40, true);
+  const auto hi = run_budget_point(config, 5000, 40, true);
+  EXPECT_GE(lo.rare_availability + 0.05, hi.rare_availability);
+  EXPECT_LE(lo.satiated_fraction, hi.satiated_fraction + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetMonotonicity,
+                         ::testing::Values(1u, 7u, 42u));
+
+}  // namespace
+}  // namespace lotus::scrip

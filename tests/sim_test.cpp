@@ -1,0 +1,411 @@
+// Unit tests for the simulation substrate: RNG, stats, bitset, tables, sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "sim/bitset.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/sweep.h"
+#include "sim/table.h"
+
+namespace lotus::sim {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng{11};
+  std::array<int, 8> counts{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, NextIntBounds) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{9};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{13};
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng{17};
+  for (std::uint32_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto sample = rng.sample_without_replacement(100, k);
+    ASSERT_EQ(sample.size(), k);
+    std::set<std::uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (const auto v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng{19};
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleUniformCoverage) {
+  Rng rng{23};
+  std::array<int, 20> counts{};
+  for (int i = 0; i < 20000; ++i) {
+    for (const auto v : rng.sample_without_replacement(20, 3)) ++counts[v];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 3000, 600);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{29};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(std::span<int>{w});
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, WeightedSelection) {
+  Rng rng{31};
+  const std::vector<double> weights{0.0, 1.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) {
+    const auto idx = rng.next_weighted(weights);
+    ASSERT_LT(idx, 3u);
+    ++counts[idx];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedAllZeroReturnsSize) {
+  Rng rng{37};
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.next_weighted(weights), 2u);
+  EXPECT_EQ(rng.next_weighted({}), 0u);
+}
+
+TEST(Rng, DeriveSeedSpreads) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 100; ++i) seeds.insert(derive_seed(1, i));
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(RunningStats, Basic) {
+  RunningStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng{41};
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.next_double();
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+}
+
+TEST(Series, FirstCrossingBelow) {
+  Series s;
+  s.name = "test";
+  s.add(0.0, 1.0);
+  s.add(0.1, 0.95);
+  s.add(0.2, 0.85);
+  const double x = s.first_crossing_below(0.9);
+  EXPECT_GT(x, 0.1);
+  EXPECT_LT(x, 0.2);
+  EXPECT_TRUE(std::isnan(s.first_crossing_below(0.1)));
+}
+
+TEST(Series, CrossingAtFirstPoint) {
+  Series s;
+  s.add(0.0, 0.5);
+  s.add(1.0, 0.4);
+  EXPECT_DOUBLE_EQ(s.first_crossing_below(0.9), 0.0);
+}
+
+TEST(Histogram, BinsAndQuantiles) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bin_count(i), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_NEAR(h.quantile(0.95), 9.0, 1e-9);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(Histogram, RejectsBadArgs) {
+  EXPECT_THROW((Histogram{1.0, 0.0, 4}), std::invalid_argument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+TEST(Bitset, SetResetCount) {
+  DynamicBitset b{130};
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_TRUE(b.test(64));
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, SetAllRespectsSize) {
+  DynamicBitset b{70};
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all());
+}
+
+TEST(Bitset, AndNotCounts) {
+  DynamicBitset a{128};
+  DynamicBitset b{128};
+  a.set(1);
+  a.set(2);
+  a.set(100);
+  b.set(2);
+  EXPECT_EQ(a.count_and_not(b), 2u);
+  EXPECT_EQ(b.count_and_not(a), 0u);
+  EXPECT_EQ(a.count_and(b), 1u);
+}
+
+TEST(Bitset, Indices) {
+  DynamicBitset a{80};
+  a.set(3);
+  a.set(64);
+  const auto idx = a.to_indices();
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 3u);
+  EXPECT_EQ(idx[1], 64u);
+}
+
+TEST(Bitset, RangeCount) {
+  DynamicBitset a{200};
+  for (std::size_t i = 0; i < 200; i += 10) a.set(i);
+  EXPECT_EQ(a.count_range(0, 200), 20u);
+  EXPECT_EQ(a.count_range(0, 11), 2u);   // bits 0 and 10
+  EXPECT_EQ(a.count_range(5, 10), 0u);
+  EXPECT_EQ(a.count_range(60, 71), 2u);  // bits 60 and 70 straddle a word
+  EXPECT_EQ(a.count_range(100, 100), 0u);
+}
+
+TEST(Bitset, CountAndNotRange) {
+  DynamicBitset a{128};
+  DynamicBitset b{128};
+  a.set(10);
+  a.set(70);
+  a.set(100);
+  b.set(70);
+  EXPECT_EQ(a.count_and_not_range(b, 0, 128), 2u);
+  EXPECT_EQ(a.count_and_not_range(b, 0, 64), 1u);
+  EXPECT_EQ(a.count_and_not_range(b, 64, 128), 1u);
+  EXPECT_EQ(a.count_and_not_range(b, 64, 100), 0u);
+}
+
+TEST(Bitset, TransferFromLowestFirst) {
+  DynamicBitset src{128};
+  DynamicBitset dst{128};
+  src.set(5);
+  src.set(66);
+  src.set(99);
+  const auto moved = dst.transfer_from(src, 0, 128, 2);
+  EXPECT_EQ(moved, 2u);
+  EXPECT_TRUE(dst.test(5));
+  EXPECT_TRUE(dst.test(66));
+  EXPECT_FALSE(dst.test(99));
+}
+
+TEST(Bitset, TransferRespectsRangeAndExisting) {
+  DynamicBitset src{128};
+  DynamicBitset dst{128};
+  src.set(5);
+  src.set(66);
+  dst.set(5);  // already held: not transferred again
+  const auto moved = dst.transfer_from(src, 0, 64, 10);
+  EXPECT_EQ(moved, 0u);  // 5 already held, 66 out of range
+  const auto moved2 = dst.transfer_from(src, 64, 128, 10);
+  EXPECT_EQ(moved2, 1u);
+  EXPECT_TRUE(dst.test(66));
+}
+
+TEST(Bitset, OrRange) {
+  DynamicBitset src{128};
+  DynamicBitset dst{128};
+  src.set(10);
+  src.set(100);
+  dst.or_range(src, 0, 64);
+  EXPECT_TRUE(dst.test(10));
+  EXPECT_FALSE(dst.test(100));
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_NEAR(v[5], 0.5, 1e-12);
+  EXPECT_EQ(linspace(2.0, 3.0, 1), std::vector<double>{2.0});
+  EXPECT_TRUE(linspace(0, 1, 0).empty());
+}
+
+TEST(Sweep, MeanOverSeeds) {
+  const auto series = sweep_mean(
+      "s", {1.0, 2.0}, 4, 99,
+      [](double x, std::uint64_t seed) {
+        return x + static_cast<double>(seed % 2) * 0.0;  // deterministic in x
+      });
+  ASSERT_EQ(series.xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.ys[0], 1.0);
+  EXPECT_DOUBLE_EQ(series.ys[1], 2.0);
+}
+
+TEST(Sweep, CriticalPointFindsStep) {
+  // metric = 1 for x < 0.37, 0 for x >= 0.37
+  const auto critical = critical_point(
+      0.0, 1.0, 0.001, 0.5, 1, 1,
+      [](double x, std::uint64_t) { return x < 0.37 ? 1.0 : 0.0; });
+  EXPECT_NEAR(critical, 0.37, 0.002);
+}
+
+TEST(Sweep, CriticalPointNeverCrossed) {
+  const auto critical = critical_point(
+      0.0, 1.0, 0.01, 0.5, 1, 1, [](double, std::uint64_t) { return 1.0; });
+  EXPECT_DOUBLE_EQ(critical, 1.0);
+}
+
+TEST(Table, PrintsAligned) {
+  Table t{{"x", "value"}};
+  t.add_row({"0.1", "hello"});
+  std::ostringstream out;
+  t.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("| x"), std::string::npos);
+  EXPECT_NE(text.find("hello"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t{{"only"}};
+  EXPECT_THROW(t.add_row({"a", "b"}), std::invalid_argument);
+}
+
+TEST(SeriesTable, CombinesSeries) {
+  Series s1;
+  s1.name = "one";
+  s1.add(0.0, 1.0);
+  Series s2;
+  s2.name = "two";
+  s2.add(0.0, 2.0);
+  const std::vector<Series> all{s1, s2};
+  const auto t = series_table("x", all, 2);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(SeriesTable, RejectsMismatchedAxes) {
+  Series s1;
+  s1.add(0.0, 1.0);
+  Series s2;
+  s2.add(1.0, 2.0);
+  const std::vector<Series> all{s1, s2};
+  EXPECT_THROW(series_table("x", all), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lotus::sim

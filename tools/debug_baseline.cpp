@@ -1,0 +1,69 @@
+// Diagnostic tool (not part of the library): where does baseline delivery
+// leak? Prints per-node and per-update delivery distributions and traffic
+// counters for a no-attack run at Table 1 parameters.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "gossip/engine.h"
+#include "gossip/update_store.h"
+#include "sim/stats.h"
+#include "sim/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lotus;
+  gossip::GossipConfig config;
+  config.seed = 2008;
+  if (argc > 1) config.push_size = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) config.recent_window = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  if (argc > 3) config.old_window = static_cast<std::uint32_t>(std::atoi(argv[3]));
+
+  gossip::GossipEngine engine{config, gossip::AttackPlan{}};
+  const auto result = engine.run();
+  const gossip::UpdateClock clock{config};
+  const auto measured = clock.measured(config.warmup_rounds);
+
+  std::cout << "overall=" << result.overall_delivery
+            << " exchanges=" << result.balanced_exchanges
+            << " exch_updates=" << result.exchange_updates
+            << " pushes=" << result.pushes
+            << " push_updates=" << result.push_updates
+            << " junk=" << result.junk_updates << "\n";
+  std::cout << "mean updates per exchange = "
+            << static_cast<double>(result.exchange_updates) /
+                   static_cast<double>(result.balanced_exchanges)
+            << "\n";
+
+  // Per-node delivery distribution.
+  std::vector<double> node_delivery;
+  for (std::uint32_t v = 0; v < config.nodes; ++v) {
+    node_delivery.push_back(
+        static_cast<double>(engine.holdings_of(v).count_range(measured.lo,
+                                                              measured.hi)) /
+        static_cast<double>(measured.size()));
+  }
+  std::sort(node_delivery.begin(), node_delivery.end());
+  std::cout << "node delivery: min=" << node_delivery.front()
+            << " p10=" << sim::percentile(node_delivery, 0.1)
+            << " p50=" << sim::percentile(node_delivery, 0.5)
+            << " p90=" << sim::percentile(node_delivery, 0.9)
+            << " max=" << node_delivery.back() << "\n";
+
+  // Per-update delivery distribution.
+  std::vector<double> upd_delivery;
+  for (auto u = measured.lo; u < measured.hi; ++u) {
+    std::size_t holders = 0;
+    for (std::uint32_t v = 0; v < config.nodes; ++v) {
+      holders += engine.holdings_of(v).test(u);
+    }
+    upd_delivery.push_back(static_cast<double>(holders) /
+                           static_cast<double>(config.nodes));
+  }
+  std::sort(upd_delivery.begin(), upd_delivery.end());
+  std::cout << "update delivery: min=" << upd_delivery.front()
+            << " p10=" << sim::percentile(upd_delivery, 0.1)
+            << " p50=" << sim::percentile(upd_delivery, 0.5)
+            << " p90=" << sim::percentile(upd_delivery, 0.9)
+            << " max=" << upd_delivery.back() << "\n";
+  return 0;
+}

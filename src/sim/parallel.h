@@ -1,0 +1,76 @@
+// A small thread pool used to fan independent simulation trials across CPU
+// cores. Determinism is preserved by construction: workers only fill
+// index-addressed slots, and callers reduce those slots in a fixed order, so
+// results never depend on scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lotus::sim {
+
+/// Worker count used by the sweep engine: the LOTUS_SWEEP_THREADS environment
+/// variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (at least 1). CI and benches set the
+/// variable to pin timing runs to a known width.
+[[nodiscard]] std::size_t sweep_threads() noexcept;
+
+/// Fixed-size pool of worker threads with a shared FIFO job queue.
+///
+/// A pool constructed with one thread spawns no workers at all: submit() runs
+/// the job inline on the calling thread, so the single-threaded path has zero
+/// synchronization overhead and is trivially deterministic.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means sweep_threads(). Any request is
+  /// clamped to 1024 workers — past that, thread spawn would exhaust OS
+  /// limits long before it helped a sweep.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads this pool runs jobs on (>= 1; 1 means inline).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Enqueues a job. Jobs may run on any worker in any order. A job that
+  /// throws records the first such exception, rethrown by the next wait().
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished, then rethrows the first
+  /// exception any job raised (if any).
+  void wait();
+
+  /// Runs body(i) for every i in [0, n) across the pool's workers and blocks
+  /// until all iterations complete, then rethrows the first exception any
+  /// iteration raised. Once an iteration throws, not-yet-started iterations
+  /// are abandoned so the error surfaces without paying for the rest of the
+  /// grid. Iterations may execute in any order; the body must only write to
+  /// iteration-owned state (e.g. slot i of a buffer).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void record_error() noexcept;
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;
+  std::atomic<bool> failed_{false};
+  bool stop_ = false;
+};
+
+}  // namespace lotus::sim

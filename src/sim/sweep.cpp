@@ -1,6 +1,10 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "sim/parallel.h"
 
 namespace lotus::sim {
 
@@ -21,23 +25,57 @@ Series sweep_mean(
     std::string name, const std::vector<double>& xs, std::size_t seeds,
     std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial) {
-  return sweep_stats(std::move(name), xs, seeds, base_seed, trial).mean;
+  return sweep_mean(std::move(name), xs, seeds, base_seed, trial,
+                    sweep_threads());
+}
+
+Series sweep_mean(
+    std::string name, const std::vector<double>& xs, std::size_t seeds,
+    std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial,
+    std::size_t threads) {
+  return sweep_stats(std::move(name), xs, seeds, base_seed, trial, threads)
+      .mean;
 }
 
 SweepResult sweep_stats(
     std::string name, const std::vector<double>& xs, std::size_t seeds,
     std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial) {
+  return sweep_stats(std::move(name), xs, seeds, base_seed, trial,
+                     sweep_threads());
+}
+
+SweepResult sweep_stats(
+    std::string name, const std::vector<double>& xs, std::size_t seeds,
+    std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial,
+    std::size_t threads) {
   if (seeds == 0) throw std::invalid_argument("sweep needs >= 1 seed");
+
+  // Every (x, seed) trial is independent: seeds depend only on the replica
+  // index, never on x, so adjacent sweep points see common random numbers
+  // and curves stay smooth. Fan the whole grid across the pool into
+  // index-addressed slots...
+  std::vector<double> values(xs.size() * seeds);
+  const std::size_t width = threads > 0 ? threads : sweep_threads();
+  ThreadPool pool(std::min(width, std::max<std::size_t>(values.size(), 1)));
+  pool.parallel_for(values.size(), [&](std::size_t i) {
+    const std::size_t xi = i / seeds;
+    const std::size_t s = i % seeds;
+    values[i] = trial(xs[xi], derive_seed(base_seed, s));
+  });
+
+  // ...then reduce in (x, seed) order on this thread. This is the exact
+  // add-sequence of the old serial loop, so means and stddevs are
+  // bit-identical at any worker count.
   SweepResult result;
   result.mean.name = name;
   result.stddev.name = name + " (sd)";
   for (std::size_t xi = 0; xi < xs.size(); ++xi) {
     RunningStats stats;
     for (std::size_t s = 0; s < seeds; ++s) {
-      // Seed depends only on (replica index), not on x, so adjacent sweep
-      // points see common random numbers and curves are smooth.
-      stats.add(trial(xs[xi], derive_seed(base_seed, s)));
+      stats.add(values[xi * seeds + s]);
     }
     result.mean.add(xs[xi], stats.mean());
     result.stddev.add(xs[xi], stats.stddev());
@@ -49,11 +87,25 @@ double critical_point(
     double lo, double hi, double tolerance, double threshold,
     std::size_t seeds, std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial) {
+  return critical_point(lo, hi, tolerance, threshold, seeds, base_seed, trial,
+                        sweep_threads());
+}
+
+double critical_point(
+    double lo, double hi, double tolerance, double threshold,
+    std::size_t seeds, std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial,
+    std::size_t threads) {
+  if (seeds == 0) throw std::invalid_argument("sweep needs >= 1 seed");
+  const std::size_t width = threads > 0 ? threads : sweep_threads();
+  ThreadPool pool(std::min(width, seeds));  // one probe's trials per batch
+  std::vector<double> values(seeds);
   const auto probe = [&](double x) {
+    pool.parallel_for(seeds, [&](std::size_t s) {
+      values[s] = trial(x, derive_seed(base_seed, s));
+    });
     RunningStats stats;
-    for (std::size_t s = 0; s < seeds; ++s) {
-      stats.add(trial(x, derive_seed(base_seed, s)));
-    }
+    for (const double v : values) stats.add(v);
     return stats.mean();
   };
   if (probe(lo) < threshold) return lo;

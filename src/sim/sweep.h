@@ -1,4 +1,11 @@
 // Multi-seed parameter sweep helpers shared by figure benches.
+//
+// The (x, seed) trial grid is embarrassingly parallel — seeds derive only
+// from the replica index — so every sweep fans its trials across a
+// sim::ThreadPool. Results are reduced in deterministic (x, seed) order, so
+// output is bit-identical at any worker count. The default width is
+// sweep_threads() (LOTUS_SWEEP_THREADS env override, else hardware
+// concurrency); the overloads with a trailing `threads` argument pin it.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,12 @@ namespace lotus::sim {
     std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial);
 
+[[nodiscard]] Series sweep_mean(
+    std::string name, const std::vector<double>& xs, std::size_t seeds,
+    std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial,
+    std::size_t threads);
+
 /// As sweep_mean but also reports the per-x standard deviation.
 struct SweepResult {
   Series mean;
@@ -34,6 +47,12 @@ struct SweepResult {
     std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial);
 
+[[nodiscard]] SweepResult sweep_stats(
+    std::string name, const std::vector<double>& xs, std::size_t seeds,
+    std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial,
+    std::size_t threads);
+
 /// Bisection search for the smallest x in [lo, hi] at which `metric(x)` drops
 /// below `threshold`. Assumes metric is (noisily) non-increasing in x; each
 /// probe averages `seeds` runs. Returns hi if the threshold is never crossed.
@@ -41,5 +60,11 @@ struct SweepResult {
     double lo, double hi, double tolerance, double threshold,
     std::size_t seeds, std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial);
+
+[[nodiscard]] double critical_point(
+    double lo, double hi, double tolerance, double threshold,
+    std::size_t seeds, std::uint64_t base_seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial,
+    std::size_t threads);
 
 }  // namespace lotus::sim

@@ -1,11 +1,15 @@
 // Unit tests for the simulation substrate: RNG, stats, bitset, tables, sweeps.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/bitset.h"
+#include "sim/parallel.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "sim/sweep.h"
@@ -361,6 +365,148 @@ TEST(Sweep, CriticalPointNeverCrossed) {
   const auto critical = critical_point(
       0.0, 1.0, 0.01, 0.5, 1, 1, [](double, std::uint64_t) { return 1.0; });
   EXPECT_DOUBLE_EQ(critical, 1.0);
+}
+
+// setenv/unsetenv are POSIX; MSVC only has _putenv_s.
+void set_env(const char* name, const char* value) {
+#ifdef _WIN32
+  _putenv_s(name, value);
+#else
+  setenv(name, value, 1);
+#endif
+}
+
+void unset_env(const char* name) {
+#ifdef _WIN32
+  _putenv_s(name, "");
+#else
+  unsetenv(name);
+#endif
+}
+
+TEST(Parallel, SweepThreadsReadsEnvOverride) {
+  set_env("LOTUS_SWEEP_THREADS", "3");
+  EXPECT_EQ(sweep_threads(), 3u);
+  set_env("LOTUS_SWEEP_THREADS", "bogus");
+  EXPECT_GE(sweep_threads(), 1u);
+  set_env("LOTUS_SWEEP_THREADS", "0");
+  EXPECT_GE(sweep_threads(), 1u);
+  // Out-of-range values must clamp, not saturate to 2^64 workers.
+  set_env("LOTUS_SWEEP_THREADS", "999999999999999999999");
+  EXPECT_LE(sweep_threads(), 1024u);
+  EXPECT_GE(sweep_threads(), 1u);
+  unset_env("LOTUS_SWEEP_THREADS");
+  EXPECT_GE(sweep_threads(), 1u);
+}
+
+TEST(Parallel, ThreadPoolRunsEverySubmittedJob) {
+  std::atomic<int> ran{0};
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> hits(257);
+    ThreadPool pool{threads};
+    pool.parallel_for(hits.size(),
+                      [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, PropagatesFirstJobException) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool{threads};
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [](std::size_t i) {
+                                     if (i == 13) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    // The pool is reusable after an exception has been rethrown.
+    std::atomic<int> ran{0};
+    pool.parallel_for(8, [&ran](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(Parallel, ClampsAbsurdWorkerCounts) {
+  ThreadPool pool{100000};
+  EXPECT_LE(pool.size(), 1024u);
+}
+
+TEST(Parallel, AbandonsRemainingIterationsAfterThrow) {
+  // Deterministic on the inline (1-thread) path: iteration 3 throws and
+  // iterations 4+ must not run.
+  std::atomic<int> ran{0};
+  ThreadPool pool{1};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&ran](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                          ran.fetch_add(1);
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 3);
+}
+
+// A trial with enough RNG state that any change to seed derivation or
+// reduction order would perturb the result.
+double noisy_trial(double x, std::uint64_t seed) {
+  Rng rng{seed};
+  double acc = x;
+  for (int i = 0; i < 64; ++i) acc += rng.next_double() * (1.0 - x);
+  return acc;
+}
+
+TEST(Sweep, ParallelStatsBitIdenticalToSerial) {
+  const auto xs = linspace(0.0, 1.0, 9);
+  const auto serial = sweep_stats("s", xs, 5, 2008, noisy_trial, 1);
+  const auto parallel = sweep_stats("s", xs, 5, 2008, noisy_trial, 8);
+  ASSERT_EQ(serial.mean.xs.size(), parallel.mean.xs.size());
+  for (std::size_t i = 0; i < serial.mean.xs.size(); ++i) {
+    // EXPECT_EQ, not NEAR: the contract is bit-identical output.
+    EXPECT_EQ(serial.mean.xs[i], parallel.mean.xs[i]);
+    EXPECT_EQ(serial.mean.ys[i], parallel.mean.ys[i]);
+    EXPECT_EQ(serial.stddev.ys[i], parallel.stddev.ys[i]);
+  }
+}
+
+TEST(Sweep, EnvThreadCountBitIdenticalToSerial) {
+  const auto xs = linspace(0.0, 1.0, 5);
+  const auto serial = sweep_stats("s", xs, 4, 7, noisy_trial, 1);
+  set_env("LOTUS_SWEEP_THREADS", "4");
+  const auto via_env = sweep_stats("s", xs, 4, 7, noisy_trial);
+  unset_env("LOTUS_SWEEP_THREADS");
+  for (std::size_t i = 0; i < serial.mean.ys.size(); ++i) {
+    EXPECT_EQ(serial.mean.ys[i], via_env.mean.ys[i]);
+    EXPECT_EQ(serial.stddev.ys[i], via_env.stddev.ys[i]);
+  }
+}
+
+TEST(Sweep, CriticalPointDeterministicAcrossThreadCounts) {
+  const auto trial = [](double x, std::uint64_t seed) {
+    Rng rng{seed};
+    return 1.0 - x + 0.01 * rng.next_double();
+  };
+  const auto serial = critical_point(0.0, 1.0, 1e-4, 0.5, 6, 42, trial, 1);
+  const auto parallel = critical_point(0.0, 1.0, 1e-4, 0.5, 6, 42, trial, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Sweep, RejectsZeroSeeds) {
+  const auto trial = [](double, std::uint64_t) { return 0.0; };
+  EXPECT_THROW((void)sweep_stats("s", {0.0}, 0, 1, trial),
+               std::invalid_argument);
+  EXPECT_THROW((void)critical_point(0.0, 1.0, 0.1, 0.5, 0, 1, trial),
+               std::invalid_argument);
 }
 
 TEST(Table, PrintsAligned) {

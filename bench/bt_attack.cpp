@@ -4,18 +4,29 @@
 // Disabling rarest-first shows the "last pieces problem" the attacker would
 // need, and that the default policy removes it.
 #include <iostream>
+#include <string>
 
 #include "bt/swarm.h"
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "bt_attack",
+                .summary =
+                    "E11: unchoke-monopoly attack on a BitTorrent swarm.",
+                .sweeps = false,
+                .seed = 17}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   bt::SwarmConfig config;
   config.leechers = 60;
   config.seeds = 2;
   config.pieces = 100;
   config.max_rounds = 1500;
-  config.seed_value = 17;
+  config.seed_value = cli.seed();
 
   std::cout << "=== E11: unchoke-monopoly attack on a BitTorrent swarm ===\n\n";
   sim::Table table{{"scenario", "mean completion (untargeted)",
@@ -53,18 +64,23 @@ int main() {
   add_row("baseline (random pieces)", random_config, bt::SwarmAttack{});
   add_row("attack 30 targets (random pieces)", random_config, heavy);
 
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "swarm_scenarios");
 
   // Last-pieces indicator: copies of the scarcest piece among leechers,
   // averaged over the run (higher = safer against the last-pieces variant).
   bt::Swarm rarest_swarm{config, bt::SwarmAttack{}};
   bt::Swarm random_swarm{random_config, bt::SwarmAttack{}};
+  const std::string rarest_str =
+      sim::format_double(rarest_swarm.run().mean_rarest_copies, 1);
+  const std::string random_str =
+      sim::format_double(random_swarm.run().mean_rarest_copies, 1);
   std::cout << "\nmean copies of the rarest piece among leechers: "
-            << "rarest-first="
-            << sim::format_double(rarest_swarm.run().mean_rarest_copies, 1)
-            << " random="
-            << sim::format_double(random_swarm.run().mean_rarest_copies, 1)
+            << "rarest-first=" << rarest_str << " random=" << random_str
             << "\n";
+  sim::Table rarest_table{{"policy", "mean copies of rarest piece"}};
+  rarest_table.add_row({"rarest-first", rarest_str});
+  rarest_table.add_row({"random", random_str});
+  sink.write(rarest_table, "last_pieces_indicator");
 
   std::cout << "\nExpected shape (paper section 1): targets finish sooner, "
                "untargeted completion moves only modestly — the attack is "

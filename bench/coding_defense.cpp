@@ -4,14 +4,25 @@
 // Also demonstrates the mechanics end-to-end over GF(256).
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "coding/rlnc.h"
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "net/topology.h"
 #include "sim/table.h"
 #include "token/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "coding_defense",
+                .summary = "E12: network coding removes rare-token leverage.",
+                .sweeps = false,
+                .seed = 9}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   constexpr std::size_t kNodes = 120;
   constexpr std::size_t kTokens = 24;
 
@@ -29,7 +40,7 @@ int main() {
   config.tokens = kTokens;
   config.contact_bound = 2;
   config.max_rounds = 150;
-  config.seed = 9;
+  config.seed = cli.seed();
 
   sim::Table table{{"satiation rule", "untargeted satiated"}};
   const auto run_case = [&](const char* name,
@@ -46,7 +57,7 @@ int main() {
            std::make_shared<token::CodedRankSatiation>(20));
   run_case("coded: any 16 of 24 blocks",
            std::make_shared<token::CodedRankSatiation>(16));
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "satiation_rules");
 
   // End-to-end decode check over real GF(256) blocks: every block except the
   // denied one reaches a decoder; rank k-1 of uncoded blocks fails, but with

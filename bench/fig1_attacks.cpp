@@ -6,55 +6,44 @@
 // parameters of Table 1. Also prints the measured 93%-usability crossings
 // the paper quotes (crash ~42%, ideal ~4%, trade ~22%) and the attacker's
 // update coverage at the ideal critical point (paper: 39%).
-#include <cstdlib>
+//
+// Driven by the shared experiment CLI (exp::Cli); the trial cache lets the
+// critical-point bisection reuse the trials the curves already ran.
 #include <iostream>
+#include <vector>
 
 #include "core/critical.h"
+#include "exp/cli.h"
+#include "exp/csv.h"
+#include "exp/hash.h"
+#include "exp/trial_cache.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
 
-namespace {
-
-struct Args {
-  std::size_t points = 24;
-  std::size_t seeds = 3;
-  std::uint64_t seed = 2008;
-};
-
-Args parse(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view a{argv[i]};
-    if (a == "--quick") {
-      args.points = 10;
-      args.seeds = 1;
-    } else if (a == "--seed" && i + 1 < argc) {
-      args.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (a == "--points" && i + 1 < argc) {
-      args.points = std::strtoull(argv[++i], nullptr, 10);
-    } else if (a == "--seeds" && i + 1 < argc) {
-      args.seeds = std::strtoull(argv[++i], nullptr, 10);
-    }
-  }
-  return args;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace lotus;
-  const Args args = parse(argc, argv);
+  exp::Cli cli{{.program = "fig1_attacks",
+                .summary = "Figure 1: three attacks on BAR Gossip.",
+                .points = 24,
+                .seeds = 3,
+                .quick_points = 10,
+                .quick_seeds = 1,
+                .seed = 2008}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+  exp::TrialCache cache;
 
   gossip::GossipConfig config;  // Table 1 defaults
-  config.seed = args.seed;
+  config.seed = cli.seed();
 
   core::CriticalQuery query;
   query.config = config;
-  query.seeds = args.seeds;
+  query.seeds = cli.seeds();
   query.lo = 0.0;
   query.hi = 0.9;
+  query.threads = cli.threads();
 
   std::cout << "=== Figure 1: Three attacks on BAR Gossip ===\n"
             << "x: fraction of nodes controlled by attacker\n"
@@ -65,31 +54,48 @@ int main(int argc, char** argv) {
        {gossip::AttackKind::kCrash, gossip::AttackKind::kIdealLotus,
         gossip::AttackKind::kTradeLotus}) {
     query.attack = kind;
-    curves.push_back(core::delivery_curve(query, args.points));
+    exp::ScopedMemo memo{cache, exp::trial_space_hash(query), query.memo,
+                         cli.cache_enabled()};
+    curves.push_back(core::delivery_curve(query, cli.points()));
   }
 
-  sim::series_table("attacker_fraction", curves, 3).print(std::cout);
+  exp::emit(std::cout, sink, sim::series_table("attacker_fraction", curves, 3),
+            "delivery");
 
   std::cout << "\n93% usability crossings (paper: crash ~0.42, ideal ~0.04, "
                "trade ~0.22):\n";
+  sim::Table crossings{{"curve", "crossing"}};
   for (const auto& curve : curves) {
-    std::cout << "  " << curve.name << ": "
-              << sim::format_double(
-                     curve.first_crossing_below(config.usability_threshold), 3)
-              << "\n";
+    crossings.add_row(
+        {curve.name,
+         sim::format_double(
+             curve.first_crossing_below(config.usability_threshold), 3)});
   }
+  exp::emit(std::cout, sink, crossings, "usability_crossings_93");
 
   // Attacker coverage at the ideal critical point (paper: 39% of updates).
+  // With the cache on, the bisection's bracket probes are served from the
+  // curve's trials instead of re-running.
   query.attack = gossip::AttackKind::kIdealLotus;
-  const double ideal_critical = core::critical_attacker_fraction(query);
+  const double ideal_critical = [&] {
+    exp::ScopedMemo memo{cache, exp::trial_space_hash(query), query.memo,
+                         cli.cache_enabled()};
+    return core::critical_attacker_fraction(query);
+  }();
   gossip::AttackPlan plan;
   plan.kind = gossip::AttackKind::kIdealLotus;
   plan.attacker_fraction = ideal_critical;
   const auto at_critical = gossip::run_gossip(config, plan);
-  std::cout << "\nideal attack at its critical fraction ("
-            << sim::format_double(ideal_critical, 3)
-            << "): attacker received "
-            << sim::format_double(at_critical.attacker_coverage * 100.0, 1)
+  const std::string critical_str = sim::format_double(ideal_critical, 3);
+  const std::string coverage_str =
+      sim::format_double(at_critical.attacker_coverage * 100.0, 1);
+  std::cout << "\nideal attack at its critical fraction (" << critical_str
+            << "): attacker received " << coverage_str
             << "% of updates (paper: 39%)\n";
+  sim::Table summary{{"ideal critical fraction", "attacker coverage %"}};
+  summary.add_row({critical_str, coverage_str});
+  sink.write(summary, "ideal_critical_summary");
+
+  cache.report(cli.program(), cli.cache_enabled());
   return 0;
 }

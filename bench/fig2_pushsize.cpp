@@ -4,35 +4,42 @@
 // from 2 to 10 updates. Paper: the ideal lotus-eater attack now requires at
 // least ~15% of the nodes (up from ~4%) and the trade attack ~40% (up from
 // ~22%); the crash attack is roughly unchanged.
-#include <cstdlib>
 #include <iostream>
-#include <string_view>
+#include <vector>
 
 #include "core/critical.h"
+#include "exp/cli.h"
+#include "exp/csv.h"
+#include "exp/hash.h"
+#include "exp/trial_cache.h"
 #include "gossip/config.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
 
 int main(int argc, char** argv) {
   using namespace lotus;
-  std::size_t points = 24;
-  std::size_t seeds = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view{argv[i]} == "--quick") {
-      points = 10;
-      seeds = 1;
-    }
-  }
+  exp::Cli cli{{.program = "fig2_pushsize",
+                .summary =
+                    "Figure 2: larger push size (10) reduces effectiveness.",
+                .points = 24,
+                .seeds = 3,
+                .quick_points = 10,
+                .quick_seeds = 1,
+                .seed = 2008}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+  exp::TrialCache cache;
 
   gossip::GossipConfig config;  // Table 1 ...
   config.push_size = 10;        // ... with the Figure 2 change
-  config.seed = 2008;
+  config.seed = cli.seed();
 
   core::CriticalQuery query;
   query.config = config;
-  query.seeds = seeds;
+  query.seeds = cli.seeds();
   query.lo = 0.0;
   query.hi = 0.9;
+  query.threads = cli.threads();
 
   std::cout << "=== Figure 2: Larger push size (10) reduces effectiveness ===\n"
             << "x: fraction of nodes controlled by attacker\n"
@@ -43,26 +50,37 @@ int main(int argc, char** argv) {
        {gossip::AttackKind::kCrash, gossip::AttackKind::kIdealLotus,
         gossip::AttackKind::kTradeLotus}) {
     query.attack = kind;
-    curves.push_back(core::delivery_curve(query, points));
+    exp::ScopedMemo memo{cache, exp::trial_space_hash(query), query.memo,
+                         cli.cache_enabled()};
+    curves.push_back(core::delivery_curve(query, cli.points()));
   }
-  sim::series_table("attacker_fraction", curves, 3).print(std::cout);
+  exp::emit(std::cout, sink, sim::series_table("attacker_fraction", curves, 3),
+            "delivery");
 
   std::cout << "\n93% usability crossings with push size 10 "
                "(paper: ideal >= ~0.15, trade ~0.40):\n";
+  sim::Table crossings{{"curve", "crossing"}};
   for (const auto& curve : curves) {
-    std::cout << "  " << curve.name << ": "
-              << sim::format_double(
-                     curve.first_crossing_below(config.usability_threshold), 3)
-              << "\n";
+    crossings.add_row(
+        {curve.name,
+         sim::format_double(
+             curve.first_crossing_below(config.usability_threshold), 3)});
   }
+  exp::emit(std::cout, sink, crossings, "usability_crossings_93");
 
   // Paper: 15% control is enough to provide 85% of the updates to satiated
   // nodes (1 - 0.85^12); print the coverage at 0.15 to confirm the seeding
   // arithmetic carries over.
   query.attack = gossip::AttackKind::kIdealLotus;
-  std::cout << "\nideal attack at 15% control delivers "
-            << sim::format_double(
-                   isolated_delivery_at(query, 0.15) * 100.0, 1)
-            << "% to isolated nodes\n";
+  {
+    exp::ScopedMemo memo{cache, exp::trial_space_hash(query), query.memo,
+                         cli.cache_enabled()};
+    std::cout << "\nideal attack at 15% control delivers "
+              << sim::format_double(isolated_delivery_at(query, 0.15) * 100.0,
+                                    1)
+              << "% to isolated nodes\n";
+  }
+
+  cache.report(cli.program(), cli.cache_enabled());
   return 0;
 }

@@ -7,23 +7,31 @@
 // raise the fraction the attacker must control by almost 50%.
 #include <cmath>
 #include <iostream>
-#include <string_view>
+#include <vector>
 
 #include "core/critical.h"
+#include "exp/cli.h"
+#include "exp/csv.h"
+#include "exp/hash.h"
+#include "exp/trial_cache.h"
 #include "gossip/config.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
 
 int main(int argc, char** argv) {
   using namespace lotus;
-  std::size_t points = 22;
-  std::size_t seeds = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view{argv[i]} == "--quick") {
-      points = 8;
-      seeds = 1;
-    }
-  }
+  exp::Cli cli{{.program = "fig3_obedient",
+                .summary =
+                    "Figure 3: obedient nodes reduce the trade attack's "
+                    "effectiveness.",
+                .points = 22,
+                .seeds = 3,
+                .quick_points = 8,
+                .quick_seeds = 1,
+                .seed = 2008}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+  exp::TrialCache cache;
 
   struct Variant {
     const char* name;
@@ -42,37 +50,47 @@ int main(int argc, char** argv) {
             << "y: fraction of updates received by isolated nodes\n\n";
 
   std::vector<sim::Series> curves;
-  std::vector<double> crossings;
+  std::vector<double> crossing_values;
+  double usability_threshold = 0.0;
   for (const auto& variant : variants) {
     gossip::GossipConfig config;
     config.push_size = variant.push_size;
     config.unbalanced_exchange = variant.unbalanced;
-    config.seed = 2008;
+    config.seed = cli.seed();
+    usability_threshold = config.usability_threshold;
     core::CriticalQuery query;
     query.config = config;
     query.attack = gossip::AttackKind::kTradeLotus;
-    query.seeds = seeds;
+    query.seeds = cli.seeds();
     query.lo = 0.0;
     query.hi = 0.7;  // the paper's Figure 3 x range
-    auto curve = core::delivery_curve(query, points);
+    query.threads = cli.threads();
+    exp::ScopedMemo memo{cache, exp::trial_space_hash(query), query.memo,
+                         cli.cache_enabled()};
+    auto curve = core::delivery_curve(query, cli.points());
     curve.name = variant.name;
-    crossings.push_back(
-        curve.first_crossing_below(config.usability_threshold));
+    crossing_values.push_back(curve.first_crossing_below(usability_threshold));
     curves.push_back(std::move(curve));
   }
-  sim::series_table("attacker_fraction", curves, 3).print(std::cout);
+  exp::emit(std::cout, sink, sim::series_table("attacker_fraction", curves, 3),
+            "delivery");
 
   std::cout << "\n93% usability crossings:\n";
+  sim::Table crossings{{"variant", "crossing"}};
   for (std::size_t i = 0; i < curves.size(); ++i) {
-    std::cout << "  " << curves[i].name << ": "
-              << sim::format_double(crossings[i], 3) << "\n";
+    crossings.add_row(
+        {curves[i].name, sim::format_double(crossing_values[i], 3)});
   }
-  if (crossings[0] > 0 && !std::isnan(crossings[0]) &&
-      !std::isnan(crossings[3])) {
+  exp::emit(std::cout, sink, crossings, "usability_crossings_93");
+
+  if (crossing_values[0] > 0 && !std::isnan(crossing_values[0]) &&
+      !std::isnan(crossing_values[3])) {
     std::cout << "\ncombined change raises the required fraction by "
               << sim::format_double(
-                     (crossings[3] / crossings[0] - 1.0) * 100.0, 0)
+                     (crossing_values[3] / crossing_values[0] - 1.0) * 100.0, 0)
               << "% (paper: almost 50%)\n";
   }
+
+  cache.report(cli.program(), cli.cache_enabled());
   return 0;
 }

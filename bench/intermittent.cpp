@@ -4,18 +4,30 @@
 // a rotating satiated set (hurts everyone a little — enough that no node
 // clears the usability bar).
 #include <iostream>
+#include <string>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "intermittent",
+                .summary =
+                    "Extension: rotating the satiated set makes the service "
+                    "intermittently unusable for all nodes.",
+                .sweeps = false,
+                .seed = 55}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   gossip::GossipConfig config;  // Table 1
   // Long horizon: the slowest rotation below has a ~120-round cycle and
   // every node should live through several isolated stretches.
   config.rounds = 360;
-  config.seed = 55;
+  config.seed = cli.seed();
 
   std::cout << "=== Extension: intermittent satiation hurts everyone (§1) ===\n"
             << "ideal lotus-eater at 10% control, satiating 70% of nodes\n\n";
@@ -40,7 +52,7 @@ int main() {
                     : "rotating every " + std::to_string(period) + " rounds";
     add(name.c_str(), plan);
   }
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "rotation");
 
   std::cout << "\n'unusable node-time' = fraction of (node, generation) "
                "pairs below the 93% bar;\n'nodes with outages' = fraction "

@@ -4,17 +4,29 @@
 // reporters exist — "if there are sufficiently many obedient nodes in the
 // system, then we can essentially prevent a lotus-eater attack".
 #include <iostream>
+#include <string>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "obedience_report",
+                .summary =
+                    "E13: excessive-service reporting vs the trade attack, "
+                    "swept over the obedient fraction.",
+                .sweeps = false,
+                .seed = 31}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   gossip::GossipConfig config;  // Table 1
   config.reporting_enabled = true;
   config.service_limit = 25;
-  config.seed = 31;
+  config.seed = cli.seed();
 
   gossip::AttackPlan plan;
   plan.kind = gossip::AttackKind::kTradeLotus;
@@ -36,7 +48,7 @@ int main() {
                        std::to_string(result.attacker_nodes),
                    std::to_string(result.attacker_dump_updates)});
   }
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "obedient_fraction_sweep");
 
   // The same defence also catches the ideal attack's out-of-band floods.
   plan.kind = gossip::AttackKind::kIdealLotus;
@@ -52,6 +64,14 @@ int main() {
             << " with 50% obedient reporters ("
             << ideal_defended.attackers_evicted << "/"
             << ideal_defended.attacker_nodes << " evicted)\n";
+  sim::Table ideal_table{{"defence", "isolated delivery", "attackers evicted"}};
+  ideal_table.add_row({"none", sim::format_double(ideal_open.isolated_delivery, 3),
+                       "-"});
+  ideal_table.add_row({"50% obedient reporters",
+                       sim::format_double(ideal_defended.isolated_delivery, 3),
+                       std::to_string(ideal_defended.attackers_evicted) + "/" +
+                           std::to_string(ideal_defended.attacker_nodes)});
+  sink.write(ideal_table, "ideal_attack_defence");
 
   std::cout << "\nExpected shape: delivery recovers toward the baseline as "
                "the obedient fraction grows; rational-only populations "

@@ -4,19 +4,29 @@
 // threshold and the rare class collapses — without the attacker harming
 // anyone directly. The share-cap defence restores service.
 #include <iostream>
+#include <string>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "rep/system.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "rep_attack",
+                .summary = "E14: reputation-inflation lotus-eater attack.",
+                .sweeps = false,
+                .seed = 23}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   rep::SystemConfig config;
   config.agents = 100;
   config.rare_providers = 5;
   config.rare_request_fraction = 0.05;
   config.rounds = 300;
   config.warmup_rounds = 50;
-  config.seed = 23;
+  config.seed = cli.seed();
 
   std::cout << "=== E14: reputation-inflation lotus-eater attack ===\n"
             << "5 agents exclusively provide the rare class; satiation at "
@@ -54,7 +64,7 @@ int main() {
   defended.rating_share_cap = 0.05;
   add_row("attack vs share-cap defence", defended, attack);
 
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "reputation_scenarios");
   std::cout << "\nExpected shape: with enough serving sybils the providers "
                "coast (reputation above the satiation threshold) and rare "
                "availability collapses while generic service is untouched; "

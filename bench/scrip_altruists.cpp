@@ -5,11 +5,20 @@
 // alone can carry.
 #include <iostream>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "scrip/analysis.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "scrip_altruists",
+                .summary = "E10: altruists crash a scrip economy.",
+                .sweeps = false,
+                .seed = 13}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   scrip::EconomyConfig config;
   config.agents = 200;
   config.initial_money = 5;
@@ -18,7 +27,7 @@ int main() {
   config.free_ride_sensitivity = 0.5;
   config.rounds = 400;
   config.warmup_rounds = 50;
-  config.seed = 13;
+  config.seed = cli.seed();
 
   std::cout << "=== E10: altruists crash a scrip economy (paper section 4) ===\n\n";
   sim::Table table{{"altruist fraction", "availability", "rational quit",
@@ -31,7 +40,7 @@ int main() {
                    sim::format_double(point.quit_fraction, 3),
                    sim::format_double(point.paid_share, 3)});
   }
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "altruist_fraction_sweep");
   std::cout << "\nExpected shape: a few altruists are harmless (paid share "
                "near 1). In the middle band the crash happens: rational "
                "agents quit en masse but the altruists cannot carry the "

@@ -5,13 +5,23 @@
 // Also reproduces the §1 scenario: satiating the few providers of a rare
 // resource denies that resource to everyone, cheaply.
 #include <iostream>
+#include <string>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "scrip/analysis.h"
 #include "scrip/economy.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "scrip_defense",
+                .summary = "E9: a fixed money supply bounds satiation.",
+                .sweeps = false,
+                .seed = 7}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   scrip::EconomyConfig config;
   config.agents = 200;
   config.initial_money = 5;
@@ -24,7 +34,7 @@ int main() {
   config.rare_request_fraction = 0.025;
   config.rounds = 400;
   config.warmup_rounds = 50;
-  config.seed = 7;
+  config.seed = cli.seed();
 
   const std::uint64_t supply =
       static_cast<std::uint64_t>(config.agents) * config.initial_money;
@@ -51,7 +61,7 @@ int main() {
                         sim::format_double(detail.availability, 3),
                         sim::format_double(point.satiated_fraction, 3)});
   }
-  rare_table.print(std::cout);
+  exp::emit(std::cout, sink, rare_table, "rare_provider_denial");
 
   std::cout << "\n-- mass satiation needs the money supply (target 100 agents) --\n";
   sim::Table mass_table{{"attacker budget", "budget/supply",
@@ -84,7 +94,7 @@ int main() {
          std::to_string(std::min<std::uint64_t>(bound, config.agents)) +
              " agents"});
   }
-  mass_table.print(std::cout);
+  exp::emit(std::cout, sink, mass_table, "mass_satiation");
 
   std::cout << "\nExpected shape: denying the rare resource costs ~30-100 "
                "scrip (a few gaps' worth); holding half the population at "

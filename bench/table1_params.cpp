@@ -3,13 +3,25 @@
 // usable stream (> 93% of updates) under exactly those parameters.
 #include <iostream>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
-  const gossip::GossipConfig config;  // defaults are Table 1
+  exp::Cli cli{{.program = "table1_params",
+                .summary =
+                    "Table 1 parameters and the unattacked-delivery sanity "
+                    "check.",
+                .sweeps = false,
+                .seed = 1}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
+  gossip::GossipConfig config;  // defaults are Table 1
+  config.seed = cli.seed();
 
   std::cout << "=== Table 1: Simulation Parameters ===\n";
   sim::Table table{{"Parameter", "Value"}};
@@ -18,7 +30,7 @@ int main() {
   table.add_row({"Update Lifetime (rds)", std::to_string(config.update_lifetime)});
   table.add_row({"Copies Seeded", std::to_string(config.copies_seeded)});
   table.add_row({"Opt. Push Size (upd)", std::to_string(config.push_size)});
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "parameters");
 
   std::cout << "\nSanity: delivery without an attack (must exceed "
             << sim::format_double(config.usability_threshold, 2) << ")\n";
@@ -29,5 +41,12 @@ int main() {
             << "  optimistic pushes = " << result.pushes << "\n"
             << "  usable            = "
             << (result.usable_for_isolated(config) ? "yes" : "NO") << "\n";
+  sim::Table sanity{{"overall delivery", "balanced exchanges",
+                     "optimistic pushes", "usable"}};
+  sanity.add_row({sim::format_double(result.overall_delivery, 4),
+                  std::to_string(result.balanced_exchanges),
+                  std::to_string(result.pushes),
+                  result.usable_for_isolated(config) ? "yes" : "NO"});
+  sink.write(sanity, "unattacked_sanity");
   return result.usable_for_isolated(config) ? 0 : 1;
 }

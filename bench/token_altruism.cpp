@@ -3,13 +3,23 @@
 // rises — "adding a little bit of altruism can make a big difference".
 #include <iostream>
 #include <memory>
+#include <string>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "net/topology.h"
 #include "sim/table.h"
 #include "token/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "token_altruism",
+                .summary = "E7: altruism sweep under mass satiation.",
+                .sweeps = false,
+                .seed = 21}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   constexpr std::size_t kNodes = 120;
   constexpr std::size_t kTokens = 32;
 
@@ -30,7 +40,7 @@ int main() {
     config.contact_bound = 2;
     config.altruism = a;
     config.max_rounds = 400;
-    config.seed = 21;
+    config.seed = cli.seed();
     const token::TokenModel model{
         graph, config, alloc,
         std::make_shared<token::CompleteSetSatiation>()};
@@ -42,7 +52,7 @@ int main() {
                    result.all_satiated ? std::to_string(result.rounds_run)
                                        : "-"});
   }
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "altruism_sweep");
   std::cout << "\nExpected shape: a = 0 strands the untargeted minority; any "
                "a > 0 completes, faster as a grows.\n";
   return 0;

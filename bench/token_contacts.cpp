@@ -4,7 +4,10 @@
 // needs — the paper's point that "c might have to be unacceptably high".
 #include <iostream>
 #include <memory>
+#include <string>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "net/topology.h"
 #include "sim/table.h"
 #include "token/model.h"
@@ -28,8 +31,15 @@ double untargeted_coverage(const lotus::token::ModelResult& result,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "token_contacts",
+                .summary = "E8: contact bound c vs mass satiation.",
+                .sweeps = false,
+                .seed = 33}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   constexpr std::size_t kNodes = 120;
   constexpr std::size_t kTokens = 32;
   constexpr token::Round kHorizon = 15;  // tight horizon: throughput matters
@@ -54,7 +64,7 @@ int main() {
     // satiated set; throughput, not reachability, is what c governs.
     config.altruism = 0.02;
     config.max_rounds = kHorizon;
-    config.seed = 33;
+    config.seed = cli.seed();
     const token::TokenModel model{
         graph, config, alloc,
         std::make_shared<token::CompleteSetSatiation>()};
@@ -67,7 +77,7 @@ int main() {
                    sim::format_double(baseline.mean_coverage(kTokens), 3),
                    sim::format_double(untargeted_coverage(attacked, kTokens), 3)});
   }
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "contact_bound_sweep");
   std::cout << "\nExpected shape: unattacked, c = 1-2 already saturates "
                "within the horizon. Attacked, the victims need a far larger "
                "c to reach the same coverage — the attack effectively "

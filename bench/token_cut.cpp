@@ -9,14 +9,24 @@
 // become satiated), which would mask the effect being measured.
 #include <iostream>
 #include <memory>
+#include <string>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "net/analysis.h"
 #include "net/topology.h"
 #include "sim/table.h"
 #include "token/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "token_cut",
+                .summary = "E5: cut attack — grid vs small world.",
+                .sweeps = false,
+                .seed = 77}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   constexpr std::size_t kRows = 12;
   constexpr std::size_t kCols = 12;
   constexpr std::size_t kTokens = 16;
@@ -50,7 +60,7 @@ int main() {
     config.contact_bound = 2;
     config.altruism = 0.05;
     config.max_rounds = kHorizon;
-    config.seed = 77;
+    config.seed = cli.seed();
     std::vector<bool> removed(n, false);
     for (const auto v : cut) removed[v] = true;
     token::SetAttacker attacker{attack_name, cut};
@@ -73,7 +83,7 @@ int main() {
   add_case("small-world", small_world, "none", {});
   add_case("small-world", small_world, "same-12-nodes", cut);
 
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "cut_attack");
   std::cout << "\nExpected shape: both graphs complete unattacked; the 12 "
                "satiated nodes form a cut only on the grid, where the right "
                "side is starved of the clustered tokens (only the altruism "

@@ -4,13 +4,23 @@
 // with spread replicas resists.
 #include <iostream>
 #include <memory>
+#include <string>
 
+#include "exp/cli.h"
+#include "exp/csv.h"
 #include "net/topology.h"
 #include "sim/table.h"
 #include "token/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lotus;
+  exp::Cli cli{{.program = "token_rare",
+                .summary = "E6: the rare-token attack vs replication.",
+                .sweeps = false,
+                .seed = 9}};
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+
   constexpr std::size_t kNodes = 120;
   constexpr std::size_t kTokens = 24;
 
@@ -24,7 +34,7 @@ int main() {
   config.tokens = kTokens;
   config.contact_bound = 2;
   config.max_rounds = 150;
-  config.seed = 9;
+  config.seed = cli.seed();
 
   sim::Table table{{"allocation", "attack delay", "targets satiated",
                     "untargeted satiated", "denied token spread"}};
@@ -63,7 +73,7 @@ int main() {
     run_case("uniform (4 replicas)", alloc, 1);
   }
 
-  table.print(std::cout);
+  exp::emit(std::cout, sink, table, "rare_token_attack");
   std::cout << "\nExpected shape (paper section 3): one holder + instant "
                "satiation denies the token to everyone at the cost of one "
                "node. Replication raises the cost (4 targets), and since an "

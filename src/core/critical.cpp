@@ -21,9 +21,13 @@ double one_run(const CriticalQuery& query, double attacker_fraction,
 double isolated_delivery_at(const CriticalQuery& query,
                             double attacker_fraction) {
   sim::RunningStats stats;
+  const auto trial = [&](double x, std::uint64_t seed) {
+    return one_run(query, x, seed);
+  };
   for (std::size_t s = 0; s < query.seeds; ++s) {
-    stats.add(one_run(query, attacker_fraction,
-                      sim::derive_seed(query.config.seed, s)));
+    stats.add(sim::run_memoized(query.memo, attacker_fraction,
+                                sim::derive_seed(query.config.seed, s),
+                                trial));
   }
   return stats.mean();
 }
@@ -32,7 +36,8 @@ double critical_attacker_fraction(const CriticalQuery& query) {
   return sim::critical_point(
       query.lo, query.hi, query.tolerance, query.config.usability_threshold,
       query.seeds, query.config.seed,
-      [&](double x, std::uint64_t seed) { return one_run(query, x, seed); });
+      [&](double x, std::uint64_t seed) { return one_run(query, x, seed); },
+      query.threads, query.memo);
 }
 
 sim::Series delivery_curve(const CriticalQuery& query, std::size_t points) {
@@ -40,7 +45,8 @@ sim::Series delivery_curve(const CriticalQuery& query, std::size_t points) {
       std::string{gossip::attack_name(query.attack)},
       sim::linspace(query.lo, query.hi, points), query.seeds,
       query.config.seed,
-      [&](double x, std::uint64_t seed) { return one_run(query, x, seed); });
+      [&](double x, std::uint64_t seed) { return one_run(query, x, seed); },
+      query.threads, query.memo);
 }
 
 }  // namespace lotus::core

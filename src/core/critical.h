@@ -10,6 +10,7 @@
 
 #include "gossip/config.h"
 #include "sim/stats.h"
+#include "sim/sweep.h"
 
 namespace lotus::core {
 
@@ -21,6 +22,14 @@ struct CriticalQuery {
   double hi = 0.9;
   double tolerance = 0.01;
   std::size_t seeds = 3;
+  /// Sweep worker threads (0 = sim::sweep_threads(): env override or
+  /// hardware concurrency). Benches plumb their --threads flag here.
+  std::size_t threads = 0;
+  /// Optional trial memo (e.g. an exp::TrialCache scope) consulted before
+  /// each (x, seed) trial. The memo must be scoped to exactly this query's
+  /// trial space — config, attack, and satiate_fraction fixed — or keyed on
+  /// their hash; exp::trial_space_hash computes the right scope.
+  sim::TrialMemo* memo = nullptr;
 };
 
 /// Isolated-node delivery at a single attacker fraction, averaged over

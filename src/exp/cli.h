@@ -1,0 +1,97 @@
+// The shared bench command line.
+//
+// Every figure bench accepts the same flag set — --quick, --points, --seeds,
+// --seed, --threads, --csv, --no-cache, --help — parsed by exp::Cli from a
+// per-bench CliSpec holding the defaults. Benches with fixed scenarios (no
+// sweep) accept the full set for interface uniformity; the sweep-shaping
+// flags are simply inert there and the usage text says so. Bench-specific
+// value flags (e.g. debug_baseline's --push-size) register via add_option.
+//
+// parse() never prints or exits, so it is directly unit-testable; benches
+// call handle(), which prints usage/help for them and returns the exit code
+// when the process should stop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lotus::exp {
+
+/// Per-bench defaults for the shared flags.
+struct CliSpec {
+  std::string program;
+  std::string summary;
+  /// False for fixed-scenario benches: --quick/--points/--seeds/--threads/
+  /// --no-cache are accepted but inert (and documented as such).
+  bool sweeps = true;
+  std::size_t points = 24;
+  std::size_t seeds = 3;
+  std::size_t quick_points = 10;
+  std::size_t quick_seeds = 1;
+  std::uint64_t seed = 2008;
+};
+
+enum class ParseStatus { kOk, kHelp, kError };
+
+class Cli {
+ public:
+  explicit Cli(CliSpec spec);
+
+  /// Registers a bench-specific unsigned value flag (e.g. "--push-size").
+  /// `*target` keeps its current value unless the flag is given; it must
+  /// outlive parse(). Register before parsing.
+  void add_option(std::string name, std::string help, std::uint64_t* target);
+
+  /// Parses argv. kError leaves a message in error(); no output, no exit.
+  [[nodiscard]] ParseStatus parse(int argc, const char* const* argv);
+
+  /// parse() plus the standard plumbing: prints usage on --help (stdout) or
+  /// a parse error (stderr), and returns the process exit code for those
+  /// cases. std::nullopt means "parsed fine, run the bench".
+  [[nodiscard]] std::optional<int> handle(int argc, const char* const* argv);
+
+  /// Sweep shape after resolving --quick: an explicit --points/--seeds wins
+  /// over the quick defaults.
+  [[nodiscard]] std::size_t points() const noexcept;
+  [[nodiscard]] std::size_t seeds() const noexcept;
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// Sweep worker threads; 0 = sim::sweep_threads() (env or hardware).
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  /// CSV output path; empty = no CSV requested.
+  [[nodiscard]] const std::string& csv() const noexcept { return csv_; }
+  [[nodiscard]] const std::string& program() const noexcept {
+    return spec_.program;
+  }
+  [[nodiscard]] bool quick() const noexcept { return quick_; }
+  [[nodiscard]] bool cache_enabled() const noexcept { return cache_; }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    std::uint64_t* target;
+  };
+
+  [[nodiscard]] ParseStatus fail(std::string message);
+
+  CliSpec spec_;
+  std::vector<Option> options_;
+
+  std::size_t points_;
+  std::size_t seeds_;
+  std::uint64_t seed_;
+  std::size_t threads_ = 0;
+  std::string csv_;
+  bool quick_ = false;
+  bool cache_ = true;
+  bool explicit_points_ = false;
+  bool explicit_seeds_ = false;
+  std::string error_;
+};
+
+}  // namespace lotus::exp

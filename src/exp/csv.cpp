@@ -1,0 +1,42 @@
+#include "exp/csv.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+
+namespace lotus::exp {
+
+CsvSink::CsvSink(const std::string& path) : path_(path) {
+  if (path_.empty()) return;
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("cannot open CSV output file '" + path_ + "'");
+  }
+}
+
+void CsvSink::write(const sim::Table& table, const std::string& section) {
+  if (!enabled()) return;
+  if (!first_) out_ << '\n';
+  first_ = false;
+  if (!section.empty()) out_ << "# " << section << '\n';
+  table.print_csv(out_);
+  out_.flush();
+}
+
+void emit(std::ostream& os, CsvSink& sink, const sim::Table& table,
+          const std::string& section) {
+  table.print(os);
+  sink.write(table, section);
+}
+
+CsvSink open_csv_or_exit(const std::string& path, const std::string& program) {
+  try {
+    return CsvSink{path};
+  } catch (const std::runtime_error& error) {
+    std::cerr << program << ": " << error.what() << "\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace lotus::exp

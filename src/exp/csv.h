@@ -1,0 +1,55 @@
+// CSV artifact output for benches.
+//
+// A bench constructs one CsvSink from its --csv path (empty = disabled) and
+// routes every table it prints through exp::emit, which writes the aligned
+// human table to stdout and mirrors the same cells into the CSV file. Both
+// views render the same pre-formatted strings, so the CSV numbers match
+// stdout by construction — that is what makes the CI-uploaded artifacts
+// diffable against what a person saw.
+//
+// Blocks are separated by a blank line and prefixed with "# section" when a
+// section name is given, so one file can carry several tables.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+
+#include "sim/table.h"
+
+namespace lotus::exp {
+
+class CsvSink {
+ public:
+  /// Disabled sink: every write is a no-op.
+  CsvSink() = default;
+
+  /// Opens `path` for writing (empty = disabled). Throws std::runtime_error
+  /// when the file cannot be created.
+  explicit CsvSink(const std::string& path);
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Appends the table as a CSV block ("# section" header when non-empty).
+  void write(const sim::Table& table, const std::string& section = "");
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  bool first_ = true;
+};
+
+/// The standard way a bench emits a result: print the aligned table to `os`
+/// and mirror it into the sink.
+void emit(std::ostream& os, CsvSink& sink, const sim::Table& table,
+          const std::string& section = "");
+
+/// Opens a sink for `path`, or prints "program: <reason>" to stderr and
+/// exits 2 — the same contract as a bad flag value, so a typo'd --csv path
+/// is a clean CLI error rather than an uncaught exception. Benches use this
+/// instead of constructing CsvSink directly.
+[[nodiscard]] CsvSink open_csv_or_exit(const std::string& path,
+                                       const std::string& program);
+
+}  // namespace lotus::exp

@@ -1,0 +1,107 @@
+#include "exp/hash.h"
+
+#include <bit>
+
+namespace lotus::exp {
+
+namespace {
+
+// Type tags keep e.g. bool{1} and uint32{1} fields distinct.
+enum : std::uint64_t {
+  kTagBool = 1,
+  kTagU32 = 2,
+  kTagU64 = 3,
+  kTagDouble = 4,
+};
+
+}  // namespace
+
+FieldHasher::FieldHasher(std::uint64_t schema_version) {
+  hasher_.update(schema_version);
+}
+
+FieldHasher& FieldHasher::mix(std::uint64_t type_tag,
+                              std::uint64_t value_bits) noexcept {
+  hasher_.update((fields_ << 8) | type_tag).update(value_bits);
+  ++fields_;
+  return *this;
+}
+
+FieldHasher& FieldHasher::add(bool v) noexcept {
+  return mix(kTagBool, v ? 1 : 0);
+}
+
+FieldHasher& FieldHasher::add(std::uint32_t v) noexcept {
+  return mix(kTagU32, v);
+}
+
+FieldHasher& FieldHasher::add(std::uint64_t v) noexcept {
+  return mix(kTagU64, v);
+}
+
+FieldHasher& FieldHasher::add(double v) noexcept {
+  return mix(kTagDouble, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t FieldHasher::digest() const noexcept {
+  crypto::Hasher folded = hasher_;
+  return folded.update(fields_).digest();
+}
+
+namespace {
+
+// Serialise every field, in declaration order. When a field is added to
+// GossipConfig / AttackPlan it MUST be added here; the exp_test field-
+// sensitivity check enumerates the same lists and fails loudly if a field
+// stops perturbing the hash.
+void add_fields(FieldHasher& h, const gossip::GossipConfig& c) {
+  h.add(c.nodes)
+      .add(c.updates_per_round)
+      .add(c.update_lifetime)
+      .add(c.copies_seeded)
+      .add(c.push_size)
+      .add(c.recent_window)
+      .add(c.old_window)
+      .add(c.unbalanced_exchange)
+      .add(c.obedient_fraction)
+      .add(c.service_cap)
+      .add(c.trade_dump_on_response)
+      .add(c.reporting_enabled)
+      .add(c.service_limit)
+      .add(c.rounds)
+      .add(c.warmup_rounds)
+      .add(c.usability_threshold)
+      .add(c.seed);
+}
+
+void add_fields(FieldHasher& h, const gossip::AttackPlan& p) {
+  h.add(static_cast<std::uint32_t>(p.kind))
+      .add(p.attacker_fraction)
+      .add(p.satiate_fraction)
+      .add(p.rotation_period);
+}
+
+}  // namespace
+
+std::uint64_t config_hash(const gossip::GossipConfig& config) {
+  FieldHasher h;
+  add_fields(h, config);
+  return h.digest();
+}
+
+std::uint64_t config_hash(const gossip::GossipConfig& config,
+                          const gossip::AttackPlan& plan) {
+  FieldHasher h;
+  add_fields(h, config);
+  add_fields(h, plan);
+  return h.digest();
+}
+
+std::uint64_t trial_space_hash(const core::CriticalQuery& query) {
+  FieldHasher h;
+  add_fields(h, query.config);
+  h.add(static_cast<std::uint32_t>(query.attack)).add(query.satiate_fraction);
+  return h.digest();
+}
+
+}  // namespace lotus::exp

@@ -1,0 +1,69 @@
+#include "exp/trial_cache.h"
+
+#include <bit>
+#include <iostream>
+#include <ostream>
+
+#include "sim/rng.h"
+
+namespace lotus::exp {
+
+std::size_t TrialCache::KeyHash::operator()(const Key& k) const noexcept {
+  // SplitMix over the three words; the stream pass mixes each word into the
+  // running state, so permuted components collide no more than chance.
+  std::uint64_t state = k.config_hash;
+  std::uint64_t h = sim::split_mix64(state);
+  state ^= k.x_bits;
+  h ^= sim::split_mix64(state);
+  state ^= k.seed;
+  h ^= sim::split_mix64(state);
+  return static_cast<std::size_t>(h);
+}
+
+bool TrialCache::lookup(std::uint64_t config_hash, double x,
+                        std::uint64_t seed, double& value) {
+  const Key key{config_hash, std::bit_cast<std::uint64_t>(x), seed};
+  {
+    std::lock_guard lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      value = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void TrialCache::store(std::uint64_t config_hash, double x, std::uint64_t seed,
+                       double value) {
+  const Key key{config_hash, std::bit_cast<std::uint64_t>(x), seed};
+  std::lock_guard lock(mu_);
+  map_.insert_or_assign(key, value);
+}
+
+std::size_t TrialCache::size() const {
+  std::lock_guard lock(mu_);
+  return map_.size();
+}
+
+void TrialCache::clear() {
+  std::lock_guard lock(mu_);
+  map_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+void TrialCache::report(std::ostream& os) const {
+  os << "trial cache: " << hits() << " hits, " << misses() << " misses ("
+     << size() << " entries)\n";
+}
+
+void TrialCache::report(std::string_view program, bool enabled) const {
+  if (!enabled) return;
+  std::cerr << "[" << program << "] ";
+  report(std::cerr);
+}
+
+}  // namespace lotus::exp

@@ -1,0 +1,115 @@
+// Content-addressed trial cache for the experiment driver.
+//
+// Figure benches run the same (config, x, seed) gossip trial many times: a
+// curve family shares endpoints with the critical-point bisection, fig1-style
+// benches probe the same attacker fractions per attack, and bisection itself
+// re-probes its brackets. TrialCache memoizes trial results within and
+// across sweeps in a process, keyed on (config hash, x, seed); a scope binds
+// one trial space's hash (see exp::trial_space_hash) and plugs into the
+// sweep engine as a sim::TrialMemo. Cached values are the exact doubles the
+// trial produced, so cached and uncached runs are bit-identical.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "sim/sweep.h"
+
+namespace lotus::exp {
+
+/// Thread-safe (config_hash, x, seed) -> value memo. Workers that race on
+/// the same key both run the (deterministic) trial and store the same value,
+/// so no entry is ever observed half-written or wrong.
+class TrialCache {
+ public:
+  /// A sim::TrialMemo view of the cache with a fixed config hash. Cheap to
+  /// create; must not outlive the cache.
+  class Scope final : public sim::TrialMemo {
+   public:
+    Scope(TrialCache& cache, std::uint64_t config_hash) noexcept
+        : cache_(&cache), config_hash_(config_hash) {}
+
+    bool lookup(double x, std::uint64_t seed, double& value) override {
+      return cache_->lookup(config_hash_, x, seed, value);
+    }
+    void store(double x, std::uint64_t seed, double value) override {
+      cache_->store(config_hash_, x, seed, value);
+    }
+
+   private:
+    TrialCache* cache_;
+    std::uint64_t config_hash_;
+  };
+
+  [[nodiscard]] Scope scope(std::uint64_t config_hash) noexcept {
+    return Scope{*this, config_hash};
+  }
+
+  /// Returns true and sets `value` on a hit; counts a hit or a miss.
+  [[nodiscard]] bool lookup(std::uint64_t config_hash, double x,
+                            std::uint64_t seed, double& value);
+  void store(std::uint64_t config_hash, double x, std::uint64_t seed,
+             double value);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// One-line "trial cache: H hits, M misses (E entries)" summary. Benches
+  /// print this to stderr so stdout stays byte-identical with and without
+  /// the cache.
+  void report(std::ostream& os) const;
+
+  /// The bench-footer form: "[program] trial cache: ..." to stderr, or
+  /// nothing when `enabled` is false (benches pass cli.cache_enabled()).
+  void report(std::string_view program, bool enabled) const;
+
+ private:
+  struct Key {
+    std::uint64_t config_hash;
+    std::uint64_t x_bits;  // bit pattern of x: exact, no epsilon aliasing
+    std::uint64_t seed;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, double, KeyHash> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// RAII binding of a memo slot (e.g. core::CriticalQuery::memo) to a cache
+/// scope: points the slot at a scope for `config_hash` on construction (or
+/// at nothing when `enabled` is false) and always resets it to null on
+/// destruction, so the slot can never dangle past the scope's lifetime.
+class ScopedMemo {
+ public:
+  ScopedMemo(TrialCache& cache, std::uint64_t config_hash,
+             sim::TrialMemo*& slot, bool enabled) noexcept
+      : scope_(cache.scope(config_hash)), slot_(&slot) {
+    *slot_ = enabled ? &scope_ : nullptr;
+  }
+  ~ScopedMemo() { *slot_ = nullptr; }
+
+  ScopedMemo(const ScopedMemo&) = delete;
+  ScopedMemo& operator=(const ScopedMemo&) = delete;
+
+ private:
+  TrialCache::Scope scope_;
+  sim::TrialMemo** slot_;
+};
+
+}  // namespace lotus::exp

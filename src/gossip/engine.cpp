@@ -35,6 +35,7 @@ GossipEngine::GossipEngine(GossipConfig config, AttackPlan plan)
   oob_received_.assign(config_.nodes, 0);
   order_.resize(config_.nodes);
   for (std::uint32_t v = 0; v < config_.nodes; ++v) order_[v] = v;
+  shuffle_draws_.resize(config_.nodes - 1);
   satiate_set_ = cast_.satiate_set;
   ever_satiated_ = cast_.satiate_set;
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
@@ -151,7 +152,15 @@ void GossipEngine::ideal_multicast(Round round) {
 }
 
 void GossipEngine::run_balanced_exchanges(Round round) {
-  rng_.shuffle(std::span<std::uint32_t>{order_});
+  // Batched Fisher-Yates: draw all n-1 variates in one batch pass (bounds
+  // n, n-1, ..., 2), then apply the swaps. Identical permutation and RNG
+  // stream to rng_.shuffle(order_).
+  rng_.fill_below_descending(order_.size(),
+                             std::span<std::uint64_t>{shuffle_draws_});
+  for (std::size_t k = 0; k < shuffle_draws_.size(); ++k) {
+    const std::size_t i = order_.size() - k;
+    std::swap(order_[i - 1], order_[static_cast<std::size_t>(shuffle_draws_[k])]);
+  }
   for (const std::uint32_t i : order_) {
     if (!participates(i)) continue;
     if (cast_.roles[i] == Role::kAttacker &&

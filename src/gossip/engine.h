@@ -88,6 +88,11 @@ class GossipEngine {
   sim::DynamicBitset attacker_pool_lagged_;
   std::vector<bool> evicted_;
   std::vector<std::uint32_t> order_;  // per-round shuffled initiation order
+  /// Scratch for the per-round batched Fisher-Yates over order_: the n-1
+  /// variates drawn in one Rng::fill_below_descending pass (bounds n, n-1,
+  /// ..., 2). Stream-compatible with rng_.shuffle(), so trajectories are
+  /// unchanged; batching only amortises per-draw overhead.
+  std::vector<std::uint64_t> shuffle_draws_;
   /// Cumulative unsolicited (out-of-band) updates received per node since
   /// its last report. The ideal attacker drip-feeds below any per-message
   /// limit, so obedient nodes must account cumulatively to catch it.

@@ -106,18 +106,28 @@ void ThreadPool::parallel_for(std::size_t n,
     wait();
     return;
   }
-  // Work-stealing by shared counter: each worker drains indices until the
-  // range is exhausted. Captures by reference are safe because wait() below
-  // blocks until every iteration has completed.
+  // Work-stealing by shared counter, handed out in index *ranges*: on grids
+  // of tiny trials single-index grabs serialise workers on the counter's
+  // cache line, so each fetch_add claims ~1/8th of a worker's fair share
+  // instead (small enough that an uneven tail still balances). Captures by
+  // reference are safe because wait() below blocks until every iteration has
+  // completed, and determinism is unaffected: workers only fill
+  // index-addressed slots, so chunk boundaries never show in the reduction.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (8 * size_));
   std::atomic<std::size_t> next{0};
-  const std::size_t jobs = std::min(size_, n);
+  const std::size_t jobs = std::min(size_, (n + chunk - 1) / chunk);
   for (std::size_t j = 0; j < jobs; ++j) {
-    submit([this, &next, n, &body] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        // Abandon not-yet-started iterations once any iteration has thrown,
-        // so the error surfaces without running the rest of the grid.
-        if (failed_.load(std::memory_order_relaxed)) return;
-        body(i);
+    submit([this, &next, n, chunk, &body] {
+      for (std::size_t start = next.fetch_add(chunk); start < n;
+           start = next.fetch_add(chunk)) {
+        const std::size_t end = std::min(n, start + chunk);
+        for (std::size_t i = start; i < end; ++i) {
+          // Abandon not-yet-started iterations once any iteration has
+          // thrown, so the error surfaces without running the rest of the
+          // grid.
+          if (failed_.load(std::memory_order_relaxed)) return;
+          body(i);
+        }
       }
     });
   }

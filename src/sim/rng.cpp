@@ -1,5 +1,6 @@
 #include "sim/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -30,21 +31,46 @@ Rng::result_type Rng::operator()() noexcept {
   return result;
 }
 
-std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
-  if (bound == 0) return 0;
-  // Lemire's method: multiply-shift with rejection of the biased low range.
-  std::uint64_t x = (*this)();
+namespace {
+/// Lemire's method (multiply-shift with rejection of the biased low range),
+/// shared by the scalar and batch draws below. Requires bound > 0. Inlined
+/// into the batch loops, so the batch forms keep their tight-loop advantage.
+inline std::uint64_t draw_below(Rng& rng, std::uint64_t bound) noexcept {
+  std::uint64_t x = rng();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
   auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
+  if (low < bound) [[unlikely]] {
     const std::uint64_t threshold = -bound % bound;
     while (low < threshold) {
-      x = (*this)();
+      x = rng();
       m = static_cast<__uint128_t>(x) * bound;
       low = static_cast<std::uint64_t>(m);
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
+}
+}  // namespace
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  return draw_below(*this, bound);
+}
+
+void Rng::fill_below(std::uint64_t bound, std::span<std::uint64_t> out) noexcept {
+  if (bound == 0) {
+    // next_below(0) returns 0 without consuming the stream; match it.
+    std::fill(out.begin(), out.end(), std::uint64_t{0});
+    return;
+  }
+  for (auto& slot : out) slot = draw_below(*this, bound);
+}
+
+void Rng::fill_below_descending(std::uint64_t first_bound,
+                                std::span<std::uint64_t> out) noexcept {
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const std::uint64_t bound = first_bound > k ? first_bound - k : 0;
+    out[k] = bound > 0 ? draw_below(*this, bound) : 0;
+  }
 }
 
 std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) noexcept {

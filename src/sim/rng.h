@@ -50,6 +50,22 @@ class Rng {
   /// Uses Lemire's multiply-shift rejection method (unbiased).
   [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
 
+  /// Batch draw: fills `out` with uniform integers in [0, bound). Consumes
+  /// the stream exactly like out.size() sequential next_below(bound) calls —
+  /// element k is bit-identical to what the k-th call would return — so
+  /// callers can swap between the scalar and batch paths freely. The batch
+  /// form amortises the per-call overhead on hot per-round loops.
+  void fill_below(std::uint64_t bound, std::span<std::uint64_t> out) noexcept;
+
+  /// Batch draw with descending bounds: out[k] is uniform in
+  /// [0, first_bound - k) — exactly the variate sequence a Fisher-Yates
+  /// shuffle of first_bound items consumes (bounds n, n-1, ..., 2).
+  /// Stream-compatible with calling next_below(first_bound - k) in order;
+  /// elements past the point where the bound reaches 0 are set to 0 without
+  /// consuming the stream (as next_below(0) would).
+  void fill_below_descending(std::uint64_t first_bound,
+                             std::span<std::uint64_t> out) noexcept;
+
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   [[nodiscard]] std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept;
 

@@ -8,6 +8,16 @@
 
 namespace lotus::sim {
 
+double run_memoized(
+    TrialMemo* memo, double x, std::uint64_t seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial) {
+  double value = 0.0;
+  if (memo != nullptr && memo->lookup(x, seed, value)) return value;
+  value = trial(x, seed);
+  if (memo != nullptr) memo->store(x, seed, value);
+  return value;
+}
+
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
   if (n == 0) return {};
   if (n == 1) return {lo};
@@ -33,8 +43,9 @@ Series sweep_mean(
     std::string name, const std::vector<double>& xs, std::size_t seeds,
     std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial,
-    std::size_t threads) {
-  return sweep_stats(std::move(name), xs, seeds, base_seed, trial, threads)
+    std::size_t threads, TrialMemo* memo) {
+  return sweep_stats(std::move(name), xs, seeds, base_seed, trial, threads,
+                     memo)
       .mean;
 }
 
@@ -50,7 +61,7 @@ SweepResult sweep_stats(
     std::string name, const std::vector<double>& xs, std::size_t seeds,
     std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial,
-    std::size_t threads) {
+    std::size_t threads, TrialMemo* memo) {
   if (seeds == 0) throw std::invalid_argument("sweep needs >= 1 seed");
 
   // Every (x, seed) trial is independent: seeds depend only on the replica
@@ -63,7 +74,7 @@ SweepResult sweep_stats(
   pool.parallel_for(values.size(), [&](std::size_t i) {
     const std::size_t xi = i / seeds;
     const std::size_t s = i % seeds;
-    values[i] = trial(xs[xi], derive_seed(base_seed, s));
+    values[i] = run_memoized(memo, xs[xi], derive_seed(base_seed, s), trial);
   });
 
   // ...then reduce in (x, seed) order on this thread. This is the exact
@@ -95,14 +106,14 @@ double critical_point(
     double lo, double hi, double tolerance, double threshold,
     std::size_t seeds, std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial,
-    std::size_t threads) {
+    std::size_t threads, TrialMemo* memo) {
   if (seeds == 0) throw std::invalid_argument("sweep needs >= 1 seed");
   const std::size_t width = threads > 0 ? threads : sweep_threads();
   ThreadPool pool(std::min(width, seeds));  // one probe's trials per batch
   std::vector<double> values(seeds);
   const auto probe = [&](double x) {
     pool.parallel_for(seeds, [&](std::size_t s) {
-      values[s] = trial(x, derive_seed(base_seed, s));
+      values[s] = run_memoized(memo, x, derive_seed(base_seed, s), trial);
     });
     RunningStats stats;
     for (const double v : values) stats.add(v);

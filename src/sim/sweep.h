@@ -6,6 +6,11 @@
 // output is bit-identical at any worker count. The default width is
 // sweep_threads() (LOTUS_SWEEP_THREADS env override, else hardware
 // concurrency); the overloads with a trailing `threads` argument pin it.
+//
+// Every sweep accepts an optional TrialMemo: when one is supplied, known
+// (x, seed) trials are served from it instead of re-running, so curve
+// families over the same configuration and re-probed bisection points each
+// run a trial exactly once per process.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,29 @@ namespace lotus::sim {
 
 /// Evenly spaced values from lo to hi inclusive (n >= 2), or {lo} when n == 1.
 [[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Optional trial memo consulted by the sweep engine before each (x, seed)
+/// trial. A memo is scoped to one trial space: everything else the trial's
+/// value depends on (the configuration, the attack, ...) must be fixed for
+/// the memo's lifetime or folded into the key by the implementation (see
+/// exp::TrialCache, which binds a config hash per scope). Implementations
+/// must be thread-safe — the sweep engine calls lookup/store from its
+/// workers — and store() must be idempotent: two workers racing on the same
+/// (x, seed) both run the (deterministic) trial and store the same value.
+class TrialMemo {
+ public:
+  virtual ~TrialMemo() = default;
+  /// Returns true and sets `value` when (x, seed) is already known.
+  virtual bool lookup(double x, std::uint64_t seed, double& value) = 0;
+  virtual void store(double x, std::uint64_t seed, double value) = 0;
+};
+
+/// Runs one (x, seed) trial through an optional memo: serve a known value,
+/// otherwise run and record. Safe to call from sweep workers (TrialMemo
+/// contract); the single place the lookup-run-store sequence lives.
+[[nodiscard]] double run_memoized(
+    TrialMemo* memo, double x, std::uint64_t seed,
+    const std::function<double(double x, std::uint64_t seed)>& trial);
 
 /// Runs `trial(x, seed)` for every x and `seeds` independent seeds derived
 /// from `base_seed`, and returns the per-x mean as a Series.
@@ -34,7 +62,7 @@ namespace lotus::sim {
     std::string name, const std::vector<double>& xs, std::size_t seeds,
     std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial,
-    std::size_t threads);
+    std::size_t threads, TrialMemo* memo = nullptr);
 
 /// As sweep_mean but also reports the per-x standard deviation.
 struct SweepResult {
@@ -51,7 +79,7 @@ struct SweepResult {
     std::string name, const std::vector<double>& xs, std::size_t seeds,
     std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial,
-    std::size_t threads);
+    std::size_t threads, TrialMemo* memo = nullptr);
 
 /// Bisection search for the smallest x in [lo, hi] at which `metric(x)` drops
 /// below `threshold`. Assumes metric is (noisily) non-increasing in x; each
@@ -65,6 +93,6 @@ struct SweepResult {
     double lo, double hi, double tolerance, double threshold,
     std::size_t seeds, std::uint64_t base_seed,
     const std::function<double(double x, std::uint64_t seed)>& trial,
-    std::size_t threads);
+    std::size_t threads, TrialMemo* memo = nullptr);
 
 }  // namespace lotus::sim

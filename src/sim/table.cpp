@@ -53,10 +53,25 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
+  // RFC 4180 quoting: cells containing a comma, quote, or newline are
+  // wrapped in quotes with embedded quotes doubled (series names like
+  // "push 2, balanced" would otherwise shift the columns).
+  const auto cell_out = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
   const auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < headers_.size(); ++c) {
       if (c > 0) os << ',';
-      os << (c < row.size() ? row[c] : std::string{});
+      cell_out(c < row.size() ? row[c] : std::string{});
     }
     os << '\n';
   };

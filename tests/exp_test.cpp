@@ -1,0 +1,376 @@
+// Unit tests for the experiment driver layer: config hashing, the
+// content-addressed trial cache, the shared bench CLI, and the CSV sink.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/critical.h"
+#include "exp/cli.h"
+#include "exp/csv.h"
+#include "exp/hash.h"
+#include "exp/trial_cache.h"
+#include "sim/rng.h"
+#include "sim/sweep.h"
+#include "sim/table.h"
+
+namespace lotus {
+namespace {
+
+// --- ConfigHash ----------------------------------------------------------
+
+TEST(ConfigHash, StableForEqualConfigs) {
+  const gossip::GossipConfig a;
+  const gossip::GossipConfig b;
+  EXPECT_EQ(exp::config_hash(a), exp::config_hash(b));
+  const gossip::AttackPlan plan;
+  EXPECT_EQ(exp::config_hash(a, plan), exp::config_hash(b, plan));
+}
+
+TEST(ConfigHash, EveryConfigFieldPerturbsTheHash) {
+  using Mutation = std::function<void(gossip::GossipConfig&)>;
+  const std::vector<std::pair<const char*, Mutation>> mutations = {
+      {"nodes", [](auto& c) { c.nodes += 1; }},
+      {"updates_per_round", [](auto& c) { c.updates_per_round += 1; }},
+      {"update_lifetime", [](auto& c) { c.update_lifetime += 1; }},
+      {"copies_seeded", [](auto& c) { c.copies_seeded += 1; }},
+      {"push_size", [](auto& c) { c.push_size += 1; }},
+      {"recent_window", [](auto& c) { c.recent_window += 1; }},
+      {"old_window", [](auto& c) { c.old_window += 1; }},
+      {"unbalanced_exchange", [](auto& c) { c.unbalanced_exchange = true; }},
+      {"obedient_fraction", [](auto& c) { c.obedient_fraction = 0.5; }},
+      {"service_cap", [](auto& c) { c.service_cap = 40; }},
+      {"trade_dump_on_response",
+       [](auto& c) { c.trade_dump_on_response = true; }},
+      {"reporting_enabled", [](auto& c) { c.reporting_enabled = true; }},
+      {"service_limit", [](auto& c) { c.service_limit += 1; }},
+      {"rounds", [](auto& c) { c.rounds += 1; }},
+      {"warmup_rounds", [](auto& c) { c.warmup_rounds += 1; }},
+      {"usability_threshold", [](auto& c) { c.usability_threshold = 0.9; }},
+      {"seed", [](auto& c) { c.seed += 1; }},
+  };
+  const auto base = exp::config_hash(gossip::GossipConfig{});
+  for (const auto& [name, mutate] : mutations) {
+    gossip::GossipConfig config;
+    mutate(config);
+    EXPECT_NE(exp::config_hash(config), base)
+        << "field '" << name << "' does not perturb the config hash";
+  }
+}
+
+TEST(ConfigHash, EveryPlanFieldPerturbsTheHash) {
+  using Mutation = std::function<void(gossip::AttackPlan&)>;
+  const std::vector<std::pair<const char*, Mutation>> mutations = {
+      {"kind", [](auto& p) { p.kind = gossip::AttackKind::kCrash; }},
+      {"attacker_fraction", [](auto& p) { p.attacker_fraction = 0.1; }},
+      {"satiate_fraction", [](auto& p) { p.satiate_fraction = 0.6; }},
+      {"rotation_period", [](auto& p) { p.rotation_period = 5; }},
+  };
+  const gossip::GossipConfig config;
+  const auto base = exp::config_hash(config, gossip::AttackPlan{});
+  for (const auto& [name, mutate] : mutations) {
+    gossip::AttackPlan plan;
+    mutate(plan);
+    EXPECT_NE(exp::config_hash(config, plan), base)
+        << "field '" << name << "' does not perturb the plan hash";
+  }
+}
+
+TEST(ConfigHash, FieldHasherSeparatesTypesOrderAndVersion) {
+  const auto digest = [](auto&&... adds) {
+    exp::FieldHasher h;
+    (h.add(adds), ...);
+    return h.digest();
+  };
+  // A bool true and a uint32 1 are different fields.
+  EXPECT_NE(digest(true), digest(std::uint32_t{1}));
+  // Field order matters.
+  EXPECT_NE(digest(std::uint32_t{1}, std::uint32_t{2}),
+            digest(std::uint32_t{2}, std::uint32_t{1}));
+  // A trailing field changes the digest (field count is folded in).
+  EXPECT_NE(digest(std::uint32_t{1}), digest(std::uint32_t{1}, false));
+  // The schema version participates.
+  exp::FieldHasher v1{1};
+  exp::FieldHasher v2{2};
+  v1.add(std::uint32_t{7});
+  v2.add(std::uint32_t{7});
+  EXPECT_NE(v1.digest(), v2.digest());
+}
+
+TEST(ConfigHash, TrialSpaceHashIgnoresSearchShape) {
+  core::CriticalQuery query;
+  const auto base = exp::trial_space_hash(query);
+
+  // Search-shape knobs never affect a single trial's value: same hash.
+  core::CriticalQuery wider = query;
+  wider.lo = 0.1;
+  wider.hi = 0.8;
+  wider.tolerance = 0.001;
+  wider.seeds = 11;
+  wider.threads = 4;
+  EXPECT_EQ(exp::trial_space_hash(wider), base);
+
+  // Value-affecting knobs do.
+  core::CriticalQuery other_attack = query;
+  other_attack.attack = gossip::AttackKind::kIdealLotus;
+  EXPECT_NE(exp::trial_space_hash(other_attack), base);
+  core::CriticalQuery other_satiate = query;
+  other_satiate.satiate_fraction = 0.5;
+  EXPECT_NE(exp::trial_space_hash(other_satiate), base);
+  core::CriticalQuery other_config = query;
+  other_config.config.push_size += 1;
+  EXPECT_NE(exp::trial_space_hash(other_config), base);
+}
+
+// --- TrialCache ----------------------------------------------------------
+
+// A trial with enough RNG state that any perturbation of seed derivation or
+// caching would show in the doubles.
+double noisy_trial(double x, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  double acc = x;
+  for (int i = 0; i < 32; ++i) acc += rng.next_double() * (1.0 - x);
+  return acc;
+}
+
+TEST(TrialCache, CachedSweepsBitIdenticalToUncachedAtAnyWidth) {
+  const auto xs = sim::linspace(0.0, 1.0, 9);
+  const auto uncached = sim::sweep_stats("s", xs, 5, 2008, noisy_trial, 1);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    exp::TrialCache cache;
+    auto scope = cache.scope(0x1234);
+    const auto cached =
+        sim::sweep_stats("s", xs, 5, 2008, noisy_trial, threads, &scope);
+    ASSERT_EQ(cached.mean.ys.size(), uncached.mean.ys.size());
+    for (std::size_t i = 0; i < uncached.mean.ys.size(); ++i) {
+      // EXPECT_EQ, not NEAR: the contract is bit-identical output.
+      EXPECT_EQ(cached.mean.ys[i], uncached.mean.ys[i]);
+      EXPECT_EQ(cached.stddev.ys[i], uncached.stddev.ys[i]);
+    }
+    EXPECT_EQ(cache.hits(), 0u);  // first pass: everything is a miss
+    EXPECT_EQ(cache.misses(), xs.size() * 5);
+  }
+}
+
+TEST(TrialCache, SecondSweepRunsNoTrials) {
+  std::atomic<int> runs{0};
+  const auto counting = [&](double x, std::uint64_t seed) {
+    runs.fetch_add(1);
+    return noisy_trial(x, seed);
+  };
+  const auto xs = sim::linspace(0.0, 1.0, 7);
+  exp::TrialCache cache;
+  auto scope = cache.scope(1);
+  const auto first = sim::sweep_stats("s", xs, 3, 9, counting, 4, &scope);
+  EXPECT_EQ(runs.load(), static_cast<int>(xs.size() * 3));
+  const auto second = sim::sweep_stats("s", xs, 3, 9, counting, 4, &scope);
+  EXPECT_EQ(runs.load(), static_cast<int>(xs.size() * 3));  // all hits
+  EXPECT_EQ(cache.hits(), xs.size() * 3);
+  for (std::size_t i = 0; i < first.mean.ys.size(); ++i) {
+    EXPECT_EQ(first.mean.ys[i], second.mean.ys[i]);
+  }
+}
+
+TEST(TrialCache, CriticalPointReusesSweepTrials) {
+  // The fig1 shape: sweep a curve over [lo, hi], then bisect the same trial
+  // space. The bisection's bracket probes must be served from the cache.
+  const double lo = 0.0;
+  const double hi = 1.0;
+  const std::size_t seeds = 3;
+  const auto xs = sim::linspace(lo, hi, 9);
+  const auto trial = [](double x, std::uint64_t seed) {
+    sim::Rng rng{seed};
+    return 1.0 - x + 0.01 * rng.next_double();
+  };
+
+  const double uncached =
+      sim::critical_point(lo, hi, 1e-3, 0.5, seeds, 42, trial, 1);
+
+  exp::TrialCache cache;
+  auto scope = cache.scope(7);
+  (void)sim::sweep_mean("s", xs, seeds, 42, trial, 2, &scope);
+  EXPECT_EQ(cache.hits(), 0u);
+  const double cached =
+      sim::critical_point(lo, hi, 1e-3, 0.5, seeds, 42, trial, 2, &scope);
+  EXPECT_EQ(cached, uncached);
+  // The lo and hi probes (seeds trials each) were already in the cache.
+  EXPECT_GE(cache.hits(), 2 * seeds);
+}
+
+TEST(TrialCache, ScopesWithDifferentHashesDoNotAlias) {
+  exp::TrialCache cache;
+  auto a = cache.scope(1);
+  auto b = cache.scope(2);
+  a.store(0.5, 3, 1.25);
+  double value = 0.0;
+  EXPECT_FALSE(b.lookup(0.5, 3, value));
+  EXPECT_TRUE(a.lookup(0.5, 3, value));
+  EXPECT_EQ(value, 1.25);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(TrialCache, ScopedMemoBindsAndAlwaysResetsTheSlot) {
+  exp::TrialCache cache;
+  sim::TrialMemo* slot = nullptr;
+  {
+    exp::ScopedMemo memo{cache, 9, slot, true};
+    ASSERT_NE(slot, nullptr);
+    slot->store(0.25, 1, 2.5);
+    double value = 0.0;
+    EXPECT_TRUE(slot->lookup(0.25, 1, value));
+    EXPECT_EQ(value, 2.5);
+  }
+  EXPECT_EQ(slot, nullptr);
+  {
+    exp::ScopedMemo memo{cache, 9, slot, /*enabled=*/false};
+    EXPECT_EQ(slot, nullptr);  // disabled: the sweep runs uncached
+  }
+  EXPECT_EQ(slot, nullptr);
+}
+
+// --- Cli -----------------------------------------------------------------
+
+exp::CliSpec test_spec() {
+  return {.program = "bench",
+          .summary = "test bench",
+          .points = 24,
+          .seeds = 3,
+          .quick_points = 10,
+          .quick_seeds = 1,
+          .seed = 2008};
+}
+
+exp::ParseStatus parse(exp::Cli& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  return cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, DefaultsWithNoArguments) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {}), exp::ParseStatus::kOk);
+  EXPECT_EQ(cli.points(), 24u);
+  EXPECT_EQ(cli.seeds(), 3u);
+  EXPECT_EQ(cli.seed(), 2008u);
+  EXPECT_EQ(cli.threads(), 0u);
+  EXPECT_TRUE(cli.csv().empty());
+  EXPECT_FALSE(cli.quick());
+  EXPECT_TRUE(cli.cache_enabled());
+}
+
+TEST(Cli, ParsesEveryFlag) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {"--quick", "--points", "7", "--seeds", "2", "--seed",
+                        "123", "--threads", "5", "--csv", "out.csv",
+                        "--no-cache"}),
+            exp::ParseStatus::kOk);
+  EXPECT_TRUE(cli.quick());
+  EXPECT_EQ(cli.points(), 7u);  // explicit --points beats --quick
+  EXPECT_EQ(cli.seeds(), 2u);
+  EXPECT_EQ(cli.seed(), 123u);
+  EXPECT_EQ(cli.threads(), 5u);
+  EXPECT_EQ(cli.csv(), "out.csv");
+  EXPECT_FALSE(cli.cache_enabled());
+}
+
+TEST(Cli, QuickAppliesSpecDefaults) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {"--quick"}), exp::ParseStatus::kOk);
+  EXPECT_EQ(cli.points(), 10u);
+  EXPECT_EQ(cli.seeds(), 1u);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  exp::Cli cli{test_spec()};
+  EXPECT_EQ(parse(cli, {"--help"}), exp::ParseStatus::kHelp);
+  exp::Cli dash{test_spec()};
+  EXPECT_EQ(parse(dash, {"-h"}), exp::ParseStatus::kHelp);
+  EXPECT_NE(cli.usage().find("--csv"), std::string::npos);
+}
+
+TEST(Cli, RejectsMalformedValues) {
+  const std::vector<std::vector<const char*>> bad = {
+      {"--points", "abc"},   {"--points", "-3"},  {"--points", "0"},
+      {"--points", "12abc"}, {"--seeds", "0"},    {"--seeds"},
+      {"--seed", "1.5"},     {"--threads", "+4"}, {"--csv"},
+      {"--bogus"},           {"--points", "99999999999999999999"},
+  };
+  for (const auto& args : bad) {
+    exp::Cli cli{test_spec()};
+    EXPECT_EQ(parse(cli, args), exp::ParseStatus::kError)
+        << "accepted malformed arguments starting with " << args.front();
+    EXPECT_FALSE(cli.error().empty());
+  }
+}
+
+TEST(Cli, ThreadsZeroMeansAuto) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {"--threads", "0"}), exp::ParseStatus::kOk);
+  EXPECT_EQ(cli.threads(), 0u);
+}
+
+TEST(Cli, CustomOptionsParseAndReject) {
+  std::uint64_t push_size = 2;
+  exp::Cli cli{test_spec()};
+  cli.add_option("--push-size", "push size", &push_size);
+  ASSERT_EQ(parse(cli, {"--push-size", "9"}), exp::ParseStatus::kOk);
+  EXPECT_EQ(push_size, 9u);
+  EXPECT_NE(cli.usage().find("--push-size"), std::string::npos);
+
+  std::uint64_t other = 1;
+  exp::Cli bad{test_spec()};
+  bad.add_option("--other", "other", &other);
+  EXPECT_EQ(parse(bad, {"--other", "x"}), exp::ParseStatus::kError);
+}
+
+// --- CsvSink -------------------------------------------------------------
+
+TEST(CsvSink, DisabledSinkIsANoOp) {
+  exp::CsvSink sink;
+  EXPECT_FALSE(sink.enabled());
+  sim::Table table{{"a"}};
+  table.add_row({"1"});
+  sink.write(table);  // must not crash or create files
+}
+
+TEST(CsvSink, WritesSectionedBlocksMatchingTheTables) {
+  const std::string path = testing::TempDir() + "exp_test_sink.csv";
+  sim::Table first{{"a", "b"}};
+  first.add_row({"1", "2"});
+  sim::Table second{{"c"}};
+  second.add_row({"3"});
+  {
+    exp::CsvSink sink{path};
+    EXPECT_TRUE(sink.enabled());
+    std::ostringstream out;
+    exp::emit(out, sink, first, "alpha");
+    EXPECT_NE(out.str().find("| a"), std::string::npos);  // stdout view
+    sink.write(second, "beta");
+  }
+  std::ifstream in{path};
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "# alpha\na,b\n1,2\n\n# beta\nc\n3\n");
+}
+
+TEST(CsvSink, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(exp::CsvSink{"/nonexistent-dir/x/y.csv"}, std::runtime_error);
+}
+
+TEST(CsvSinkDeathTest, OpenOrExitReportsLikeACliError) {
+  // Benches open their sink through this helper so a typo'd --csv path is
+  // the same clean exit-2 + "program: message" contract as a bad flag.
+  EXPECT_EXIT((void)exp::open_csv_or_exit("/nonexistent-dir/x/y.csv", "bench"),
+              testing::ExitedWithCode(2), "bench: cannot open CSV");
+}
+
+}  // namespace
+}  // namespace lotus

@@ -114,6 +114,53 @@ TEST(Rng, SampleUniformCoverage) {
   for (const int c : counts) EXPECT_NEAR(c, 3000, 600);
 }
 
+TEST(Rng, FillBelowMatchesScalarPath) {
+  // The batch helper must consume the stream exactly like sequential
+  // next_below calls, so scalar and batch paths are interchangeable.
+  Rng scalar{123};
+  Rng batch{123};
+  std::vector<std::uint64_t> out(257);
+  batch.fill_below(250, std::span<std::uint64_t>{out});
+  for (const auto v : out) EXPECT_EQ(v, scalar.next_below(250));
+  // The generators stay in lockstep afterwards.
+  EXPECT_EQ(batch(), scalar());
+}
+
+TEST(Rng, FillBelowDescendingMatchesScalarPath) {
+  Rng scalar{77};
+  Rng batch{77};
+  // 201 slots against first_bound 200: bounds run 200, 199, ..., 2, 1, 0 —
+  // the final slot exercises the bound-0 path (0 without consuming the
+  // stream, like next_below(0)).
+  std::vector<std::uint64_t> out(201);
+  batch.fill_below_descending(200, std::span<std::uint64_t>{out});
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const std::uint64_t bound = 200 > k ? 200 - k : 0;
+    EXPECT_EQ(out[k], scalar.next_below(bound));
+  }
+  EXPECT_EQ(batch(), scalar());
+}
+
+TEST(Rng, BatchedFisherYatesMatchesShuffle) {
+  // The gossip engine draws its per-round shuffle variates through
+  // fill_below_descending; the resulting permutation must equal
+  // Rng::shuffle's.
+  Rng direct{42};
+  std::vector<std::uint32_t> a(250);
+  for (std::uint32_t i = 0; i < a.size(); ++i) a[i] = i;
+  auto b = a;
+  direct.shuffle(std::span<std::uint32_t>{a});
+
+  Rng batched{42};
+  std::vector<std::uint64_t> draws(b.size() - 1);
+  batched.fill_below_descending(b.size(), std::span<std::uint64_t>{draws});
+  for (std::size_t k = 0; k < draws.size(); ++k) {
+    const std::size_t i = b.size() - k;
+    std::swap(b[i - 1], b[static_cast<std::size_t>(draws[k])]);
+  }
+  EXPECT_EQ(a, b);
+}
+
 TEST(Rng, ShuffleIsPermutation) {
   Rng rng{29};
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
@@ -420,6 +467,15 @@ TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce) {
   }
 }
 
+TEST(Parallel, ChunkedParallelForCoversLargeGridsExactlyOnce) {
+  // Large n exercises the range-chunked grab path (chunk = n / (8 * size)).
+  std::vector<std::atomic<int>> hits(10007);
+  ThreadPool pool{8};
+  pool.parallel_for(hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(Parallel, PropagatesFirstJobException) {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     ThreadPool pool{threads};
@@ -525,6 +581,14 @@ TEST(Table, CsvOutput) {
   std::ostringstream out;
   t.print_csv(out);
   EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesCellsWithSeparators) {
+  Table t{{"name", "v"}};
+  t.add_row({"push 2, balanced", "say \"hi\""});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "name,v\n\"push 2, balanced\",\"say \"\"hi\"\"\"\n");
 }
 
 TEST(Table, RejectsTooManyCells) {

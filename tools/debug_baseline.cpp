@@ -1,10 +1,13 @@
 // Diagnostic tool (not part of the library): where does baseline delivery
 // leak? Prints per-node and per-update delivery distributions and traffic
-// counters for a no-attack run at Table 1 parameters.
+// counters for a no-attack run at Table 1 parameters. Protocol windows are
+// exposed as flags (the old positional arguments) via the shared bench CLI.
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
+#include "exp/cli.h"
 #include "gossip/engine.h"
 #include "gossip/update_store.h"
 #include "sim/stats.h"
@@ -13,10 +16,26 @@
 int main(int argc, char** argv) {
   using namespace lotus;
   gossip::GossipConfig config;
-  config.seed = 2008;
-  if (argc > 1) config.push_size = static_cast<std::uint32_t>(std::atoi(argv[1]));
-  if (argc > 2) config.recent_window = static_cast<std::uint32_t>(std::atoi(argv[2]));
-  if (argc > 3) config.old_window = static_cast<std::uint32_t>(std::atoi(argv[3]));
+  std::uint64_t push_size = config.push_size;
+  std::uint64_t recent_window = config.recent_window;
+  std::uint64_t old_window = config.old_window;
+
+  exp::Cli cli{{.program = "debug_baseline",
+                .summary =
+                    "Diagnostic: delivery distributions and traffic counters "
+                    "for an unattacked run.",
+                .sweeps = false,
+                .seed = 2008}};
+  cli.add_option("--push-size", "optimistic push size", &push_size);
+  cli.add_option("--recent-window", "recently-released window (rounds)",
+                 &recent_window);
+  cli.add_option("--old-window", "near-expiry window (rounds)", &old_window);
+  if (const auto rc = cli.handle(argc, argv)) return *rc;
+
+  config.seed = cli.seed();
+  config.push_size = static_cast<std::uint32_t>(push_size);
+  config.recent_window = static_cast<std::uint32_t>(recent_window);
+  config.old_window = static_cast<std::uint32_t>(old_window);
 
   gossip::GossipEngine engine{config, gossip::AttackPlan{}};
   const auto result = engine.run();

@@ -7,20 +7,20 @@
 #include <string>
 
 #include "bt/swarm.h"
-#include "exp/cli.h"
-#include "exp/csv.h"
+#include "registry.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "bt_attack",
-                .summary =
-                    "E11: unchoke-monopoly attack on a BitTorrent swarm.",
-                .sweeps = false,
-                .seed = 17}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec bt_attack_spec() {
+  return {.program = "bt_attack",
+          .summary = "E11: unchoke-monopoly attack on a BitTorrent swarm.",
+          .sweeps = false,
+          .seed = 17};
+}
+
+int run_bt_attack(const exp::Cli& cli, exp::CsvSink& sink,
+                  exp::TrialCache& /*cache*/) {
   bt::SwarmConfig config;
   config.leechers = 60;
   config.seeds = 2;
@@ -89,3 +89,5 @@ int main(int argc, char** argv) {
                "last-pieces variant.\n";
   return 0;
 }
+
+}  // namespace lotus::figs

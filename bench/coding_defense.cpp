@@ -8,21 +8,22 @@
 #include <vector>
 
 #include "coding/rlnc.h"
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "net/topology.h"
+#include "registry.h"
 #include "sim/table.h"
 #include "token/model.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "coding_defense",
-                .summary = "E12: network coding removes rare-token leverage.",
-                .sweeps = false,
-                .seed = 9}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec coding_defense_spec() {
+  return {.program = "coding_defense",
+          .summary = "E12: network coding removes rare-token leverage.",
+          .sweeps = false,
+          .seed = 9};
+}
+
+int run_coding_defense(const exp::Cli& cli, exp::CsvSink& sink,
+                       exp::TrialCache& /*cache*/) {
   constexpr std::size_t kNodes = 120;
   constexpr std::size_t kTokens = 24;
 
@@ -89,3 +90,5 @@ int main(int argc, char** argv) {
                "harmless because any k independent blocks decode.\n";
   return 0;
 }
+
+}  // namespace lotus::figs

@@ -8,33 +8,34 @@
 // update coverage at the ideal critical point (paper: 39%).
 //
 // Driven by the shared experiment CLI (exp::Cli); the trial cache lets the
-// critical-point bisection reuse the trials the curves already ran.
+// critical-point bisection reuse the trials the curves already ran, and the
+// lotus_figs driver shares that cache (plus its on-disk store) across
+// figure families.
 #include <iostream>
 #include <vector>
 
 #include "core/critical.h"
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "exp/hash.h"
-#include "exp/trial_cache.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
+#include "registry.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "fig1_attacks",
-                .summary = "Figure 1: three attacks on BAR Gossip.",
-                .points = 24,
-                .seeds = 3,
-                .quick_points = 10,
-                .quick_seeds = 1,
-                .seed = 2008}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
-  exp::TrialCache cache;
+namespace lotus::figs {
 
+exp::CliSpec fig1_attacks_spec() {
+  return {.program = "fig1_attacks",
+          .summary = "Figure 1: three attacks on BAR Gossip.",
+          .points = 24,
+          .seeds = 3,
+          .quick_points = 10,
+          .quick_seeds = 1,
+          .seed = 2008};
+}
+
+int run_fig1_attacks(const exp::Cli& cli, exp::CsvSink& sink,
+                     exp::TrialCache& cache) {
   gossip::GossipConfig config;  // Table 1 defaults
   config.seed = cli.seed();
 
@@ -95,7 +96,7 @@ int main(int argc, char** argv) {
   sim::Table summary{{"ideal critical fraction", "attacker coverage %"}};
   summary.add_row({critical_str, coverage_str});
   sink.write(summary, "ideal_critical_summary");
-
-  cache.report(cli.program(), cli.cache_enabled());
   return 0;
 }
+
+}  // namespace lotus::figs

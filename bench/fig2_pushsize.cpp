@@ -8,28 +8,26 @@
 #include <vector>
 
 #include "core/critical.h"
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "exp/hash.h"
-#include "exp/trial_cache.h"
 #include "gossip/config.h"
+#include "registry.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "fig2_pushsize",
-                .summary =
-                    "Figure 2: larger push size (10) reduces effectiveness.",
-                .points = 24,
-                .seeds = 3,
-                .quick_points = 10,
-                .quick_seeds = 1,
-                .seed = 2008}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
-  exp::TrialCache cache;
+namespace lotus::figs {
 
+exp::CliSpec fig2_pushsize_spec() {
+  return {.program = "fig2_pushsize",
+          .summary = "Figure 2: larger push size (10) reduces effectiveness.",
+          .points = 24,
+          .seeds = 3,
+          .quick_points = 10,
+          .quick_seeds = 1,
+          .seed = 2008};
+}
+
+int run_fig2_pushsize(const exp::Cli& cli, exp::CsvSink& sink,
+                      exp::TrialCache& cache) {
   gossip::GossipConfig config;  // Table 1 ...
   config.push_size = 10;        // ... with the Figure 2 change
   config.seed = cli.seed();
@@ -80,7 +78,7 @@ int main(int argc, char** argv) {
                                     1)
               << "% to isolated nodes\n";
   }
-
-  cache.report(cli.program(), cli.cache_enabled());
   return 0;
 }
+
+}  // namespace lotus::figs

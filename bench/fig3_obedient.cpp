@@ -10,29 +10,28 @@
 #include <vector>
 
 #include "core/critical.h"
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "exp/hash.h"
-#include "exp/trial_cache.h"
 #include "gossip/config.h"
+#include "registry.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "fig3_obedient",
-                .summary =
-                    "Figure 3: obedient nodes reduce the trade attack's "
-                    "effectiveness.",
-                .points = 22,
-                .seeds = 3,
-                .quick_points = 8,
-                .quick_seeds = 1,
-                .seed = 2008}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
-  exp::TrialCache cache;
+namespace lotus::figs {
 
+exp::CliSpec fig3_obedient_spec() {
+  return {.program = "fig3_obedient",
+          .summary =
+              "Figure 3: obedient nodes reduce the trade attack's "
+              "effectiveness.",
+          .points = 22,
+          .seeds = 3,
+          .quick_points = 8,
+          .quick_seeds = 1,
+          .seed = 2008};
+}
+
+int run_fig3_obedient(const exp::Cli& cli, exp::CsvSink& sink,
+                      exp::TrialCache& cache) {
   struct Variant {
     const char* name;
     std::uint32_t push_size;
@@ -90,7 +89,7 @@ int main(int argc, char** argv) {
                      (crossing_values[3] / crossing_values[0] - 1.0) * 100.0, 0)
               << "% (paper: almost 50%)\n";
   }
-
-  cache.report(cli.program(), cli.cache_enabled());
   return 0;
 }
+
+}  // namespace lotus::figs

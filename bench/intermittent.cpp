@@ -6,23 +6,24 @@
 #include <iostream>
 #include <string>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
+#include "registry.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "intermittent",
-                .summary =
-                    "Extension: rotating the satiated set makes the service "
-                    "intermittently unusable for all nodes.",
-                .sweeps = false,
-                .seed = 55}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec intermittent_spec() {
+  return {.program = "intermittent",
+          .summary =
+              "Extension: rotating the satiated set makes the service "
+              "intermittently unusable for all nodes.",
+          .sweeps = false,
+          .seed = 55};
+}
+
+int run_intermittent(const exp::Cli& cli, exp::CsvSink& sink,
+                     exp::TrialCache& /*cache*/) {
   gossip::GossipConfig config;  // Table 1
   // Long horizon: the slowest rotation below has a ~120-round cycle and
   // every node should live through several isolated stretches.
@@ -66,3 +67,5 @@ int main(int argc, char** argv) {
                "for all nodes (§1).\n";
   return 0;
 }
+
+}  // namespace lotus::figs

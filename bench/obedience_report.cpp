@@ -6,23 +6,24 @@
 #include <iostream>
 #include <string>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
+#include "registry.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "obedience_report",
-                .summary =
-                    "E13: excessive-service reporting vs the trade attack, "
-                    "swept over the obedient fraction.",
-                .sweeps = false,
-                .seed = 31}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec obedience_report_spec() {
+  return {.program = "obedience_report",
+          .summary =
+              "E13: excessive-service reporting vs the trade attack, "
+              "swept over the obedient fraction.",
+          .sweeps = false,
+          .seed = 31};
+}
+
+int run_obedience_report(const exp::Cli& cli, exp::CsvSink& sink,
+                         exp::TrialCache& /*cache*/) {
   gossip::GossipConfig config;  // Table 1
   config.reporting_enabled = true;
   config.service_limit = 25;
@@ -78,3 +79,5 @@ int main(int argc, char** argv) {
                "(fraction 0) never report and stay broken.\n";
   return 0;
 }
+
+}  // namespace lotus::figs

@@ -1,0 +1,69 @@
+// The figure-bench registry.
+//
+// Every paper figure/table/scenario study is a `run(Cli&, CsvSink&,
+// TrialCache&)` entry point plus a CliSpec factory, registered here by name.
+// Two harnesses drive them:
+//   - run_standalone(): the per-bench executables (bench/standalone_main.cpp
+//     compiled once per bench) — parse argv, open the CSV sink and the
+//     on-disk trial store, run one bench, print the cache summary.
+//   - tools/lotus_figs.cpp: the multi-figure driver — runs many benches in
+//     one process against ONE shared TrialCache + TrialStore, so figure
+//     families with overlapping (config, x, seed) grids compute each trial
+//     once per machine, not once per figure.
+// run() bodies therefore never create caches, sinks, or stores, and never
+// print cache stats; the harness owns all of that.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "exp/cli.h"
+#include "exp/csv.h"
+#include "exp/trial_cache.h"
+
+namespace lotus::figs {
+
+/// One registered figure family.
+struct BenchDef {
+  const char* name;
+  exp::CliSpec (*spec)();
+  /// Runs the bench body: tables to stdout/sink, metrics from `cache`.
+  /// Fixed-scenario benches ignore the cache. Returns the process exit code.
+  int (*run)(const exp::Cli& cli, exp::CsvSink& sink, exp::TrialCache& cache);
+};
+
+/// Every bench, in the order the driver runs them.
+[[nodiscard]] const std::vector<BenchDef>& all_benches();
+
+/// nullptr when no bench has that name.
+[[nodiscard]] const BenchDef* find_bench(std::string_view name);
+
+/// Full standalone harness for one bench (see file comment).
+[[nodiscard]] int run_standalone(std::string_view name, int argc,
+                                 const char* const* argv);
+
+// Per-bench entry points, defined in bench/<name>.cpp.
+#define LOTUS_FIGS_DECLARE(name)                                     \
+  exp::CliSpec name##_spec();                                        \
+  int run_##name(const exp::Cli& cli, exp::CsvSink& sink,            \
+                 exp::TrialCache& cache)
+
+LOTUS_FIGS_DECLARE(bt_attack);
+LOTUS_FIGS_DECLARE(coding_defense);
+LOTUS_FIGS_DECLARE(fig1_attacks);
+LOTUS_FIGS_DECLARE(fig2_pushsize);
+LOTUS_FIGS_DECLARE(fig3_obedient);
+LOTUS_FIGS_DECLARE(intermittent);
+LOTUS_FIGS_DECLARE(obedience_report);
+LOTUS_FIGS_DECLARE(rep_attack);
+LOTUS_FIGS_DECLARE(scrip_altruists);
+LOTUS_FIGS_DECLARE(scrip_defense);
+LOTUS_FIGS_DECLARE(table1_params);
+LOTUS_FIGS_DECLARE(token_altruism);
+LOTUS_FIGS_DECLARE(token_contacts);
+LOTUS_FIGS_DECLARE(token_cut);
+LOTUS_FIGS_DECLARE(token_rare);
+
+#undef LOTUS_FIGS_DECLARE
+
+}  // namespace lotus::figs

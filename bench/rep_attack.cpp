@@ -6,20 +6,21 @@
 #include <iostream>
 #include <string>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
+#include "registry.h"
 #include "rep/system.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "rep_attack",
-                .summary = "E14: reputation-inflation lotus-eater attack.",
-                .sweeps = false,
-                .seed = 23}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec rep_attack_spec() {
+  return {.program = "rep_attack",
+          .summary = "E14: reputation-inflation lotus-eater attack.",
+          .sweeps = false,
+          .seed = 23};
+}
+
+int run_rep_attack(const exp::Cli& cli, exp::CsvSink& sink,
+                   exp::TrialCache& /*cache*/) {
   rep::SystemConfig config;
   config.agents = 100;
   config.rare_providers = 5;
@@ -72,3 +73,5 @@ int main(int argc, char** argv) {
                "restores it.\n";
   return 0;
 }
+
+}  // namespace lotus::figs

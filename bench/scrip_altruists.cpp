@@ -5,20 +5,21 @@
 // alone can carry.
 #include <iostream>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
+#include "registry.h"
 #include "scrip/analysis.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "scrip_altruists",
-                .summary = "E10: altruists crash a scrip economy.",
-                .sweeps = false,
-                .seed = 13}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec scrip_altruists_spec() {
+  return {.program = "scrip_altruists",
+          .summary = "E10: altruists crash a scrip economy.",
+          .sweeps = false,
+          .seed = 13};
+}
+
+int run_scrip_altruists(const exp::Cli& cli, exp::CsvSink& sink,
+                        exp::TrialCache& /*cache*/) {
   scrip::EconomyConfig config;
   config.agents = 200;
   config.initial_money = 5;
@@ -51,3 +52,5 @@ int main(int argc, char** argv) {
                "economy is dead (paid share ~0).\n";
   return 0;
 }
+
+}  // namespace lotus::figs

@@ -7,21 +7,22 @@
 #include <iostream>
 #include <string>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
+#include "registry.h"
 #include "scrip/analysis.h"
 #include "scrip/economy.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "scrip_defense",
-                .summary = "E9: a fixed money supply bounds satiation.",
-                .sweeps = false,
-                .seed = 7}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec scrip_defense_spec() {
+  return {.program = "scrip_defense",
+          .summary = "E9: a fixed money supply bounds satiation.",
+          .sweeps = false,
+          .seed = 7};
+}
+
+int run_scrip_defense(const exp::Cli& cli, exp::CsvSink& sink,
+                      exp::TrialCache& /*cache*/) {
   scrip::EconomyConfig config;
   config.agents = 200;
   config.initial_money = 5;
@@ -102,3 +103,5 @@ int main(int argc, char** argv) {
                "supply (" << supply << ").\n";
   return 0;
 }
+
+}  // namespace lotus::figs

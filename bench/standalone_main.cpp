@@ -1,0 +1,8 @@
+// Shared main() for every standalone bench executable. CMake compiles this
+// file once per bench with LOTUS_BENCH_NAME set to the registry name, so a
+// bench binary is exactly "the driver harness, pinned to one bench".
+#include "registry.h"
+
+int main(int argc, char** argv) {
+  return lotus::figs::run_standalone(LOTUS_BENCH_NAME, argc, argv);
+}

@@ -3,23 +3,24 @@
 // usable stream (> 93% of updates) under exactly those parameters.
 #include <iostream>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
+#include "registry.h"
 #include "sim/table.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "table1_params",
-                .summary =
-                    "Table 1 parameters and the unattacked-delivery sanity "
-                    "check.",
-                .sweeps = false,
-                .seed = 1}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec table1_params_spec() {
+  return {.program = "table1_params",
+          .summary =
+              "Table 1 parameters and the unattacked-delivery sanity "
+              "check.",
+          .sweeps = false,
+          .seed = 1};
+}
+
+int run_table1_params(const exp::Cli& cli, exp::CsvSink& sink,
+                      exp::TrialCache& /*cache*/) {
   gossip::GossipConfig config;  // defaults are Table 1
   config.seed = cli.seed();
 
@@ -50,3 +51,5 @@ int main(int argc, char** argv) {
   sink.write(sanity, "unattacked_sanity");
   return result.usable_for_isolated(config) ? 0 : 1;
 }
+
+}  // namespace lotus::figs

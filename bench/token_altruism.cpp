@@ -5,21 +5,22 @@
 #include <memory>
 #include <string>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "net/topology.h"
+#include "registry.h"
 #include "sim/table.h"
 #include "token/model.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "token_altruism",
-                .summary = "E7: altruism sweep under mass satiation.",
-                .sweeps = false,
-                .seed = 21}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec token_altruism_spec() {
+  return {.program = "token_altruism",
+          .summary = "E7: altruism sweep under mass satiation.",
+          .sweeps = false,
+          .seed = 21};
+}
+
+int run_token_altruism(const exp::Cli& cli, exp::CsvSink& sink,
+                       exp::TrialCache& /*cache*/) {
   constexpr std::size_t kNodes = 120;
   constexpr std::size_t kTokens = 32;
 
@@ -57,3 +58,5 @@ int main(int argc, char** argv) {
                "a > 0 completes, faster as a grows.\n";
   return 0;
 }
+
+}  // namespace lotus::figs

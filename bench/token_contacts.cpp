@@ -6,17 +6,18 @@
 #include <memory>
 #include <string>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "net/topology.h"
+#include "registry.h"
 #include "sim/table.h"
 #include "token/model.h"
+
+namespace lotus::figs {
 
 namespace {
 
 /// Mean fraction of tokens held at the horizon by nodes the attacker never
 /// touched — the victims' throughput.
-double untargeted_coverage(const lotus::token::ModelResult& result,
+double untargeted_coverage(const token::ModelResult& result,
                            std::size_t tokens) {
   double total = 0.0;
   std::size_t count = 0;
@@ -31,15 +32,15 @@ double untargeted_coverage(const lotus::token::ModelResult& result,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "token_contacts",
-                .summary = "E8: contact bound c vs mass satiation.",
-                .sweeps = false,
-                .seed = 33}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+exp::CliSpec token_contacts_spec() {
+  return {.program = "token_contacts",
+          .summary = "E8: contact bound c vs mass satiation.",
+          .sweeps = false,
+          .seed = 33};
+}
 
+int run_token_contacts(const exp::Cli& cli, exp::CsvSink& sink,
+                       exp::TrialCache& /*cache*/) {
   constexpr std::size_t kNodes = 120;
   constexpr std::size_t kTokens = 32;
   constexpr token::Round kHorizon = 15;  // tight horizon: throughput matters
@@ -84,3 +85,5 @@ int main(int argc, char** argv) {
                "divides their useful contacts by ~3.\n";
   return 0;
 }
+
+}  // namespace lotus::figs

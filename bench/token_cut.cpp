@@ -11,22 +11,23 @@
 #include <memory>
 #include <string>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "net/analysis.h"
 #include "net/topology.h"
+#include "registry.h"
 #include "sim/table.h"
 #include "token/model.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "token_cut",
-                .summary = "E5: cut attack — grid vs small world.",
-                .sweeps = false,
-                .seed = 77}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec token_cut_spec() {
+  return {.program = "token_cut",
+          .summary = "E5: cut attack — grid vs small world.",
+          .sweeps = false,
+          .seed = 77};
+}
+
+int run_token_cut(const exp::Cli& cli, exp::CsvSink& sink,
+                  exp::TrialCache& /*cache*/) {
   constexpr std::size_t kRows = 12;
   constexpr std::size_t kCols = 12;
   constexpr std::size_t kTokens = 16;
@@ -91,3 +92,5 @@ int main(int argc, char** argv) {
                "node set is harmless.\n";
   return 0;
 }
+
+}  // namespace lotus::figs

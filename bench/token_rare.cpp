@@ -6,21 +6,22 @@
 #include <memory>
 #include <string>
 
-#include "exp/cli.h"
-#include "exp/csv.h"
 #include "net/topology.h"
+#include "registry.h"
 #include "sim/table.h"
 #include "token/model.h"
 
-int main(int argc, char** argv) {
-  using namespace lotus;
-  exp::Cli cli{{.program = "token_rare",
-                .summary = "E6: the rare-token attack vs replication.",
-                .sweeps = false,
-                .seed = 9}};
-  if (const auto rc = cli.handle(argc, argv)) return *rc;
-  exp::CsvSink sink = exp::open_csv_or_exit(cli.csv(), cli.program());
+namespace lotus::figs {
 
+exp::CliSpec token_rare_spec() {
+  return {.program = "token_rare",
+          .summary = "E6: the rare-token attack vs replication.",
+          .sweeps = false,
+          .seed = 9};
+}
+
+int run_token_rare(const exp::Cli& cli, exp::CsvSink& sink,
+                   exp::TrialCache& /*cache*/) {
   constexpr std::size_t kNodes = 120;
   constexpr std::size_t kTokens = 24;
 
@@ -81,3 +82,5 @@ int main(int argc, char** argv) {
                "delay lets the replicated token escape — the attack fails.\n";
   return 0;
 }
+
+}  // namespace lotus::figs

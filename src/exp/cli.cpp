@@ -43,6 +43,14 @@ void Cli::add_option(std::string name, std::string help,
   options_.push_back({std::move(name), std::move(help), target});
 }
 
+void Cli::add_string(std::string name, std::string help, std::string* target) {
+  string_options_.push_back({std::move(name), std::move(help), target});
+}
+
+void Cli::add_flag(std::string name, std::string help, bool* target) {
+  flags_.push_back({std::move(name), std::move(help), target});
+}
+
 ParseStatus Cli::fail(std::string message) {
   error_ = std::move(message);
   return ParseStatus::kError;
@@ -63,6 +71,14 @@ ParseStatus Cli::parse(int argc, const char* const* argv) {
     }
     if (arg == "--no-cache") {
       cache_ = false;
+      continue;
+    }
+    if (arg == "--no-store") {
+      store_ = false;
+      continue;
+    }
+    if (arg == "--quiet-cache") {
+      quiet_cache_ = true;
       continue;
     }
     if (arg == "--points" || arg == "--seeds" || arg == "--seed" ||
@@ -87,21 +103,45 @@ ParseStatus Cli::parse(int argc, const char* const* argv) {
         explicit_seeds_ = true;
       } else if (arg == "--seed") {
         seed_ = value;
+        explicit_seed_ = true;
       } else {
         threads_ = static_cast<std::size_t>(value);
       }
       continue;
     }
-    if (arg == "--csv") {
+    if (arg == "--csv" || arg == "--cache-dir") {
       std::string_view text;
-      if (!value_of(i, text)) return fail("missing value for --csv");
-      if (text.empty()) return fail("--csv needs a non-empty path");
-      csv_ = std::string{text};
+      if (!value_of(i, text)) {
+        return fail("missing value for " + std::string{arg});
+      }
+      if (text.empty()) {
+        return fail(std::string{arg} + " needs a non-empty path");
+      }
+      (arg == "--csv" ? csv_ : cache_dir_) = std::string{text};
       continue;
     }
     bool matched = false;
+    for (const auto& flag : flags_) {
+      if (arg != flag.name) continue;
+      *flag.target = true;
+      matched = true;
+      break;
+    }
+    for (const auto& option : string_options_) {
+      if (matched || arg != option.name) continue;
+      std::string_view text;
+      if (!value_of(i, text)) {
+        return fail("missing value for " + option.name);
+      }
+      if (text.empty()) {
+        return fail(option.name + " needs a non-empty value");
+      }
+      *option.target = std::string{text};
+      matched = true;
+      break;
+    }
     for (const auto& option : options_) {
-      if (arg != option.name) continue;
+      if (matched || arg != option.name) continue;
       std::string_view text;
       if (!value_of(i, text)) {
         return fail("missing value for " + option.name);
@@ -159,7 +199,18 @@ std::string Cli::usage() const {
       "--threads N",
       "sweep worker threads (default 0 = LOTUS_SWEEP_THREADS or hardware)");
   lines.emplace_back("--csv PATH", "mirror every printed table into PATH as CSV");
-  lines.emplace_back("--no-cache", "disable the in-process trial cache");
+  lines.emplace_back("--cache-dir DIR",
+                     "on-disk trial store directory (default .lotus-cache)");
+  lines.emplace_back("--no-cache", "disable the trial cache entirely");
+  lines.emplace_back("--no-store",
+                     "keep the trial cache in-process only (no disk spill)");
+  lines.emplace_back("--quiet-cache", "no cache/store stats on stderr");
+  for (const auto& flag : flags_) {
+    lines.emplace_back(flag.name, flag.help);
+  }
+  for (const auto& option : string_options_) {
+    lines.emplace_back(option.name + " VALUE", option.help);
+  }
   for (const auto& option : options_) {
     lines.emplace_back(option.name + " N",
                        option.help + " (default " +
@@ -183,8 +234,8 @@ std::string Cli::usage() const {
   }
   if (!spec_.sweeps) {
     os << "\nThis bench runs fixed scenarios: --quick/--points/--seeds/"
-          "--threads/--no-cache\nare accepted for interface uniformity but "
-          "have no effect on it.\n";
+          "--threads and the cache\nflags are accepted for interface "
+          "uniformity but have no effect on it.\n";
   }
   return os.str();
 }

@@ -1,11 +1,13 @@
 // The shared bench command line.
 //
 // Every figure bench accepts the same flag set — --quick, --points, --seeds,
-// --seed, --threads, --csv, --no-cache, --help — parsed by exp::Cli from a
-// per-bench CliSpec holding the defaults. Benches with fixed scenarios (no
-// sweep) accept the full set for interface uniformity; the sweep-shaping
-// flags are simply inert there and the usage text says so. Bench-specific
-// value flags (e.g. debug_baseline's --push-size) register via add_option.
+// --seed, --threads, --csv, --cache-dir, --no-cache, --no-store,
+// --quiet-cache, --help — parsed by exp::Cli from a per-bench CliSpec
+// holding the defaults. Benches with fixed scenarios (no sweep) accept the
+// full set for interface uniformity; the sweep-shaping flags are simply
+// inert there and the usage text says so. Bench-specific flags (e.g.
+// debug_baseline's --push-size, lotus_figs' --only/--list) register via
+// add_option / add_string / add_flag.
 //
 // parse() never prints or exits, so it is directly unit-testable; benches
 // call handle(), which prints usage/help for them and returns the exit code
@@ -44,6 +46,14 @@ class Cli {
   /// outlive parse(). Register before parsing.
   void add_option(std::string name, std::string help, std::uint64_t* target);
 
+  /// Registers a bench-specific string value flag (e.g. "--only a,b"). The
+  /// value must be non-empty; same target/lifetime rules as add_option.
+  void add_string(std::string name, std::string help, std::string* target);
+
+  /// Registers a bench-specific boolean flag (e.g. "--list"); giving the
+  /// flag sets `*target` to true.
+  void add_flag(std::string name, std::string help, bool* target);
+
   /// Parses argv. kError leaves a message in error(); no output, no exit.
   [[nodiscard]] ParseStatus parse(int argc, const char* const* argv);
 
@@ -66,6 +76,23 @@ class Cli {
   }
   [[nodiscard]] bool quick() const noexcept { return quick_; }
   [[nodiscard]] bool cache_enabled() const noexcept { return cache_; }
+  /// Directory holding the on-disk trial store (exp::TrialStore).
+  [[nodiscard]] const std::string& cache_dir() const noexcept {
+    return cache_dir_;
+  }
+  /// False after --no-store (or --no-cache, which implies it).
+  [[nodiscard]] bool store_enabled() const noexcept {
+    return store_ && cache_;
+  }
+  /// True after --quiet-cache: no cache/store stats on stderr.
+  [[nodiscard]] bool quiet_cache() const noexcept { return quiet_cache_; }
+  /// Whether the user gave the flag explicitly (vs the spec's default) —
+  /// what a driver forwards to per-bench CLIs, so bench defaults survive.
+  [[nodiscard]] bool points_explicit() const noexcept {
+    return explicit_points_;
+  }
+  [[nodiscard]] bool seeds_explicit() const noexcept { return explicit_seeds_; }
+  [[nodiscard]] bool seed_explicit() const noexcept { return explicit_seed_; }
 
   [[nodiscard]] const std::string& error() const noexcept { return error_; }
   [[nodiscard]] std::string usage() const;
@@ -76,21 +103,37 @@ class Cli {
     std::string help;
     std::uint64_t* target;
   };
+  struct StringOption {
+    std::string name;
+    std::string help;
+    std::string* target;
+  };
+  struct Flag {
+    std::string name;
+    std::string help;
+    bool* target;
+  };
 
   [[nodiscard]] ParseStatus fail(std::string message);
 
   CliSpec spec_;
   std::vector<Option> options_;
+  std::vector<StringOption> string_options_;
+  std::vector<Flag> flags_;
 
   std::size_t points_;
   std::size_t seeds_;
   std::uint64_t seed_;
   std::size_t threads_ = 0;
   std::string csv_;
+  std::string cache_dir_ = ".lotus-cache";
   bool quick_ = false;
   bool cache_ = true;
+  bool store_ = true;
+  bool quiet_cache_ = false;
   bool explicit_points_ = false;
   bool explicit_seeds_ = false;
+  bool explicit_seed_ = false;
   std::string error_;
 };
 

@@ -19,7 +19,9 @@ void CsvSink::write(const sim::Table& table, const std::string& section) {
   if (!enabled()) return;
   if (!first_) out_ << '\n';
   first_ = false;
-  if (!section.empty()) out_ << "# " << section << '\n';
+  if (!section.empty() || !section_prefix_.empty()) {
+    out_ << "# " << section_prefix_ << section << '\n';
+  }
   table.print_csv(out_);
   out_.flush();
 }

@@ -14,6 +14,7 @@
 #include <fstream>
 #include <iosfwd>
 #include <string>
+#include <utility>
 
 #include "sim/table.h"
 
@@ -31,11 +32,20 @@ class CsvSink {
   [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// Prefix prepended to every section name from now on. The lotus_figs
+  /// driver shares one sink across figure families and sets "<bench>/" per
+  /// bench, so same-named sections (every figure emits "delivery") stay
+  /// distinguishable in the one file.
+  void set_section_prefix(std::string prefix) {
+    section_prefix_ = std::move(prefix);
+  }
+
   /// Appends the table as a CSV block ("# section" header when non-empty).
   void write(const sim::Table& table, const std::string& section = "");
 
  private:
   std::string path_;
+  std::string section_prefix_;
   std::ofstream out_;
   bool first_ = true;
 };

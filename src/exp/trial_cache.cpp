@@ -4,6 +4,7 @@
 #include <iostream>
 #include <ostream>
 
+#include "exp/trial_store.h"
 #include "sim/rng.h"
 
 namespace lotus::exp {
@@ -27,8 +28,11 @@ bool TrialCache::lookup(std::uint64_t config_hash, double x,
     std::lock_guard lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
-      value = it->second;
+      value = it->second.value;
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (it->second.from_disk) {
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
       return true;
     }
   }
@@ -40,7 +44,22 @@ void TrialCache::store(std::uint64_t config_hash, double x, std::uint64_t seed,
                        double value) {
   const Key key{config_hash, std::bit_cast<std::uint64_t>(x), seed};
   std::lock_guard lock(mu_);
-  map_.insert_or_assign(key, value);
+  const auto [it, inserted] = map_.try_emplace(key, Entry{value, false});
+  // Only the first writer spills: racing workers compute the same value for
+  // the same (deterministic) trial, and disk-loaded entries are already in
+  // the log.
+  if (inserted && store_ != nullptr) {
+    store_->append({key.config_hash, key.x_bits, key.seed, value});
+  }
+}
+
+void TrialCache::attach_store(TrialStore& store) {
+  std::lock_guard lock(mu_);
+  store_ = &store;
+  for (const auto& record : store.records()) {
+    map_.try_emplace(Key{record.key_hash, record.x_bits, record.seed},
+                     Entry{record.value, true});
+  }
 }
 
 std::size_t TrialCache::size() const {
@@ -52,12 +71,20 @@ void TrialCache::clear() {
   std::lock_guard lock(mu_);
   map_.clear();
   hits_.store(0, std::memory_order_relaxed);
+  disk_hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
 }
 
 void TrialCache::report(std::ostream& os) const {
-  os << "trial cache: " << hits() << " hits, " << misses() << " misses ("
-     << size() << " entries)\n";
+  const TrialStore* store = [&] {
+    std::lock_guard lock(mu_);
+    return store_;
+  }();
+  os << "trial cache: " << hits() << " hits";
+  if (store != nullptr) os << " (" << disk_hits() << " from disk)";
+  os << ", " << misses() << " misses (" << size() << " entries)";
+  if (store != nullptr) os << "; store: " << store->summary();
+  os << "\n";
 }
 
 void TrialCache::report(std::string_view program, bool enabled) const {

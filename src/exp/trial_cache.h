@@ -22,6 +22,8 @@
 
 namespace lotus::exp {
 
+class TrialStore;
+
 /// Thread-safe (config_hash, x, seed) -> value memo. Workers that race on
 /// the same key both run the (deterministic) trial and store the same value,
 /// so no entry is ever observed half-written or wrong.
@@ -56,8 +58,20 @@ class TrialCache {
   void store(std::uint64_t config_hash, double x, std::uint64_t seed,
              double value);
 
+  /// Binds an on-disk spill (exp::TrialStore): its records are loaded into
+  /// the map immediately (marked as disk-born for the disk_hits() counter),
+  /// and every trial stored from now on is appended to it. The store must
+  /// outlive the cache's last store() call; call at startup, before the
+  /// sweeps run (see exp::open_store for the standard wiring).
+  void attach_store(TrialStore& store);
+
   [[nodiscard]] std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
+  }
+  /// Subset of hits() served by entries the attached store loaded from disk
+  /// — a warm rerun of the same grid shows every trial here.
+  [[nodiscard]] std::uint64_t disk_hits() const noexcept {
+    return disk_hits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
@@ -84,10 +98,16 @@ class TrialCache {
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept;
   };
+  struct Entry {
+    double value;
+    bool from_disk;
+  };
 
   mutable std::mutex mu_;
-  std::unordered_map<Key, double, KeyHash> map_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  TrialStore* store_ = nullptr;  // guarded by mu_
   std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };
 

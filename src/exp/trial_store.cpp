@@ -1,0 +1,215 @@
+#include "exp/trial_store.h"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "exp/cli.h"
+#include "exp/trial_cache.h"
+#include "sim/rng.h"
+
+namespace lotus::exp {
+
+namespace {
+
+// The log is written in host byte order: it is a per-machine cache, not an
+// interchange format, and a file moved across architectures simply fails the
+// magic/checksum validation and is discarded — the safe outcome.
+void put_u64(std::ostream& os, std::uint64_t word) {
+  os.write(reinterpret_cast<const char*>(&word), sizeof(word));
+}
+
+bool get_u64(std::istream& is, std::uint64_t& word) {
+  is.read(reinterpret_cast<char*>(&word), sizeof(word));
+  return static_cast<bool>(is);
+}
+
+/// Chains one record into the running checksum. Order-dependent by design:
+/// the checksum describes an exact record prefix, so an incremental append
+/// can extend it without re-reading the file.
+std::uint64_t chain_checksum(std::uint64_t checksum,
+                             const TrialStore::Record& record) {
+  std::uint64_t state = checksum ^ record.key_hash;
+  checksum = sim::split_mix64(state);
+  state ^= record.x_bits;
+  checksum ^= sim::split_mix64(state);
+  state ^= record.seed;
+  checksum ^= sim::split_mix64(state);
+  state ^= std::bit_cast<std::uint64_t>(record.value);
+  checksum ^= sim::split_mix64(state);
+  return checksum;
+}
+
+void put_record(std::ostream& os, const TrialStore::Record& record) {
+  put_u64(os, record.key_hash);
+  put_u64(os, record.x_bits);
+  put_u64(os, record.seed);
+  put_u64(os, std::bit_cast<std::uint64_t>(record.value));
+}
+
+}  // namespace
+
+TrialStore::TrialStore(std::string path) : path_(std::move(path)) {
+  // Discard the file and restart cold (or disable on I/O failure).
+  const auto discard = [&](LoadStatus reason) {
+    status_ = write_fresh_header() ? reason : LoadStatus::kDisabled;
+  };
+
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path_, ec);
+  if (ec) return;  // stay disabled
+  if (!exists) {
+    status_ = write_fresh_header() ? LoadStatus::kFresh : LoadStatus::kDisabled;
+    return;
+  }
+
+  const auto file_size = std::filesystem::file_size(path_, ec);
+  std::ifstream in{path_, std::ios::binary};
+  std::uint64_t magic = 0;
+  std::uint64_t version = 0;
+  std::uint64_t count = 0;
+  std::uint64_t checksum = 0;
+  if (ec || !in || !get_u64(in, magic) || !get_u64(in, version) ||
+      !get_u64(in, count) || !get_u64(in, checksum) || magic != kMagic) {
+    discard(LoadStatus::kDiscardedCorrupt);
+    return;
+  }
+  if (version != kFormatVersion) {
+    discard(LoadStatus::kDiscardedVersion);
+    return;
+  }
+  // The header must describe a full prefix: a file cut mid-record (or
+  // mid-log) cannot be trusted at all, because the checksum covers exactly
+  // `count` records. Bytes past the prefix are a torn append — ignored here
+  // and overwritten by the next flush. Divide rather than multiply: a
+  // corrupt count word must not overflow its way past this check (the four
+  // header reads above guarantee file_size >= kHeaderBytes).
+  if (count > (file_size - kHeaderBytes) / kRecordBytes) {
+    discard(LoadStatus::kDiscardedCorrupt);
+    return;
+  }
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(count));
+  std::uint64_t running = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Record record{};
+    std::uint64_t value_bits = 0;
+    if (!get_u64(in, record.key_hash) || !get_u64(in, record.x_bits) ||
+        !get_u64(in, record.seed) || !get_u64(in, value_bits)) {
+      discard(LoadStatus::kDiscardedCorrupt);
+      return;
+    }
+    record.value = std::bit_cast<double>(value_bits);
+    running = chain_checksum(running, record);
+    records.push_back(record);
+  }
+  if (running != checksum) {
+    discard(LoadStatus::kDiscardedCorrupt);
+    return;
+  }
+  records_ = std::move(records);
+  committed_ = count;
+  checksum_ = checksum;
+  status_ = LoadStatus::kLoaded;
+}
+
+TrialStore::~TrialStore() { flush(); }
+
+void TrialStore::disable() noexcept {
+  status_ = LoadStatus::kDisabled;
+  pending_.clear();
+}
+
+bool TrialStore::write_fresh_header() {
+  std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+  if (!out) return false;
+  put_u64(out, kMagic);
+  put_u64(out, kFormatVersion);
+  put_u64(out, 0);  // count
+  put_u64(out, 0);  // checksum
+  out.flush();
+  committed_ = 0;
+  checksum_ = 0;
+  return static_cast<bool>(out);
+}
+
+void TrialStore::append(const Record& record) {
+  if (!enabled()) return;
+  pending_.push_back(record);
+  ++appended_;
+}
+
+void TrialStore::flush() {
+  if (!enabled() || pending_.empty()) return;
+  std::fstream out{path_, std::ios::binary | std::ios::in | std::ios::out};
+  if (!out) {
+    disable();
+    return;
+  }
+  // Records first, at the end of the committed prefix (clobbering any torn
+  // tail a previous crash left behind)...
+  out.seekp(static_cast<std::streamoff>(kHeaderBytes +
+                                        committed_ * kRecordBytes));
+  std::uint64_t checksum = checksum_;
+  for (const auto& record : pending_) {
+    put_record(out, record);
+    checksum = chain_checksum(checksum, record);
+  }
+  out.flush();
+  if (!out) {
+    disable();
+    return;
+  }
+  // ...then the header that makes them part of the valid prefix.
+  out.seekp(0);
+  put_u64(out, kMagic);
+  put_u64(out, kFormatVersion);
+  put_u64(out, committed_ + pending_.size());
+  put_u64(out, checksum);
+  out.flush();
+  if (!out) {
+    disable();
+    return;
+  }
+  committed_ += pending_.size();
+  checksum_ = checksum;
+  pending_.clear();
+}
+
+std::string TrialStore::summary() const {
+  std::ostringstream os;
+  os << records_.size() << " loaded";
+  switch (status_) {
+    case LoadStatus::kDiscardedVersion:
+      os << " (incompatible version discarded)";
+      break;
+    case LoadStatus::kDiscardedCorrupt:
+      os << " (corrupt file discarded)";
+      break;
+    default:
+      break;
+  }
+  os << ", " << appended_ << " appended";
+  return os.str();
+}
+
+std::string store_path(const std::string& cache_dir) {
+  return (std::filesystem::path{cache_dir} / "trials.bin").string();
+}
+
+std::unique_ptr<TrialStore> open_store(TrialCache& cache, const Cli& cli) {
+  if (!cli.store_enabled() || cli.cache_dir().empty()) return nullptr;
+  std::error_code ec;
+  std::filesystem::create_directories(cli.cache_dir(), ec);
+  if (ec) return nullptr;
+  auto store = std::make_unique<TrialStore>(store_path(cli.cache_dir()));
+  if (!store->enabled()) return nullptr;
+  cache.attach_store(*store);
+  return store;
+}
+
+}  // namespace lotus::exp

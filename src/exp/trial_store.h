@@ -1,0 +1,123 @@
+// Persistent on-disk spill for the trial cache.
+//
+// exp::TrialCache deduplicates (config hash, x, seed) gossip trials within
+// one process; TrialStore extends that across processes. It is a versioned
+// binary log of fixed-width records under a --cache-dir: the header carries a
+// magic word, a format version, the record count, and a checksum chained over
+// exactly that many records, so a truncated, corrupt, or incompatible file is
+// detected at open and discarded (cold start) instead of poisoning results.
+// A crash mid-append leaves the old header intact, which still describes a
+// valid prefix — the next open recovers every record the last flush()
+// committed and overwrites the torn tail.
+//
+// The store never throws and never fails a bench: any I/O error just turns
+// it off for the rest of the run. Values are the exact doubles the trials
+// produced (stored by bit pattern), so warm runs are byte-identical to cold
+// ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lotus::exp {
+
+class Cli;
+class TrialCache;
+
+class TrialStore {
+ public:
+  /// One persisted trial. `key_hash` is the hash the cache scope was bound
+  /// to (exp::trial_space_hash / config_hash); x is stored by bit pattern so
+  /// reloaded keys are exact.
+  struct Record {
+    std::uint64_t key_hash;
+    std::uint64_t x_bits;
+    std::uint64_t seed;
+    double value;
+    bool operator==(const Record&) const = default;
+  };
+
+  enum class LoadStatus {
+    kDisabled,          ///< default-constructed or I/O failure: store is off
+    kFresh,             ///< no file existed; started empty
+    kLoaded,            ///< header validated; records() holds the log
+    kDiscardedVersion,  ///< incompatible format version: started cold
+    kDiscardedCorrupt,  ///< bad magic, truncation, or checksum: started cold
+  };
+
+  // "LOTUSTRL" + format version; header is {magic, version, count, checksum}.
+  static constexpr std::uint64_t kMagic = 0x4c4f54555354524cULL;
+  static constexpr std::uint64_t kFormatVersion = 1;
+  static constexpr std::size_t kHeaderBytes = 4 * sizeof(std::uint64_t);
+  static constexpr std::size_t kRecordBytes = 4 * sizeof(std::uint64_t);
+
+  /// Disabled store: append/flush are no-ops.
+  TrialStore() = default;
+
+  /// Opens (or initialises) the log at `path` and loads whatever valid
+  /// prefix it holds. Never throws; on any I/O error the store disables
+  /// itself (enabled() == false).
+  explicit TrialStore(std::string path);
+
+  /// Flushes pending appends (see flush()).
+  ~TrialStore();
+
+  TrialStore(const TrialStore&) = delete;
+  TrialStore& operator=(const TrialStore&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return status_ != LoadStatus::kDisabled;
+  }
+  [[nodiscard]] LoadStatus load_status() const noexcept { return status_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// The records read at open (empty unless status is kLoaded).
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+
+  /// Records appended this session (pending plus already flushed).
+  [[nodiscard]] std::size_t appended() const noexcept { return appended_; }
+
+  /// Queues a record for the next flush(). Not thread-safe on its own: the
+  /// cache calls it under its lock (TrialCache::store), and tests are
+  /// single-threaded.
+  void append(const Record& record);
+
+  /// Commits pending records: writes them after the current valid prefix,
+  /// then updates the header's count and checksum. The header is written
+  /// last, so a crash anywhere in between leaves the previous prefix intact.
+  void flush();
+
+  /// One-line "N loaded, M appended" summary fragment for stderr reports,
+  /// including what happened to a discarded file.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void disable() noexcept;
+  [[nodiscard]] bool write_fresh_header();
+
+  std::string path_;
+  LoadStatus status_ = LoadStatus::kDisabled;
+  std::vector<Record> records_;
+  std::vector<Record> pending_;
+  std::uint64_t committed_ = 0;  // records covered by the on-disk header
+  std::uint64_t checksum_ = 0;   // running checksum over those records
+  std::size_t appended_ = 0;
+};
+
+/// The log's location inside a cache directory.
+[[nodiscard]] std::string store_path(const std::string& cache_dir);
+
+/// Standard bench wiring: when the CLI enables both the cache and the store,
+/// creates the cache directory, opens the trial store inside it, loads its
+/// records into `cache`, and registers it as the cache's append sink.
+/// Returns nullptr when disabled. Flush via the returned handle (or let its
+/// destructor do it) after the bench body finishes.
+[[nodiscard]] std::unique_ptr<TrialStore> open_store(TrialCache& cache,
+                                                     const Cli& cli);
+
+}  // namespace lotus::exp

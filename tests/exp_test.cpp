@@ -1,9 +1,12 @@
 // Unit tests for the experiment driver layer: config hashing, the
-// content-addressed trial cache, the shared bench CLI, and the CSV sink.
+// content-addressed trial cache, the on-disk trial store, the shared bench
+// CLI, and the CSV sink.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -15,6 +18,7 @@
 #include "exp/csv.h"
 #include "exp/hash.h"
 #include "exp/trial_cache.h"
+#include "exp/trial_store.h"
 #include "sim/rng.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
@@ -237,6 +241,268 @@ TEST(TrialCache, ScopedMemoBindsAndAlwaysResetsTheSlot) {
   EXPECT_EQ(slot, nullptr);
 }
 
+// --- TrialStore ----------------------------------------------------------
+
+/// Fresh store path for one test: TempDir persists across runs, so reset it.
+std::string fresh_store_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "exp_test_" + name + ".bin";
+  std::filesystem::remove(path);
+  return path;
+}
+
+/// Overwrites `size` bytes at `offset` in the store file.
+void patch_file(const std::string& path, std::streamoff offset,
+                const void* bytes, std::size_t size) {
+  std::fstream f{path, std::ios::binary | std::ios::in | std::ios::out};
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(size));
+  ASSERT_TRUE(f.good());
+}
+
+const std::vector<exp::TrialStore::Record> kSampleRecords = {
+    {0x1111, std::bit_cast<std::uint64_t>(0.25), 7, 0.125},
+    {0x1111, std::bit_cast<std::uint64_t>(0.5), 8, -3.75},
+    // Denormal-ish and negative-zero values must survive by bit pattern.
+    {0x2222, std::bit_cast<std::uint64_t>(-0.0), 9, 5e-324},
+};
+
+void write_sample_store(const std::string& path) {
+  exp::TrialStore store{path};
+  ASSERT_EQ(store.load_status(), exp::TrialStore::LoadStatus::kFresh);
+  for (const auto& record : kSampleRecords) store.append(record);
+  store.flush();
+}
+
+TEST(TrialStore, RoundTripsRecordsBitExactly) {
+  const auto path = fresh_store_path("roundtrip");
+  write_sample_store(path);
+  exp::TrialStore reloaded{path};
+  EXPECT_EQ(reloaded.load_status(), exp::TrialStore::LoadStatus::kLoaded);
+  ASSERT_EQ(reloaded.records().size(), kSampleRecords.size());
+  for (std::size_t i = 0; i < kSampleRecords.size(); ++i) {
+    EXPECT_EQ(reloaded.records()[i], kSampleRecords[i]);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(reloaded.records()[i].value),
+              std::bit_cast<std::uint64_t>(kSampleRecords[i].value));
+  }
+}
+
+TEST(TrialStore, AppendsAccumulateAcrossSessions) {
+  const auto path = fresh_store_path("accumulate");
+  write_sample_store(path);
+  {
+    exp::TrialStore store{path};
+    ASSERT_EQ(store.records().size(), kSampleRecords.size());
+    store.append({0x3333, std::bit_cast<std::uint64_t>(0.75), 10, 2.5});
+    // flush via destructor
+  }
+  exp::TrialStore reloaded{path};
+  EXPECT_EQ(reloaded.load_status(), exp::TrialStore::LoadStatus::kLoaded);
+  ASSERT_EQ(reloaded.records().size(), kSampleRecords.size() + 1);
+  EXPECT_EQ(reloaded.records().back().key_hash, 0x3333u);
+  EXPECT_EQ(reloaded.records().back().value, 2.5);
+}
+
+TEST(TrialStore, RejectsVersionMismatch) {
+  const auto path = fresh_store_path("version");
+  write_sample_store(path);
+  const std::uint64_t future = exp::TrialStore::kFormatVersion + 1;
+  patch_file(path, sizeof(std::uint64_t), &future, sizeof(future));
+  exp::TrialStore store{path};
+  EXPECT_EQ(store.load_status(),
+            exp::TrialStore::LoadStatus::kDiscardedVersion);
+  EXPECT_TRUE(store.records().empty());
+  EXPECT_TRUE(store.enabled());  // discarded but usable: restarted cold
+  EXPECT_NE(store.summary().find("incompatible version"), std::string::npos);
+}
+
+TEST(TrialStore, RejectsForeignMagic) {
+  const auto path = fresh_store_path("magic");
+  write_sample_store(path);
+  const std::uint64_t junk = 0xdeadbeefULL;
+  patch_file(path, 0, &junk, sizeof(junk));
+  exp::TrialStore store{path};
+  EXPECT_EQ(store.load_status(),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+  EXPECT_TRUE(store.records().empty());
+}
+
+TEST(TrialStore, DiscardsFileTruncatedMidRecord) {
+  const auto path = fresh_store_path("truncated");
+  write_sample_store(path);
+  // Cut the last record in half: the header now promises more bytes than
+  // the file holds, so nothing can be trusted.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - exp::TrialStore::kRecordBytes / 2);
+  exp::TrialStore store{path};
+  EXPECT_EQ(store.load_status(),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+  EXPECT_TRUE(store.records().empty());
+  EXPECT_TRUE(store.enabled());
+
+  // The fallback is a *working* cold store: new appends round-trip.
+  store.append(kSampleRecords[0]);
+  store.flush();
+  exp::TrialStore after{path};
+  EXPECT_EQ(after.load_status(), exp::TrialStore::LoadStatus::kLoaded);
+  ASSERT_EQ(after.records().size(), 1u);
+  EXPECT_EQ(after.records()[0], kSampleRecords[0]);
+}
+
+TEST(TrialStore, DiscardsHugeCorruptRecordCountWithoutAllocating) {
+  const auto path = fresh_store_path("huge_count");
+  write_sample_store(path);
+  // A corrupt count whose byte size wraps past 2^64 must fail the
+  // truncation check, not bypass it and reserve() terabytes.
+  const std::uint64_t huge = std::uint64_t{1} << 59;
+  patch_file(path, 2 * sizeof(std::uint64_t), &huge, sizeof(huge));
+  exp::TrialStore store{path};
+  EXPECT_EQ(store.load_status(),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+  EXPECT_TRUE(store.records().empty());
+}
+
+TEST(TrialStore, DiscardsChecksumMismatch) {
+  const auto path = fresh_store_path("checksum");
+  write_sample_store(path);
+  // Flip one byte inside the second record's value word.
+  const std::uint8_t junk = 0xa5;
+  patch_file(path,
+             static_cast<std::streamoff>(exp::TrialStore::kHeaderBytes +
+                                         exp::TrialStore::kRecordBytes + 27),
+             &junk, 1);
+  exp::TrialStore store{path};
+  EXPECT_EQ(store.load_status(),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+  EXPECT_TRUE(store.records().empty());
+}
+
+TEST(TrialStore, RecoversCommittedPrefixAfterTornAppend) {
+  const auto path = fresh_store_path("torn");
+  write_sample_store(path);
+  // A crash between writing records and updating the header leaves valid
+  // committed records followed by garbage the header does not cover.
+  {
+    std::ofstream tail{path, std::ios::binary | std::ios::app};
+    tail.write("torn-append-garbage", 19);
+  }
+  exp::TrialStore store{path};
+  EXPECT_EQ(store.load_status(), exp::TrialStore::LoadStatus::kLoaded);
+  ASSERT_EQ(store.records().size(), kSampleRecords.size());
+
+  // The next flush overwrites the torn tail and the file is fully valid.
+  store.append({0x4444, std::bit_cast<std::uint64_t>(0.1), 11, 1.5});
+  store.flush();
+  exp::TrialStore after{path};
+  EXPECT_EQ(after.load_status(), exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_EQ(after.records().size(), kSampleRecords.size() + 1);
+}
+
+TEST(TrialStore, CacheAppendsOnlyFreshTrialsToTheStore) {
+  const auto path = fresh_store_path("cache_appends");
+  {
+    exp::TrialStore store{path};
+    exp::TrialCache cache;
+    cache.attach_store(store);
+    cache.store(1, 0.5, 7, 2.5);
+    cache.store(1, 0.5, 7, 2.5);  // duplicate: must not be re-appended
+    cache.store(2, 0.5, 7, 3.5);
+    EXPECT_EQ(store.appended(), 2u);
+  }
+  exp::TrialStore reloaded{path};
+  EXPECT_EQ(reloaded.records().size(), 2u);
+
+  // Reloaded entries are already on disk, so they are not appended again.
+  exp::TrialCache warm;
+  warm.attach_store(reloaded);
+  EXPECT_EQ(warm.size(), 2u);
+  warm.store(1, 0.5, 7, 2.5);
+  EXPECT_EQ(reloaded.appended(), 0u);
+}
+
+// The warm/cold property the whole subsystem exists for: a sweep run cold,
+// then rerun warm from disk in a fresh process (here: a fresh TrialCache),
+// must produce bit-identical values without running a single trial.
+TEST(TrialStore, WarmSweepIsBitIdenticalAndRunsNoTrials) {
+  const auto path = fresh_store_path("warm_cold");
+  const auto xs = sim::linspace(0.0, 1.0, 9);
+  const std::size_t seeds = 4;
+  std::atomic<int> runs{0};
+  const auto counting = [&](double x, std::uint64_t seed) {
+    runs.fetch_add(1);
+    return noisy_trial(x, seed);
+  };
+
+  sim::SweepResult cold;
+  {
+    exp::TrialCache cache;
+    exp::TrialStore store{path};
+    cache.attach_store(store);
+    auto scope = cache.scope(0xf1f1);
+    cold = sim::sweep_stats("s", xs, seeds, 2008, counting, 4, &scope);
+    EXPECT_EQ(cache.disk_hits(), 0u);
+    store.flush();
+  }
+  const int cold_runs = runs.load();
+  EXPECT_EQ(cold_runs, static_cast<int>(xs.size() * seeds));
+
+  exp::TrialCache cache;
+  exp::TrialStore store{path};
+  EXPECT_EQ(store.load_status(), exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_EQ(store.records().size(), xs.size() * seeds);
+  cache.attach_store(store);
+  auto scope = cache.scope(0xf1f1);
+  const auto warm = sim::sweep_stats("s", xs, seeds, 2008, counting, 4, &scope);
+
+  EXPECT_EQ(runs.load(), cold_runs);  // zero trials run warm
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.hits(), xs.size() * seeds);
+  EXPECT_EQ(cache.disk_hits(), xs.size() * seeds);  // every hit came from disk
+  ASSERT_EQ(warm.mean.ys.size(), cold.mean.ys.size());
+  for (std::size_t i = 0; i < cold.mean.ys.size(); ++i) {
+    // EXPECT_EQ, not NEAR: warm output must be byte-identical.
+    EXPECT_EQ(warm.mean.ys[i], cold.mean.ys[i]);
+    EXPECT_EQ(warm.stddev.ys[i], cold.stddev.ys[i]);
+  }
+}
+
+TEST(TrialStore, CorruptStoreFallsBackToAColdCacheRun) {
+  const auto path = fresh_store_path("corrupt_fallback");
+  const auto xs = sim::linspace(0.0, 1.0, 5);
+  {
+    exp::TrialCache cache;
+    exp::TrialStore store{path};
+    cache.attach_store(store);
+    auto scope = cache.scope(1);
+    (void)sim::sweep_mean("s", xs, 2, 9, noisy_trial, 2, &scope);
+  }
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 5);
+
+  exp::TrialCache cache;
+  exp::TrialStore store{path};
+  EXPECT_EQ(store.load_status(),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+  cache.attach_store(store);
+  auto scope = cache.scope(1);
+  const auto rerun = sim::sweep_mean("s", xs, 2, 9, noisy_trial, 2, &scope);
+  EXPECT_EQ(cache.hits(), 0u);  // nothing poisoned, nothing served
+  EXPECT_EQ(cache.misses(), xs.size() * 2);
+  const auto reference = sim::sweep_mean("r", xs, 2, 9, noisy_trial, 1);
+  for (std::size_t i = 0; i < reference.ys.size(); ++i) {
+    EXPECT_EQ(rerun.ys[i], reference.ys[i]);
+  }
+}
+
+TEST(TrialStore, DisabledStoreIsANoOp) {
+  exp::TrialStore store;
+  EXPECT_FALSE(store.enabled());
+  EXPECT_EQ(store.load_status(), exp::TrialStore::LoadStatus::kDisabled);
+  store.append(kSampleRecords[0]);
+  store.flush();  // must not crash or create files
+  EXPECT_TRUE(store.records().empty());
+}
+
 // --- Cli -----------------------------------------------------------------
 
 exp::CliSpec test_spec() {
@@ -317,6 +583,64 @@ TEST(Cli, ThreadsZeroMeansAuto) {
   EXPECT_EQ(cli.threads(), 0u);
 }
 
+TEST(Cli, StoreFlagsDefaultOnWithDotLotusCache) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {}), exp::ParseStatus::kOk);
+  EXPECT_EQ(cli.cache_dir(), ".lotus-cache");
+  EXPECT_TRUE(cli.store_enabled());
+  EXPECT_FALSE(cli.quiet_cache());
+  EXPECT_FALSE(cli.seed_explicit());
+  EXPECT_FALSE(cli.points_explicit());
+}
+
+TEST(Cli, CacheDirNoStoreAndQuietCacheParse) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {"--cache-dir", "/tmp/trials", "--quiet-cache"}),
+            exp::ParseStatus::kOk);
+  EXPECT_EQ(cli.cache_dir(), "/tmp/trials");
+  EXPECT_TRUE(cli.store_enabled());
+  EXPECT_TRUE(cli.quiet_cache());
+
+  exp::Cli no_store{test_spec()};
+  ASSERT_EQ(parse(no_store, {"--no-store"}), exp::ParseStatus::kOk);
+  EXPECT_TRUE(no_store.cache_enabled());
+  EXPECT_FALSE(no_store.store_enabled());
+
+  // --no-cache implies no store: there is no cache to spill.
+  exp::Cli no_cache{test_spec()};
+  ASSERT_EQ(parse(no_cache, {"--no-cache"}), exp::ParseStatus::kOk);
+  EXPECT_FALSE(no_cache.store_enabled());
+
+  exp::Cli bad{test_spec()};
+  EXPECT_EQ(parse(bad, {"--cache-dir"}), exp::ParseStatus::kError);
+}
+
+TEST(Cli, SeedExplicitTracksTheFlag) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {"--seed", "2008"}), exp::ParseStatus::kOk);
+  EXPECT_TRUE(cli.seed_explicit());  // explicit even when equal to default
+  EXPECT_EQ(cli.seed(), 2008u);
+}
+
+TEST(Cli, StringAndBoolOptionsParseAndReject) {
+  std::string only;
+  bool list = false;
+  exp::Cli cli{test_spec()};
+  cli.add_string("--only", "subset", &only);
+  cli.add_flag("--list", "list benches", &list);
+  ASSERT_EQ(parse(cli, {"--list", "--only", "fig1_attacks,token_rare"}),
+            exp::ParseStatus::kOk);
+  EXPECT_TRUE(list);
+  EXPECT_EQ(only, "fig1_attacks,token_rare");
+  EXPECT_NE(cli.usage().find("--only"), std::string::npos);
+  EXPECT_NE(cli.usage().find("--list"), std::string::npos);
+
+  std::string value;
+  exp::Cli bad{test_spec()};
+  bad.add_string("--name", "a name", &value);
+  EXPECT_EQ(parse(bad, {"--name"}), exp::ParseStatus::kError);
+}
+
 TEST(Cli, CustomOptionsParseAndReject) {
   std::uint64_t push_size = 2;
   exp::Cli cli{test_spec()};
@@ -359,6 +683,26 @@ TEST(CsvSink, WritesSectionedBlocksMatchingTheTables) {
   std::stringstream contents;
   contents << in.rdbuf();
   EXPECT_EQ(contents.str(), "# alpha\na,b\n1,2\n\n# beta\nc\n3\n");
+}
+
+TEST(CsvSink, SectionPrefixNamespacesBlocks) {
+  // The lotus_figs driver shares one sink across benches and prefixes each
+  // bench's sections, so same-named sections stay distinguishable.
+  const std::string path = testing::TempDir() + "exp_test_prefix.csv";
+  sim::Table table{{"a"}};
+  table.add_row({"1"});
+  {
+    exp::CsvSink sink{path};
+    sink.set_section_prefix("fig1_attacks/");
+    sink.write(table, "delivery");
+    sink.set_section_prefix("fig2_pushsize/");
+    sink.write(table, "delivery");
+  }
+  std::ifstream in{path};
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(),
+            "# fig1_attacks/delivery\na\n1\n\n# fig2_pushsize/delivery\na\n1\n");
 }
 
 TEST(CsvSink, ThrowsOnUnwritablePath) {

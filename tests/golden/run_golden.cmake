@@ -1,0 +1,44 @@
+# Golden-output regression runner (ctest fixture).
+#
+# Runs one bench as `<bench> --quick --seed 1 --no-store` and byte-compares
+# its stdout against the checked-in golden file, so any numeric drift in the
+# reproduced attack curves fails tier-1. --no-store keeps the run hermetic
+# (no .lotus-cache side effects in the build tree); stderr (cache stats) is
+# not part of the contract and is ignored.
+#
+# Usage: cmake -DBENCH=<exe> -DGOLDEN=<file> -DACTUAL=<dump> -P run_golden.cmake
+# Regenerate a golden after an *intentional* change with:
+#   ./build/bench/<name> --quick --seed 1 --no-store > tests/golden/<name>.golden
+if(NOT DEFINED BENCH OR NOT DEFINED GOLDEN OR NOT DEFINED ACTUAL)
+  message(FATAL_ERROR "run_golden.cmake needs -DBENCH, -DGOLDEN, -DACTUAL")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} --quick --seed 1 --no-store
+  OUTPUT_VARIABLE actual_output
+  ERROR_VARIABLE bench_stderr
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with ${bench_rc}\nstderr:\n${bench_stderr}")
+endif()
+
+file(READ ${GOLDEN} expected_output)
+if(actual_output STREQUAL expected_output)
+  return()
+endif()
+
+file(WRITE ${ACTUAL} "${actual_output}")
+find_program(DIFF_TOOL diff)
+set(diff_text "")
+if(DIFF_TOOL)
+  execute_process(
+    COMMAND ${DIFF_TOOL} -u ${GOLDEN} ${ACTUAL}
+    OUTPUT_VARIABLE diff_text)
+endif()
+message(FATAL_ERROR
+  "stdout drifted from the golden output.\n"
+  "  golden: ${GOLDEN}\n"
+  "  actual: ${ACTUAL}\n"
+  "If the change is intentional, regenerate with:\n"
+  "  ${BENCH} --quick --seed 1 --no-store > ${GOLDEN}\n"
+  "${diff_text}")

@@ -3,9 +3,14 @@
 // Gossip round-equivalent run at Table 1 scale.
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <filesystem>
+#include <string>
+
 #include "coding/gf256.h"
 #include "coding/rlnc.h"
 #include "crypto/partner.h"
+#include "exp/trial_store.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
 #include "rep/eigentrust.h"
@@ -111,6 +116,34 @@ void BM_EigenTrust(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EigenTrust)->Arg(100)->Arg(250);
+
+void BM_StoreColdLoadPerScope(benchmark::State& state) {
+  // What a bench pays at startup to warm one trial space from disk. With 1
+  // shard the store degenerates to the v1 whole-log load (every record
+  // read); with more shards a scope reads only the records its key routes
+  // with — the win the store-v2 engine exists for.
+  const auto shards = static_cast<std::uint64_t>(state.range(0));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("lotus_micro_store_" + std::to_string(shards)))
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    exp::TrialStore store{dir, shards};
+    // 64k records over 256 trial spaces, like a long sweep campaign.
+    for (std::uint64_t i = 0; i < 64 * 1024; ++i) {
+      store.append({i % 256, std::bit_cast<std::uint64_t>(
+                                 static_cast<double>(i)),
+                    i, static_cast<double>(i)});
+    }
+    store.flush();
+  }
+  for (auto _ : state) {
+    exp::TrialStore store{dir, shards};
+    benchmark::DoNotOptimize(store.records_for(0).size());
+  }
+}
+BENCHMARK(BM_StoreColdLoadPerScope)->Arg(1)->Arg(16)->Unit(benchmark::kMicrosecond);
 
 void BM_GossipFullRun(benchmark::State& state) {
   gossip::GossipConfig config;  // Table 1 scale, shorter horizon

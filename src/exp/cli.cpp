@@ -82,7 +82,7 @@ ParseStatus Cli::parse(int argc, const char* const* argv) {
       continue;
     }
     if (arg == "--points" || arg == "--seeds" || arg == "--seed" ||
-        arg == "--threads") {
+        arg == "--threads" || arg == "--store-shards") {
       std::string_view text;
       if (!value_of(i, text)) {
         return fail("missing value for " + std::string{arg});
@@ -95,6 +95,9 @@ ParseStatus Cli::parse(int argc, const char* const* argv) {
       if ((arg == "--points" || arg == "--seeds") && value == 0) {
         return fail(std::string{arg} + " must be >= 1");
       }
+      if (arg == "--store-shards" && value == 0) {
+        return fail("--store-shards must be >= 1");
+      }
       if (arg == "--points") {
         points_ = static_cast<std::size_t>(value);
         explicit_points_ = true;
@@ -104,6 +107,8 @@ ParseStatus Cli::parse(int argc, const char* const* argv) {
       } else if (arg == "--seed") {
         seed_ = value;
         explicit_seed_ = true;
+      } else if (arg == "--store-shards") {
+        store_shards_ = value;
       } else {
         threads_ = static_cast<std::size_t>(value);
       }
@@ -201,6 +206,9 @@ std::string Cli::usage() const {
   lines.emplace_back("--csv PATH", "mirror every printed table into PATH as CSV");
   lines.emplace_back("--cache-dir DIR",
                      "on-disk trial store directory (default .lotus-cache)");
+  lines.emplace_back("--store-shards N",
+                     "shard count for a fresh trial store (default 8; an "
+                     "existing store's manifest wins)");
   lines.emplace_back("--no-cache", "disable the trial cache entirely");
   lines.emplace_back("--no-store",
                      "keep the trial cache in-process only (no disk spill)");

@@ -1,8 +1,9 @@
 // The shared bench command line.
 //
 // Every figure bench accepts the same flag set — --quick, --points, --seeds,
-// --seed, --threads, --csv, --cache-dir, --no-cache, --no-store,
-// --quiet-cache, --help — parsed by exp::Cli from a per-bench CliSpec
+// --seed, --threads, --csv, --cache-dir, --store-shards, --no-cache,
+// --no-store, --quiet-cache, --help — parsed by exp::Cli from a per-bench
+// CliSpec
 // holding the defaults. Benches with fixed scenarios (no sweep) accept the
 // full set for interface uniformity; the sweep-shaping flags are simply
 // inert there and the usage text says so. Bench-specific flags (e.g.
@@ -84,6 +85,11 @@ class Cli {
   [[nodiscard]] bool store_enabled() const noexcept {
     return store_ && cache_;
   }
+  /// Shard count for a *fresh* trial store (0 = store default; an existing
+  /// store's manifest always wins so concurrent writers agree on routing).
+  [[nodiscard]] std::uint64_t store_shards() const noexcept {
+    return store_shards_;
+  }
   /// True after --quiet-cache: no cache/store stats on stderr.
   [[nodiscard]] bool quiet_cache() const noexcept { return quiet_cache_; }
   /// Whether the user gave the flag explicitly (vs the spec's default) —
@@ -127,6 +133,7 @@ class Cli {
   std::size_t threads_ = 0;
   std::string csv_;
   std::string cache_dir_ = ".lotus-cache";
+  std::uint64_t store_shards_ = 0;
   bool quick_ = false;
   bool cache_ = true;
   bool store_ = true;

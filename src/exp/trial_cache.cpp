@@ -5,20 +5,26 @@
 #include <ostream>
 
 #include "exp/trial_store.h"
-#include "sim/rng.h"
 
 namespace lotus::exp {
 
 std::size_t TrialCache::KeyHash::operator()(const Key& k) const noexcept {
-  // SplitMix over the three words; the stream pass mixes each word into the
-  // running state, so permuted components collide no more than chance.
-  std::uint64_t state = k.config_hash;
-  std::uint64_t h = sim::split_mix64(state);
-  state ^= k.x_bits;
-  h ^= sim::split_mix64(state);
-  state ^= k.seed;
-  h ^= sim::split_mix64(state);
-  return static_cast<std::size_t>(h);
+  return static_cast<std::size_t>(
+      TrialStore::trial_key_mix(k.config_hash, k.x_bits, k.seed));
+}
+
+void TrialCache::merge_shard_locked(std::uint64_t key_hash) {
+  if (store_ == nullptr) return;
+  const auto shard = static_cast<std::size_t>(store_->shard_of(key_hash));
+  if (shard >= shard_merged_.size() || shard_merged_[shard]) return;
+  shard_merged_[shard] = true;
+  // The shard holds every trial space that routes to it; merge them all —
+  // disk-born, so warm hits are attributed to the store. Taken by move so
+  // the map holds the only in-memory copy of the warm records.
+  for (const auto& record : store_->take_records_for(key_hash)) {
+    map_.try_emplace(Key{record.key_hash, record.x_bits, record.seed},
+                     Entry{record.value, true});
+  }
 }
 
 bool TrialCache::lookup(std::uint64_t config_hash, double x,
@@ -26,6 +32,7 @@ bool TrialCache::lookup(std::uint64_t config_hash, double x,
   const Key key{config_hash, std::bit_cast<std::uint64_t>(x), seed};
   {
     std::lock_guard lock(mu_);
+    merge_shard_locked(config_hash);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       value = it->second.value;
@@ -44,6 +51,9 @@ void TrialCache::store(std::uint64_t config_hash, double x, std::uint64_t seed,
                        double value) {
   const Key key{config_hash, std::bit_cast<std::uint64_t>(x), seed};
   std::lock_guard lock(mu_);
+  // Make sure the disk shard for this key is visible first, so a record
+  // already on disk is never re-appended as a duplicate.
+  merge_shard_locked(config_hash);
   const auto [it, inserted] = map_.try_emplace(key, Entry{value, false});
   // Only the first writer spills: racing workers compute the same value for
   // the same (deterministic) trial, and disk-loaded entries are already in
@@ -55,11 +65,9 @@ void TrialCache::store(std::uint64_t config_hash, double x, std::uint64_t seed,
 
 void TrialCache::attach_store(TrialStore& store) {
   std::lock_guard lock(mu_);
+  if (!store.enabled()) return;
   store_ = &store;
-  for (const auto& record : store.records()) {
-    map_.try_emplace(Key{record.key_hash, record.x_bits, record.seed},
-                     Entry{record.value, true});
-  }
+  shard_merged_.assign(store.shard_count(), false);
 }
 
 std::size_t TrialCache::size() const {
@@ -70,6 +78,8 @@ std::size_t TrialCache::size() const {
 void TrialCache::clear() {
   std::lock_guard lock(mu_);
   map_.clear();
+  // Forget which shards were merged so an attached store repopulates them.
+  shard_merged_.assign(shard_merged_.size(), false);
   hits_.store(0, std::memory_order_relaxed);
   disk_hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);

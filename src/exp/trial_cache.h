@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/sweep.h"
 
@@ -58,11 +59,14 @@ class TrialCache {
   void store(std::uint64_t config_hash, double x, std::uint64_t seed,
              double value);
 
-  /// Binds an on-disk spill (exp::TrialStore): its records are loaded into
-  /// the map immediately (marked as disk-born for the disk_hits() counter),
-  /// and every trial stored from now on is appended to it. The store must
-  /// outlive the cache's last store() call; call at startup, before the
-  /// sweeps run (see exp::open_store for the standard wiring).
+  /// Binds an on-disk spill (exp::TrialStore). Shards are merged lazily:
+  /// the first lookup (or store) for a key hash pulls in exactly the shard
+  /// that hash routes to — marked as disk-born for the disk_hits() counter —
+  /// so a run touches only the shards its scopes touch, never the whole
+  /// directory. Every fresh trial stored from now on is appended to the
+  /// store. The store must outlive the cache's last lookup()/store() call;
+  /// call at startup, before the sweeps run (see exp::open_store for the
+  /// standard wiring).
   void attach_store(TrialStore& store);
 
   [[nodiscard]] std::uint64_t hits() const noexcept {
@@ -103,9 +107,14 @@ class TrialCache {
     bool from_disk;
   };
 
+  /// Merges the store shard holding `key_hash` into the map (first call
+  /// per shard only). Caller holds mu_.
+  void merge_shard_locked(std::uint64_t key_hash);
+
   mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> map_;
-  TrialStore* store_ = nullptr;  // guarded by mu_
+  TrialStore* store_ = nullptr;         // guarded by mu_
+  std::vector<bool> shard_merged_;      // guarded by mu_; sized at attach
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> misses_{0};

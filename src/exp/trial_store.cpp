@@ -1,11 +1,17 @@
 #include "exp/trial_store.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <bit>
-#include <cstdio>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <system_error>
+#include <unordered_set>
 #include <utility>
 
 #include "exp/cli.h"
@@ -16,23 +22,269 @@ namespace lotus::exp {
 
 namespace {
 
-// The log is written in host byte order: it is a per-machine cache, not an
-// interchange format, and a file moved across architectures simply fails the
-// magic/checksum validation and is discarded — the safe outcome.
-void put_u64(std::ostream& os, std::uint64_t word) {
-  os.write(reinterpret_cast<const char*>(&word), sizeof(word));
+using Record = TrialStore::Record;
+using LoadStatus = TrialStore::LoadStatus;
+
+constexpr std::size_t kHeaderBytes = TrialStore::kHeaderBytes;
+constexpr std::size_t kRecordBytes = TrialStore::kRecordBytes;
+
+// Shard files are written in host byte order: the store is a per-machine
+// cache, not an interchange format, and a file moved across architectures
+// simply fails the magic/checksum validation and is discarded — the safe
+// outcome.
+
+/// RAII fd that releases its flock (via close) on scope exit.
+class LockedFile {
+ public:
+  LockedFile(const std::string& path, int open_flags, int lock_op) {
+    fd_ = ::open(path.c_str(), open_flags | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      error_ = errno;
+      return;
+    }
+    // flock can be interrupted by signals; retry rather than failing the
+    // whole store over an EINTR.
+    while (::flock(fd_, lock_op) != 0) {
+      if (errno != EINTR) {
+        error_ = errno;  // captured before close() can clobber errno
+        ::close(fd_);
+        fd_ = -1;
+        return;
+      }
+    }
+  }
+  ~LockedFile() {
+    if (fd_ >= 0) ::close(fd_);  // closing drops the flock
+  }
+  LockedFile(const LockedFile&) = delete;
+  LockedFile& operator=(const LockedFile&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// The errno of the failed open/flock when !ok().
+  [[nodiscard]] int error() const noexcept { return error_; }
+
+  [[nodiscard]] std::optional<std::uint64_t> size() const {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) return std::nullopt;
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  [[nodiscard]] bool read_at(std::uint64_t offset, void* buffer,
+                             std::size_t bytes) const {
+    auto* out = static_cast<char*>(buffer);
+    while (bytes > 0) {
+      const ::ssize_t got =
+          ::pread(fd_, out, bytes, static_cast<::off_t>(offset));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (got == 0) return false;  // unexpected EOF
+      out += got;
+      offset += static_cast<std::uint64_t>(got);
+      bytes -= static_cast<std::size_t>(got);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool write_at(std::uint64_t offset, const void* buffer,
+                              std::size_t bytes) const {
+    const auto* in = static_cast<const char*>(buffer);
+    while (bytes > 0) {
+      const ::ssize_t put =
+          ::pwrite(fd_, in, bytes, static_cast<::off_t>(offset));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      in += put;
+      offset += static_cast<std::uint64_t>(put);
+      bytes -= static_cast<std::size_t>(put);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool truncate(std::uint64_t bytes) const {
+    while (::ftruncate(fd_, static_cast<::off_t>(bytes)) != 0) {
+      if (errno != EINTR) return false;
+    }
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  int error_ = 0;
+};
+
+struct Header {
+  std::uint64_t magic;
+  std::uint64_t version;
+  std::uint64_t count;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(Header) == kHeaderBytes);
+
+struct TrialKey {
+  std::uint64_t key_hash;
+  std::uint64_t x_bits;
+  std::uint64_t seed;
+  bool operator==(const TrialKey&) const = default;
+};
+struct TrialKeyHash {
+  std::size_t operator()(const TrialKey& k) const noexcept {
+    return static_cast<std::size_t>(
+        TrialStore::trial_key_mix(k.key_hash, k.x_bits, k.seed));
+  }
+};
+
+void encode_record(const Record& record, std::uint64_t out[4]) {
+  out[0] = record.key_hash;
+  out[1] = record.x_bits;
+  out[2] = record.seed;
+  out[3] = std::bit_cast<std::uint64_t>(record.value);
 }
 
-bool get_u64(std::istream& is, std::uint64_t& word) {
-  is.read(reinterpret_cast<char*>(&word), sizeof(word));
-  return static_cast<bool>(is);
+Record decode_record(const std::uint64_t in[4]) {
+  return {in[0], in[1], in[2], std::bit_cast<double>(in[3])};
 }
 
-/// Chains one record into the running checksum. Order-dependent by design:
-/// the checksum describes an exact record prefix, so an incremental append
-/// can extend it without re-reading the file.
-std::uint64_t chain_checksum(std::uint64_t checksum,
-                             const TrialStore::Record& record) {
+/// Serialises records into a byte buffer, chaining `checksum` over them.
+std::vector<char> encode_records(std::span<const Record> records,
+                                 std::uint64_t& checksum) {
+  std::vector<char> bytes(records.size() * kRecordBytes);
+  char* cursor = bytes.data();
+  for (const auto& record : records) {
+    std::uint64_t words[4];
+    encode_record(record, words);
+    std::memcpy(cursor, words, kRecordBytes);
+    cursor += kRecordBytes;
+    checksum = TrialStore::chain_checksum(checksum, record);
+  }
+  return bytes;
+}
+
+/// Validates the header + committed prefix on an already-locked fd; fills
+/// `out` and the trusted header on success. The same routine serves v2
+/// shards and (with expect_version = 1) legacy v1 logs.
+LoadStatus read_committed_prefix(const LockedFile& file,
+                                 std::uint64_t expect_version,
+                                 std::vector<Record>& out, Header& header) {
+  const auto size = file.size();
+  if (!size) return LoadStatus::kIoError;
+  if (*size == 0) return LoadStatus::kFresh;
+  if (*size < kHeaderBytes) return LoadStatus::kDiscardedCorrupt;
+  if (!file.read_at(0, &header, sizeof(header))) return LoadStatus::kIoError;
+  if (header.magic != TrialStore::kMagic) {
+    return LoadStatus::kDiscardedCorrupt;
+  }
+  if (header.version != expect_version) return LoadStatus::kDiscardedVersion;
+  // The header must describe a full prefix: a file cut mid-record (or
+  // mid-log) cannot be trusted at all, because the checksum covers exactly
+  // `count` records. Bytes past the prefix are a torn append — ignored here
+  // and overwritten by the next append. Divide rather than multiply: a
+  // corrupt count word must not overflow its way past this check.
+  if (header.count > (*size - kHeaderBytes) / kRecordBytes) {
+    return LoadStatus::kDiscardedCorrupt;
+  }
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(header.count));
+  std::uint64_t running = 0;
+  std::uint64_t offset = kHeaderBytes;
+  for (std::uint64_t i = 0; i < header.count; ++i) {
+    std::uint64_t words[4];
+    // The count bound above proved these bytes exist (and LOCK_SH excludes
+    // writers), so a failed read here is an I/O fault, not truncation.
+    if (!file.read_at(offset, words, kRecordBytes)) {
+      return LoadStatus::kIoError;
+    }
+    const Record record = decode_record(words);
+    running = TrialStore::chain_checksum(running, record);
+    records.push_back(record);
+    offset += kRecordBytes;
+  }
+  if (running != header.checksum) return LoadStatus::kDiscardedCorrupt;
+  out = std::move(records);
+  return LoadStatus::kLoaded;
+}
+
+bool write_header(const LockedFile& file, std::uint64_t count,
+                  std::uint64_t checksum) {
+  const Header header{TrialStore::kMagic, TrialStore::kFormatVersion, count,
+                      checksum};
+  return file.write_at(0, &header, sizeof(header));
+}
+
+// --- Manifest -------------------------------------------------------------
+
+/// Folds the manifest fields so a stray write to manifest.bin is detected
+/// rather than silently re-routing every key to the wrong shard.
+std::uint64_t manifest_check(std::uint64_t version, std::uint64_t shards) {
+  std::uint64_t state = TrialStore::kManifestMagic ^ version;
+  std::uint64_t check = sim::split_mix64(state);
+  state ^= shards;
+  check ^= sim::split_mix64(state);
+  return check;
+}
+
+/// kIoError (could not open or read an existing file) must never be
+/// conflated with kInvalid (readable but wrong content): only the latter
+/// justifies the destructive restart-cold recovery. A transient EMFILE or
+/// EACCES under a fleet of writers just disables this process's store.
+struct ManifestResult {
+  enum class Status { kOk, kIoError, kInvalid } status;
+  std::uint64_t shards = 0;
+};
+
+ManifestResult read_manifest(const std::string& path) {
+  const LockedFile file{path, O_RDONLY, LOCK_SH};
+  if (!file.ok()) return {ManifestResult::Status::kIoError};
+  const auto size = file.size();
+  if (!size) return {ManifestResult::Status::kIoError};
+  if (*size < sizeof(Header)) return {ManifestResult::Status::kInvalid};
+  Header words{};
+  if (!file.read_at(0, &words, sizeof(words))) {
+    return {ManifestResult::Status::kIoError};
+  }
+  if (words.magic != TrialStore::kManifestMagic ||
+      words.version != TrialStore::kFormatVersion || words.count == 0 ||
+      words.count > TrialStore::kMaxShards ||
+      words.checksum != manifest_check(words.version, words.count)) {
+    return {ManifestResult::Status::kInvalid};
+  }
+  return {ManifestResult::Status::kOk, words.count};
+}
+
+bool write_manifest(const std::string& path, std::uint64_t shards) {
+  // No O_TRUNC: a shared-lock reader (lotus_store peeking without the
+  // directory lock) must never observe a zero-length manifest. Truncate
+  // only once the exclusive flock is held.
+  const LockedFile file{path, O_RDWR | O_CREAT, LOCK_EX};
+  if (!file.ok() || !file.truncate(0)) return false;
+  const Header words{TrialStore::kManifestMagic, TrialStore::kFormatVersion,
+                     shards, manifest_check(TrialStore::kFormatVersion,
+                                            shards)};
+  return file.write_at(0, &words, sizeof(words));
+}
+
+}  // namespace
+
+std::uint64_t TrialStore::trial_key_mix(std::uint64_t key_hash,
+                                        std::uint64_t x_bits,
+                                        std::uint64_t seed) {
+  // The stream pass mixes each word into the running state, so permuted
+  // components collide no more than chance.
+  std::uint64_t state = key_hash;
+  std::uint64_t h = sim::split_mix64(state);
+  state ^= x_bits;
+  h ^= sim::split_mix64(state);
+  state ^= seed;
+  h ^= sim::split_mix64(state);
+  return h;
+}
+
+std::uint64_t TrialStore::chain_checksum(std::uint64_t checksum,
+                                         const Record& record) {
   std::uint64_t state = checksum ^ record.key_hash;
   checksum = sim::split_mix64(state);
   state ^= record.x_bits;
@@ -44,169 +296,346 @@ std::uint64_t chain_checksum(std::uint64_t checksum,
   return checksum;
 }
 
-void put_record(std::ostream& os, const TrialStore::Record& record) {
-  put_u64(os, record.key_hash);
-  put_u64(os, record.x_bits);
-  put_u64(os, record.seed);
-  put_u64(os, std::bit_cast<std::uint64_t>(record.value));
+// --- Shard ----------------------------------------------------------------
+
+LoadStatus TrialStore::Shard::load(std::vector<Record>& out,
+                                   std::uint64_t expect_version) const {
+  out.clear();
+  const LockedFile file{path_, O_RDONLY, LOCK_SH};
+  if (!file.ok()) {
+    // An absent shard is simply empty; any other open/lock failure (EMFILE
+    // under a fleet of writers, a transient EACCES) says nothing about the
+    // shard's *content*, so it must not read as corruption — verify would
+    // fail an intact store and a heal would reset good data.
+    return file.error() == ENOENT ? LoadStatus::kFresh : LoadStatus::kIoError;
+  }
+  Header header{};
+  return read_committed_prefix(file, expect_version, out, header);
 }
 
-}  // namespace
+bool TrialStore::Shard::append(std::span<const Record> records,
+                               bool heal) const {
+  if (records.empty()) return true;
+  const LockedFile file{path_, O_RDWR | O_CREAT, LOCK_EX};
+  if (!file.ok()) return false;
 
-TrialStore::TrialStore(std::string path) : path_(std::move(path)) {
-  // Discard the file and restart cold (or disable on I/O failure).
-  const auto discard = [&](LoadStatus reason) {
-    status_ = write_fresh_header() ? reason : LoadStatus::kDisabled;
-  };
-
-  std::error_code ec;
-  const bool exists = std::filesystem::exists(path_, ec);
-  if (ec) return;  // stay disabled
-  if (!exists) {
-    status_ = write_fresh_header() ? LoadStatus::kFresh : LoadStatus::kDisabled;
-    return;
-  }
-
-  const auto file_size = std::filesystem::file_size(path_, ec);
-  std::ifstream in{path_, std::ios::binary};
-  std::uint64_t magic = 0;
-  std::uint64_t version = 0;
+  // Re-read the committed prefix *inside* the lock: another process may
+  // have appended since we last looked, and chaining from the on-disk
+  // header's checksum extends its prefix instead of clobbering it. Only the
+  // header needs to be trusted — the checksum chain lets us extend it
+  // without re-reading the records it covers.
+  Header header{};
   std::uint64_t count = 0;
   std::uint64_t checksum = 0;
-  if (ec || !in || !get_u64(in, magic) || !get_u64(in, version) ||
-      !get_u64(in, count) || !get_u64(in, checksum) || magic != kMagic) {
-    discard(LoadStatus::kDiscardedCorrupt);
-    return;
+  const auto size = file.size();
+  if (!size) return false;
+  bool reset = *size < kHeaderBytes;
+  if (!reset) {
+    if (!file.read_at(0, &header, sizeof(header))) return false;
+    if (header.magic != kMagic || header.version != kFormatVersion ||
+        header.count > (*size - kHeaderBytes) / kRecordBytes) {
+      reset = true;  // corrupt or foreign: restart this shard cold
+    } else {
+      count = header.count;
+      checksum = header.checksum;
+    }
   }
-  if (version != kFormatVersion) {
-    discard(LoadStatus::kDiscardedVersion);
-    return;
+  if (heal && !reset) {
+    // Our load() saw a corrupt prefix. Re-validate under the lock — if it
+    // is *still* invalid, reset rather than chaining more records onto a
+    // prefix no load will ever accept (the file would grow forever while
+    // serving nothing). If another process repaired or validly extended it
+    // meanwhile, the check passes and we append normally.
+    std::vector<Record> committed;
+    Header revalidated{};
+    const LoadStatus current =
+        read_committed_prefix(file, kFormatVersion, committed, revalidated);
+    if (current == LoadStatus::kIoError) return false;  // never reset blind
+    if (current != LoadStatus::kLoaded) {
+      reset = true;
+      count = 0;
+      checksum = 0;
+    }
   }
-  // The header must describe a full prefix: a file cut mid-record (or
-  // mid-log) cannot be trusted at all, because the checksum covers exactly
-  // `count` records. Bytes past the prefix are a torn append — ignored here
-  // and overwritten by the next flush. Divide rather than multiply: a
-  // corrupt count word must not overflow its way past this check (the four
-  // header reads above guarantee file_size >= kHeaderBytes).
-  if (count > (file_size - kHeaderBytes) / kRecordBytes) {
-    discard(LoadStatus::kDiscardedCorrupt);
-    return;
+  if (reset && (!file.truncate(0) || !write_header(file, 0, 0))) return false;
+
+  // Records first, at the end of the committed prefix (clobbering any torn
+  // tail a previous crash left behind)...
+  const std::vector<char> bytes = encode_records(records, checksum);
+  if (!file.write_at(kHeaderBytes + count * kRecordBytes, bytes.data(),
+                     bytes.size())) {
+    return false;
   }
+  // ...then the header that makes them part of the valid prefix. A crash
+  // in between leaves the previous prefix intact.
+  return write_header(file, count + records.size(), checksum);
+}
+
+std::optional<TrialStore::Shard::CompactStats> TrialStore::Shard::compact()
+    const {
+  const LockedFile file{path_, O_RDWR, LOCK_EX};
+  if (!file.ok()) {
+    if (file.error() == ENOENT) return CompactStats{};  // absent: no-op
+    return std::nullopt;
+  }
+  Header header{};
   std::vector<Record> records;
-  records.reserve(static_cast<std::size_t>(count));
-  std::uint64_t running = 0;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    Record record{};
-    std::uint64_t value_bits = 0;
-    if (!get_u64(in, record.key_hash) || !get_u64(in, record.x_bits) ||
-        !get_u64(in, record.seed) || !get_u64(in, value_bits)) {
-      discard(LoadStatus::kDiscardedCorrupt);
+  const LoadStatus status =
+      read_committed_prefix(file, kFormatVersion, records, header);
+  if (status == LoadStatus::kFresh) return CompactStats{};
+  if (status != LoadStatus::kLoaded) return std::nullopt;
+
+  // First occurrence wins: the cache's try_emplace keeps the first record
+  // it sees for a key, so dropping later duplicates changes no lookup.
+  std::unordered_set<TrialKey, TrialKeyHash> seen;
+  seen.reserve(records.size());
+  std::vector<Record> unique;
+  unique.reserve(records.size());
+  for (const auto& record : records) {
+    if (seen.insert({record.key_hash, record.x_bits, record.seed}).second) {
+      unique.push_back(record);
+    }
+  }
+  if (unique.size() == records.size()) {
+    // No duplicates; still truncate away any torn tail past the prefix.
+    if (!file.truncate(kHeaderBytes + records.size() * kRecordBytes)) {
+      return std::nullopt;
+    }
+    return CompactStats{records.size(), records.size()};
+  }
+
+  std::uint64_t checksum = 0;
+  const std::vector<char> bytes =
+      encode_records(std::span<const Record>{unique}, checksum);
+  if (!file.write_at(kHeaderBytes, bytes.data(), bytes.size()) ||
+      !write_header(file, unique.size(), checksum) ||
+      !file.truncate(kHeaderBytes + bytes.size())) {
+    return std::nullopt;
+  }
+  return CompactStats{records.size(), unique.size()};
+}
+
+// --- TrialStore -----------------------------------------------------------
+
+std::optional<std::uint64_t> TrialStore::peek_manifest(
+    const std::string& cache_dir) {
+  const auto manifest = read_manifest(manifest_path(cache_dir));
+  if (manifest.status != ManifestResult::Status::kOk) return std::nullopt;
+  return manifest.shards;
+}
+
+TrialStore::TrialStore(std::string dir, std::uint64_t requested_shards)
+    : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;  // stay disabled
+
+  // Serialise open/create/migrate against other processes racing on the
+  // same directory; shard appends have their own per-file locks.
+  const LockedFile dir_lock{store_lock_path(dir_), O_RDWR | O_CREAT, LOCK_EX};
+  if (!dir_lock.ok()) return;
+
+  std::uint64_t shard_count = 0;
+  const std::string manifest = manifest_path(dir_);
+  const bool manifest_exists = std::filesystem::exists(manifest, ec) && !ec;
+  if (manifest_exists) {
+    const auto parsed = read_manifest(manifest);
+    if (parsed.status == ManifestResult::Status::kIoError) {
+      // Could not *read* it — that says nothing about its content, so the
+      // destructive restart-cold recovery below is not justified. Just run
+      // without the store this session.
+      return;  // stay disabled
+    }
+    if (parsed.status == ManifestResult::Status::kOk) {
+      // An existing manifest wins over --store-shards: every process
+      // sharing the directory must agree on the key -> shard routing.
+      shard_count = parsed.shards;
+      status_ = LoadStatus::kLoaded;
+    } else {
+      // A corrupt manifest means the routing is unknown, so the shard
+      // files cannot be trusted either: restart the whole store cold.
+      // (Shard files are created lazily, so sweep the directory rather
+      // than probing indices.)
+      std::vector<std::filesystem::path> stale;
+      for (const auto& entry :
+           std::filesystem::directory_iterator{dir_, ec}) {
+        const std::string name = entry.path().filename().string();
+        if (name.starts_with("shard-") && name.ends_with(".bin")) {
+          stale.push_back(entry.path());
+        }
+      }
+      for (const auto& path : stale) std::filesystem::remove(path, ec);
+      status_ = LoadStatus::kDiscardedCorrupt;
+    }
+  }
+
+  if (shard_count == 0) {
+    shard_count = requested_shards == 0 ? kDefaultShards
+                                        : std::min(requested_shards,
+                                                   kMaxShards);
+    if (status_ == LoadStatus::kDisabled) status_ = LoadStatus::kFresh;
+    if (!write_manifest(manifest, shard_count)) {
+      status_ = LoadStatus::kDisabled;
       return;
     }
-    record.value = std::bit_cast<double>(value_bits);
-    running = chain_checksum(running, record);
-    records.push_back(record);
   }
-  if (running != checksum) {
-    discard(LoadStatus::kDiscardedCorrupt);
-    return;
+
+  shards_.resize(static_cast<std::size_t>(shard_count));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].shard = Shard{shard_path(dir_, i)};
   }
-  records_ = std::move(records);
-  committed_ = count;
-  checksum_ = checksum;
-  status_ = LoadStatus::kLoaded;
+
+  // A v1 flat log is data someone paid gossip trials for: route its records
+  // into the shards they now belong to instead of discarding them. (Under
+  // the directory lock, so two upgrading processes cannot double-migrate.)
+  const std::string legacy = legacy_store_path(dir_);
+  if (std::filesystem::exists(legacy, ec) && !ec) {
+    std::vector<Record> records;
+    const Shard legacy_log{legacy};
+    const LoadStatus legacy_status =
+        legacy_log.load(records, kLegacyFormatVersion);
+    if (legacy_status == LoadStatus::kLoaded) {
+      for (const auto& record : records) {
+        shards_[shard_of(record.key_hash)].pending.push_back(record);
+      }
+      for (auto& state : shards_) {
+        if (state.pending.empty()) continue;
+        if (!state.shard.append(state.pending)) {
+          disable();
+          return;
+        }
+        state.pending.clear();
+      }
+      migrated_ = records.size();
+      status_ = LoadStatus::kMigratedLegacy;
+    }
+    // Migrated or content-corrupt, the flat log is done: remove it so the
+    // next open is a pure v2 open. A load that failed with kIoError says
+    // nothing about the content — leave the file for a later open to
+    // migrate (the I/O-error-is-never-destructive rule).
+    if (legacy_status != LoadStatus::kIoError) {
+      std::filesystem::remove(legacy, ec);
+    }
+  }
 }
 
 TrialStore::~TrialStore() { flush(); }
 
 void TrialStore::disable() noexcept {
   status_ = LoadStatus::kDisabled;
-  pending_.clear();
+  for (auto& state : shards_) state.pending.clear();
 }
 
-bool TrialStore::write_fresh_header() {
-  std::ofstream out{path_, std::ios::binary | std::ios::trunc};
-  if (!out) return false;
-  put_u64(out, kMagic);
-  put_u64(out, kFormatVersion);
-  put_u64(out, 0);  // count
-  put_u64(out, 0);  // checksum
-  out.flush();
-  committed_ = 0;
-  checksum_ = 0;
-  return static_cast<bool>(out);
+std::vector<Record> TrialStore::take_records_for(std::uint64_t key_hash) {
+  if (!enabled() || shards_.empty()) return {};
+  (void)records_for(key_hash);  // ensure the shard is loaded and counted
+  ShardState& state = shards_[shard_of(key_hash)];
+  state.taken = true;
+  return std::exchange(state.records, {});
+}
+
+const std::vector<Record>& TrialStore::records_for(std::uint64_t key_hash) {
+  static const std::vector<Record> kEmpty;
+  if (!enabled() || shards_.empty()) return kEmpty;
+  ShardState& state = shards_[shard_of(key_hash)];
+  if (!state.load_attempted || state.taken) {
+    const bool first = !state.load_attempted;
+    state.load_attempted = true;
+    state.taken = false;
+    state.status = state.shard.load(state.records);
+    if (first) loaded_ += state.records.size();
+  }
+  return state.records;
 }
 
 void TrialStore::append(const Record& record) {
-  if (!enabled()) return;
-  pending_.push_back(record);
+  if (!enabled() || shards_.empty()) return;
+  shards_[shard_of(record.key_hash)].pending.push_back(record);
   ++appended_;
 }
 
 void TrialStore::flush() {
-  if (!enabled() || pending_.empty()) return;
-  std::fstream out{path_, std::ios::binary | std::ios::in | std::ios::out};
-  if (!out) {
-    disable();
-    return;
+  if (!enabled()) return;
+  for (auto& state : shards_) {
+    if (state.pending.empty()) continue;
+    // A shard whose load was discarded gets the heal path: re-validate
+    // under the lock and reset it if the prefix is still unloadable, so
+    // corruption cannot make a shard grow forever while serving nothing.
+    const bool heal = state.load_attempted &&
+                      (state.status == LoadStatus::kDiscardedCorrupt ||
+                       state.status == LoadStatus::kDiscardedVersion);
+    if (!state.shard.append(state.pending, heal)) {
+      disable();
+      return;
+    }
+    if (heal) {
+      // The shard on disk is valid again (reset, or already repaired by
+      // another process): later flushes take the cheap fast path instead
+      // of re-validating the whole prefix forever.
+      state.status = LoadStatus::kLoaded;
+      ++healed_;
+    }
+    state.pending.clear();
   }
-  // Records first, at the end of the committed prefix (clobbering any torn
-  // tail a previous crash left behind)...
-  out.seekp(static_cast<std::streamoff>(kHeaderBytes +
-                                        committed_ * kRecordBytes));
-  std::uint64_t checksum = checksum_;
-  for (const auto& record : pending_) {
-    put_record(out, record);
-    checksum = chain_checksum(checksum, record);
-  }
-  out.flush();
-  if (!out) {
-    disable();
-    return;
-  }
-  // ...then the header that makes them part of the valid prefix.
-  out.seekp(0);
-  put_u64(out, kMagic);
-  put_u64(out, kFormatVersion);
-  put_u64(out, committed_ + pending_.size());
-  put_u64(out, checksum);
-  out.flush();
-  if (!out) {
-    disable();
-    return;
-  }
-  committed_ += pending_.size();
-  checksum_ = checksum;
-  pending_.clear();
 }
 
 std::string TrialStore::summary() const {
-  std::ostringstream os;
-  os << records_.size() << " loaded";
-  switch (status_) {
-    case LoadStatus::kDiscardedVersion:
-      os << " (incompatible version discarded)";
-      break;
-    case LoadStatus::kDiscardedCorrupt:
-      os << " (corrupt file discarded)";
-      break;
-    default:
-      break;
+  std::size_t touched = 0;
+  std::size_t discarded_corrupt = 0;
+  std::size_t discarded_version = 0;
+  std::size_t unreadable = 0;
+  for (const auto& state : shards_) {
+    if (!state.load_attempted) continue;
+    ++touched;
+    if (state.status == LoadStatus::kDiscardedCorrupt) ++discarded_corrupt;
+    if (state.status == LoadStatus::kDiscardedVersion) ++discarded_version;
+    if (state.status == LoadStatus::kIoError) ++unreadable;
   }
+  std::ostringstream os;
+  os << loaded_ << " loaded (" << touched << "/" << shards_.size()
+     << " shards)";
+  if (status_ == LoadStatus::kMigratedLegacy) {
+    os << ", " << migrated_ << " migrated from v1 log";
+  }
+  if (status_ == LoadStatus::kDiscardedCorrupt) {
+    os << " (corrupt manifest discarded)";
+  }
+  if (discarded_version > 0) {
+    os << " (" << discarded_version << " incompatible shards discarded)";
+  }
+  if (discarded_corrupt > 0) {
+    os << " (" << discarded_corrupt << " corrupt shards discarded)";
+  }
+  if (healed_ > 0) os << " (" << healed_ << " corrupt shards reset)";
+  if (unreadable > 0) os << " (" << unreadable << " shards unreadable)";
   os << ", " << appended_ << " appended";
   return os.str();
 }
 
-std::string store_path(const std::string& cache_dir) {
+// --- Paths and wiring -----------------------------------------------------
+
+std::string manifest_path(const std::string& cache_dir) {
+  return (std::filesystem::path{cache_dir} / "manifest.bin").string();
+}
+
+std::string shard_path(const std::string& cache_dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04zu.bin", index);
+  return (std::filesystem::path{cache_dir} / name).string();
+}
+
+std::string store_lock_path(const std::string& cache_dir) {
+  return (std::filesystem::path{cache_dir} / "store.lock").string();
+}
+
+std::string legacy_store_path(const std::string& cache_dir) {
   return (std::filesystem::path{cache_dir} / "trials.bin").string();
 }
 
 std::unique_ptr<TrialStore> open_store(TrialCache& cache, const Cli& cli) {
   if (!cli.store_enabled() || cli.cache_dir().empty()) return nullptr;
-  std::error_code ec;
-  std::filesystem::create_directories(cli.cache_dir(), ec);
-  if (ec) return nullptr;
-  auto store = std::make_unique<TrialStore>(store_path(cli.cache_dir()));
+  auto store =
+      std::make_unique<TrialStore>(cli.cache_dir(), cli.store_shards());
   if (!store->enabled()) return nullptr;
   cache.attach_store(*store);
   return store;

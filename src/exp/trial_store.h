@@ -1,14 +1,32 @@
-// Persistent on-disk spill for the trial cache.
+// Persistent on-disk spill for the trial cache: the store-v2 sharded engine.
 //
 // exp::TrialCache deduplicates (config hash, x, seed) gossip trials within
-// one process; TrialStore extends that across processes. It is a versioned
-// binary log of fixed-width records under a --cache-dir: the header carries a
-// magic word, a format version, the record count, and a checksum chained over
-// exactly that many records, so a truncated, corrupt, or incompatible file is
-// detected at open and discarded (cold start) instead of poisoning results.
-// A crash mid-append leaves the old header intact, which still describes a
-// valid prefix — the next open recovers every record the last flush()
-// committed and overwrites the torn tail.
+// one process; TrialStore extends that across processes. Version 1 was one
+// flat log loaded whole at startup, and concurrent writers silently lost
+// data (last flush wins). Version 2 splits the store into N shard files
+// keyed by trial-space hash (shard = key_hash % N), so:
+//
+//   - a cache scope touches exactly one shard, and TrialCache::attach_store
+//     loads shards lazily on first lookup instead of the whole directory;
+//   - appends take an exclusive flock(2) on the shard file and re-read its
+//     committed-prefix header before writing, so concurrent writer
+//     processes interleave their records instead of clobbering each other;
+//   - offline compaction (tools/lotus_store) rewrites a shard dropping
+//     duplicate (key, x, seed) records left by concurrent writers.
+//
+// On-disk layout under --cache-dir:
+//
+//   manifest.bin     {manifest magic, format version, shard count, check}
+//   shard-0000.bin   {magic, version, count, checksum} + `count` records
+//   ...
+//   store.lock       zero-byte flock target serialising open/migration
+//
+// Each shard keeps the v1 committed-prefix guarantee: the header's count and
+// chained checksum describe exactly the committed records, a torn append is
+// recovered to its prefix, and a corrupt or version-mismatched shard is
+// discarded (cold start for that shard only, never poisoned results). A v1
+// flat log (trials.bin) found at open is migrated into shards, not
+// discarded.
 //
 // The store never throws and never fails a bench: any I/O error just turns
 // it off for the rest of the run. Values are the exact doubles the trials
@@ -19,6 +37,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,25 +62,117 @@ class TrialStore {
 
   enum class LoadStatus {
     kDisabled,          ///< default-constructed or I/O failure: store is off
-    kFresh,             ///< no file existed; started empty
-    kLoaded,            ///< header validated; records() holds the log
+    kFresh,             ///< nothing on disk yet; started empty
+    kLoaded,            ///< header validated; the committed prefix was read
+    kMigratedLegacy,    ///< store only: a v1 flat log was migrated to shards
     kDiscardedVersion,  ///< incompatible format version: started cold
     kDiscardedCorrupt,  ///< bad magic, truncation, or checksum: started cold
+    kIoError,           ///< shard could not be opened/read (transient, e.g.
+                        ///< EMFILE): served empty, but *not* treated as
+                        ///< corrupt — never healed/reset over it
   };
 
-  // "LOTUSTRL" + format version; header is {magic, version, count, checksum}.
+  // "LOTUSTRL" + format version; shard header is {magic, version, count,
+  // checksum}. Version 1 was the flat single-log format; version 2 is the
+  // sharded format (same record and header layout, different file set).
   static constexpr std::uint64_t kMagic = 0x4c4f54555354524cULL;
-  static constexpr std::uint64_t kFormatVersion = 1;
+  static constexpr std::uint64_t kFormatVersion = 2;
+  static constexpr std::uint64_t kLegacyFormatVersion = 1;
+  // "LOTUSMAN": the manifest's magic word.
+  static constexpr std::uint64_t kManifestMagic = 0x4c4f5455534d414eULL;
   static constexpr std::size_t kHeaderBytes = 4 * sizeof(std::uint64_t);
   static constexpr std::size_t kRecordBytes = 4 * sizeof(std::uint64_t);
+  static constexpr std::uint64_t kDefaultShards = 8;
+  static constexpr std::uint64_t kMaxShards = 4096;
+
+  /// Chains one record into the running prefix checksum. Order-dependent by
+  /// design: the checksum describes an exact record prefix, so an
+  /// incremental append extends it from the header's checksum without
+  /// re-reading the file.
+  [[nodiscard]] static std::uint64_t chain_checksum(std::uint64_t checksum,
+                                                    const Record& record);
+
+  /// SplitMix fold over the three words identifying a trial — the one hash
+  /// behind both the cache's map buckets and compaction's dedup set, so the
+  /// two schemes cannot diverge.
+  [[nodiscard]] static std::uint64_t trial_key_mix(std::uint64_t key_hash,
+                                                   std::uint64_t x_bits,
+                                                   std::uint64_t seed);
+
+  /// One shard file: a reader/writer for the committed-prefix log format.
+  /// Stateless beyond its path — every operation opens the file, takes the
+  /// appropriate flock, and works off the on-disk header, so any number of
+  /// processes can interleave safely.
+  class Shard {
+   public:
+    Shard() = default;
+    explicit Shard(std::string path) : path_(std::move(path)) {}
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+    /// Reads the committed prefix under a shared flock. An absent file is
+    /// kFresh (empty, valid); a corrupt or version-mismatched file yields an
+    /// empty `out` and the discard reason — the file itself is left alone
+    /// and repaired by the next append(). `expect_version` lets the
+    /// migration path read v1 logs with the same validation.
+    [[nodiscard]] LoadStatus load(std::vector<Record>& out,
+                                  std::uint64_t expect_version =
+                                      kFormatVersion) const;
+
+    /// Appends records after the current committed prefix under an
+    /// exclusive flock. The header (count, checksum) is re-read inside the
+    /// lock, so records another process committed since our load are
+    /// extended, not overwritten; a file whose header is unreadable or
+    /// inconsistent is reset to an empty log first. Records are written
+    /// before the header, so a crash leaves the previous prefix intact.
+    ///
+    /// `heal` re-validates the full checksum chain inside the lock and
+    /// resets the shard when it fails — the repair path for a shard whose
+    /// *records* are corrupt under a plausible header (load() reported
+    /// kDiscardedCorrupt). Off by default because it re-reads the whole
+    /// prefix; TrialStore::flush enables it only for shards whose load was
+    /// discarded, and the re-check under the lock means a shard another
+    /// process already repaired (or validly extended) is never wiped.
+    ///
+    /// Returns false on I/O failure.
+    [[nodiscard]] bool append(std::span<const Record> records,
+                              bool heal = false) const;
+
+    struct CompactStats {
+      std::size_t before = 0;
+      std::size_t after = 0;
+    };
+
+    /// Rewrites the shard in place, dropping duplicate (key, x, seed)
+    /// records (first occurrence wins — the same entry the cache would have
+    /// kept, so no lookup result changes). Holds the exclusive flock for
+    /// the whole rewrite; meant for offline administration
+    /// (tools/lotus_store), since a crash mid-rewrite leaves the shard to
+    /// be discarded cold on its next load. std::nullopt on I/O failure or
+    /// a corrupt shard.
+    [[nodiscard]] std::optional<CompactStats> compact() const;
+
+   private:
+    std::string path_;
+  };
+
+  /// Reads the manifest's shard count without opening (or creating, or
+  /// migrating) anything — the read-only entry point for admin tooling.
+  /// std::nullopt when the manifest is absent or invalid.
+  [[nodiscard]] static std::optional<std::uint64_t> peek_manifest(
+      const std::string& cache_dir);
 
   /// Disabled store: append/flush are no-ops.
   TrialStore() = default;
 
-  /// Opens (or initialises) the log at `path` and loads whatever valid
-  /// prefix it holds. Never throws; on any I/O error the store disables
-  /// itself (enabled() == false).
-  explicit TrialStore(std::string path);
+  /// Opens (or initialises) the sharded store under `dir`. Reads the
+  /// manifest for the shard count; `requested_shards` (clamped to
+  /// [1, kMaxShards], 0 = kDefaultShards) only applies when creating a
+  /// fresh manifest — an existing manifest always wins, so every process
+  /// sharing the directory agrees on the routing. A v1 flat log found here
+  /// is migrated into shards. Never throws; on any I/O error the store
+  /// disables itself (enabled() == false).
+  explicit TrialStore(std::string dir, std::uint64_t requested_shards = 0);
 
   /// Flushes pending appends (see flush()).
   ~TrialStore();
@@ -71,52 +183,95 @@ class TrialStore {
   [[nodiscard]] bool enabled() const noexcept {
     return status_ != LoadStatus::kDisabled;
   }
-  [[nodiscard]] LoadStatus load_status() const noexcept { return status_; }
-  [[nodiscard]] const std::string& path() const noexcept { return path_; }
-
-  /// The records read at open (empty unless status is kLoaded).
-  [[nodiscard]] const std::vector<Record>& records() const noexcept {
-    return records_;
+  /// What opening the directory found: kFresh, kLoaded (manifest present),
+  /// kMigratedLegacy, or kDiscardedCorrupt (bad manifest, restarted cold).
+  [[nodiscard]] LoadStatus open_status() const noexcept { return status_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::uint64_t shard_of(std::uint64_t key_hash) const noexcept {
+    return shards_.empty() ? 0 : key_hash % shards_.size();
+  }
+  /// The shard reader/writer for slot `i` (admin tooling and tests).
+  [[nodiscard]] const Shard& shard(std::size_t i) const {
+    return shards_[i].shard;
   }
 
+  /// Lazily loads the shard holding `key_hash` (first call only) and
+  /// returns its committed records. Empty when the store is disabled or the
+  /// shard was discarded. Not thread-safe on its own: the cache calls it
+  /// under its lock (TrialCache::attach_store wiring).
+  [[nodiscard]] const std::vector<Record>& records_for(std::uint64_t key_hash);
+
+  /// Like records_for, but transfers ownership of the shard's records to
+  /// the caller, leaving the store's copy empty (the shard still counts as
+  /// loaded). The cache merges through this so every warm record is held
+  /// once — in the cache map — instead of twice for the process lifetime.
+  [[nodiscard]] std::vector<Record> take_records_for(std::uint64_t key_hash);
+
+  /// Load status of shard `i`; kFresh until records_for touches it.
+  [[nodiscard]] LoadStatus shard_status(std::size_t i) const noexcept {
+    return shards_[i].status;
+  }
+  [[nodiscard]] bool shard_loaded(std::size_t i) const noexcept {
+    return shards_[i].load_attempted;
+  }
+
+  /// Records read so far across the lazily loaded shards.
+  [[nodiscard]] std::size_t loaded() const noexcept { return loaded_; }
   /// Records appended this session (pending plus already flushed).
   [[nodiscard]] std::size_t appended() const noexcept { return appended_; }
+  /// Records carried over from a migrated v1 log (0 otherwise).
+  [[nodiscard]] std::size_t migrated() const noexcept { return migrated_; }
 
   /// Queues a record for the next flush(). Not thread-safe on its own: the
-  /// cache calls it under its lock (TrialCache::store), and tests are
-  /// single-threaded.
+  /// cache calls it under its lock (TrialCache::store).
   void append(const Record& record);
 
-  /// Commits pending records: writes them after the current valid prefix,
-  /// then updates the header's count and checksum. The header is written
-  /// last, so a crash anywhere in between leaves the previous prefix intact.
+  /// Commits pending records shard by shard under each shard's exclusive
+  /// flock (see Shard::append). Disables the store on I/O failure.
   void flush();
 
-  /// One-line "N loaded, M appended" summary fragment for stderr reports,
-  /// including what happened to a discarded file.
+  /// One-line "N loaded (k/N shards), M appended" summary fragment for
+  /// stderr reports, including what happened to discarded shards or a
+  /// migrated legacy log.
   [[nodiscard]] std::string summary() const;
 
  private:
-  void disable() noexcept;
-  [[nodiscard]] bool write_fresh_header();
+  struct ShardState {
+    Shard shard;
+    LoadStatus status = LoadStatus::kFresh;
+    bool load_attempted = false;
+    bool taken = false;  ///< records moved out; records_for reloads on demand
+    std::vector<Record> records;
+    std::vector<Record> pending;
+  };
 
-  std::string path_;
+  void disable() noexcept;
+
+  std::string dir_;
   LoadStatus status_ = LoadStatus::kDisabled;
-  std::vector<Record> records_;
-  std::vector<Record> pending_;
-  std::uint64_t committed_ = 0;  // records covered by the on-disk header
-  std::uint64_t checksum_ = 0;   // running checksum over those records
+  std::vector<ShardState> shards_;
+  std::size_t loaded_ = 0;
   std::size_t appended_ = 0;
+  std::size_t migrated_ = 0;
+  std::size_t healed_ = 0;  ///< corrupt shards reset by a heal append
 };
 
-/// The log's location inside a cache directory.
-[[nodiscard]] std::string store_path(const std::string& cache_dir);
+/// The store's file locations inside a cache directory.
+[[nodiscard]] std::string manifest_path(const std::string& cache_dir);
+[[nodiscard]] std::string shard_path(const std::string& cache_dir,
+                                     std::size_t index);
+[[nodiscard]] std::string store_lock_path(const std::string& cache_dir);
+/// Where the v1 flat log lived (the migration source).
+[[nodiscard]] std::string legacy_store_path(const std::string& cache_dir);
 
 /// Standard bench wiring: when the CLI enables both the cache and the store,
-/// creates the cache directory, opens the trial store inside it, loads its
-/// records into `cache`, and registers it as the cache's append sink.
-/// Returns nullptr when disabled. Flush via the returned handle (or let its
-/// destructor do it) after the bench body finishes.
+/// creates the cache directory, opens the sharded trial store inside it
+/// (with the CLI's --store-shards), and registers it as the cache's lazy
+/// disk backing. Returns nullptr when disabled. Flush via the returned
+/// handle (or let its destructor do it) after the bench body finishes.
 [[nodiscard]] std::unique_ptr<TrialStore> open_store(TrialCache& cache,
                                                      const Cli& cli);
 

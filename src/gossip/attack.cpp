@@ -1,6 +1,9 @@
 #include "gossip/attack.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 namespace lotus::gossip {
 
@@ -51,10 +54,19 @@ Cast make_cast(const GossipConfig& config, const AttackPlan& plan,
     }
   }
 
+  // Obedience draws, batched: only honest nodes consume the stream (in node
+  // order), so one fill_bernoulli over the honest count is stream-identical
+  // to the per-node next_bernoulli calls it replaces.
+  std::vector<std::uint32_t> honest_nodes;
+  honest_nodes.reserve(n);
   for (std::uint32_t v = 0; v < n; ++v) {
-    if (cast.roles[v] == Role::kHonest) {
-      cast.obedient[v] = rng.next_bernoulli(config.obedient_fraction);
-    }
+    if (cast.roles[v] == Role::kHonest) honest_nodes.push_back(v);
+  }
+  std::vector<std::uint8_t> draws(honest_nodes.size());
+  rng.fill_bernoulli(config.obedient_fraction,
+                     std::span<std::uint8_t>{draws});
+  for (std::size_t i = 0; i < honest_nodes.size(); ++i) {
+    cast.obedient[honest_nodes[i]] = draws[i] != 0;
   }
   return cast;
 }

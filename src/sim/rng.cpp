@@ -83,10 +83,32 @@ double Rng::next_double() noexcept {
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
+void Rng::fill_double(std::span<double> out) noexcept {
+  for (auto& slot : out) {
+    slot = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+}
+
 bool Rng::next_bernoulli(double p) noexcept {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return next_double() < p;
+}
+
+void Rng::fill_bernoulli(double p, std::span<std::uint8_t> out) noexcept {
+  // Match the scalar edge short-circuits: no stream consumption.
+  if (p <= 0.0) {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    return;
+  }
+  if (p >= 1.0) {
+    std::fill(out.begin(), out.end(), std::uint8_t{1});
+    return;
+  }
+  for (auto& slot : out) {
+    const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    slot = u < p ? std::uint8_t{1} : std::uint8_t{0};
+  }
 }
 
 double Rng::next_normal() noexcept {

@@ -72,8 +72,19 @@ class Rng {
   /// Uniform double in [0, 1).
   [[nodiscard]] double next_double() noexcept;
 
+  /// Batch draw: fills `out` with uniform doubles in [0, 1). Element k is
+  /// bit-identical to what the k-th sequential next_double() call would
+  /// return, so scalar and batch paths are interchangeable on any stream.
+  void fill_double(std::span<double> out) noexcept;
+
   /// True with probability p (clamped to [0, 1]).
   [[nodiscard]] bool next_bernoulli(double p) noexcept;
+
+  /// Batch Bernoulli: out[k] (0/1) matches the k-th sequential
+  /// next_bernoulli(p) call, including the stream behaviour at the edges —
+  /// p <= 0 (all 0) and p >= 1 (all 1) consume nothing, exactly like the
+  /// scalar short-circuits.
+  void fill_bernoulli(double p, std::span<std::uint8_t> out) noexcept;
 
   /// Standard normal variate (Box-Muller, one value per call).
   [[nodiscard]] double next_normal() noexcept;

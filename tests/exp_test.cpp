@@ -9,9 +9,17 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <set>
+#include <span>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "core/critical.h"
 #include "exp/cli.h"
@@ -241,16 +249,17 @@ TEST(TrialCache, ScopedMemoBindsAndAlwaysResetsTheSlot) {
   EXPECT_EQ(slot, nullptr);
 }
 
-// --- TrialStore ----------------------------------------------------------
+// --- TrialStore (store-v2 sharded engine) --------------------------------
 
-/// Fresh store path for one test: TempDir persists across runs, so reset it.
-std::string fresh_store_path(const std::string& name) {
-  const std::string path = testing::TempDir() + "exp_test_" + name + ".bin";
-  std::filesystem::remove(path);
-  return path;
+/// Fresh store directory for one test: TempDir persists across runs, so
+/// wipe it.
+std::string fresh_store_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "exp_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
 }
 
-/// Overwrites `size` bytes at `offset` in the store file.
+/// Overwrites `size` bytes at `offset` in a store file.
 void patch_file(const std::string& path, std::streamoff offset,
                 const void* bytes, std::size_t size) {
   std::fstream f{path, std::ios::binary | std::ios::in | std::ios::out};
@@ -260,6 +269,8 @@ void patch_file(const std::string& path, std::streamoff offset,
   ASSERT_TRUE(f.good());
 }
 
+constexpr std::uint64_t kTestShards = 4;
+
 const std::vector<exp::TrialStore::Record> kSampleRecords = {
     {0x1111, std::bit_cast<std::uint64_t>(0.25), 7, 0.125},
     {0x1111, std::bit_cast<std::uint64_t>(0.5), 8, -3.75},
@@ -267,141 +278,483 @@ const std::vector<exp::TrialStore::Record> kSampleRecords = {
     {0x2222, std::bit_cast<std::uint64_t>(-0.0), 9, 5e-324},
 };
 
-void write_sample_store(const std::string& path) {
-  exp::TrialStore store{path};
-  ASSERT_EQ(store.load_status(), exp::TrialStore::LoadStatus::kFresh);
+void write_sample_store(const std::string& dir) {
+  exp::TrialStore store{dir, kTestShards};
+  ASSERT_EQ(store.open_status(), exp::TrialStore::LoadStatus::kFresh);
   for (const auto& record : kSampleRecords) store.append(record);
   store.flush();
 }
 
-TEST(TrialStore, RoundTripsRecordsBitExactly) {
-  const auto path = fresh_store_path("roundtrip");
-  write_sample_store(path);
-  exp::TrialStore reloaded{path};
-  EXPECT_EQ(reloaded.load_status(), exp::TrialStore::LoadStatus::kLoaded);
-  ASSERT_EQ(reloaded.records().size(), kSampleRecords.size());
-  for (std::size_t i = 0; i < kSampleRecords.size(); ++i) {
-    EXPECT_EQ(reloaded.records()[i], kSampleRecords[i]);
-    EXPECT_EQ(std::bit_cast<std::uint64_t>(reloaded.records()[i].value),
-              std::bit_cast<std::uint64_t>(kSampleRecords[i].value));
+/// The shard file a key routes to under kTestShards.
+std::string shard_file_for(const std::string& dir, std::uint64_t key_hash) {
+  return exp::shard_path(dir, static_cast<std::size_t>(key_hash % kTestShards));
+}
+
+/// All committed records across every shard, in shard order.
+std::vector<exp::TrialStore::Record> load_all_records(
+    const std::string& dir, std::uint64_t shards = kTestShards) {
+  std::vector<exp::TrialStore::Record> all;
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    std::vector<exp::TrialStore::Record> one;
+    const exp::TrialStore::Shard shard{exp::shard_path(dir, i)};
+    (void)shard.load(one);
+    all.insert(all.end(), one.begin(), one.end());
   }
+  return all;
+}
+
+TEST(TrialStore, RoundTripsRecordsBitExactlyAcrossShards) {
+  const auto dir = fresh_store_dir("roundtrip");
+  write_sample_store(dir);
+  exp::TrialStore reloaded{dir, kTestShards};
+  EXPECT_EQ(reloaded.open_status(), exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_EQ(reloaded.shard_count(), kTestShards);
+  for (const auto& expected : kSampleRecords) {
+    const auto& records = reloaded.records_for(expected.key_hash);
+    bool found = false;
+    for (const auto& record : records) {
+      if (record == expected) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(record.value),
+                  std::bit_cast<std::uint64_t>(expected.value));
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "record with key " << expected.key_hash
+                       << " missing after reload";
+  }
+  EXPECT_EQ(load_all_records(dir).size(), kSampleRecords.size());
+}
+
+TEST(TrialStore, ShardingRoutesByKeyHashModN) {
+  const auto dir = fresh_store_dir("routing");
+  write_sample_store(dir);
+  // 0x1111 % 4 == 1, 0x2222 % 4 == 2: exactly those shard files exist, the
+  // untouched ones were never created.
+  EXPECT_TRUE(std::filesystem::exists(exp::shard_path(dir, 1)));
+  EXPECT_TRUE(std::filesystem::exists(exp::shard_path(dir, 2)));
+  EXPECT_FALSE(std::filesystem::exists(exp::shard_path(dir, 0)));
+  EXPECT_FALSE(std::filesystem::exists(exp::shard_path(dir, 3)));
+
+  std::vector<exp::TrialStore::Record> shard1;
+  ASSERT_EQ(exp::TrialStore::Shard{exp::shard_path(dir, 1)}.load(shard1),
+            exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_EQ(shard1.size(), 2u);  // both 0x1111 records, in append order
+  EXPECT_EQ(shard1[0], kSampleRecords[0]);
+  EXPECT_EQ(shard1[1], kSampleRecords[1]);
 }
 
 TEST(TrialStore, AppendsAccumulateAcrossSessions) {
-  const auto path = fresh_store_path("accumulate");
-  write_sample_store(path);
+  const auto dir = fresh_store_dir("accumulate");
+  write_sample_store(dir);
   {
-    exp::TrialStore store{path};
-    ASSERT_EQ(store.records().size(), kSampleRecords.size());
+    exp::TrialStore store{dir, kTestShards};
     store.append({0x3333, std::bit_cast<std::uint64_t>(0.75), 10, 2.5});
     // flush via destructor
   }
-  exp::TrialStore reloaded{path};
-  EXPECT_EQ(reloaded.load_status(), exp::TrialStore::LoadStatus::kLoaded);
-  ASSERT_EQ(reloaded.records().size(), kSampleRecords.size() + 1);
-  EXPECT_EQ(reloaded.records().back().key_hash, 0x3333u);
-  EXPECT_EQ(reloaded.records().back().value, 2.5);
+  exp::TrialStore reloaded{dir, kTestShards};
+  const auto& records = reloaded.records_for(0x3333);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key_hash, 0x3333u);
+  EXPECT_EQ(records[0].value, 2.5);
+  EXPECT_EQ(load_all_records(dir).size(), kSampleRecords.size() + 1);
 }
 
-TEST(TrialStore, RejectsVersionMismatch) {
-  const auto path = fresh_store_path("version");
-  write_sample_store(path);
-  const std::uint64_t future = exp::TrialStore::kFormatVersion + 1;
-  patch_file(path, sizeof(std::uint64_t), &future, sizeof(future));
-  exp::TrialStore store{path};
-  EXPECT_EQ(store.load_status(),
-            exp::TrialStore::LoadStatus::kDiscardedVersion);
-  EXPECT_TRUE(store.records().empty());
-  EXPECT_TRUE(store.enabled());  // discarded but usable: restarted cold
-  EXPECT_NE(store.summary().find("incompatible version"), std::string::npos);
+TEST(TrialStore, ManifestShardCountWinsOverTheFlag) {
+  const auto dir = fresh_store_dir("manifest_wins");
+  write_sample_store(dir);  // creates the manifest with kTestShards
+  exp::TrialStore reopened{dir, 16};
+  EXPECT_EQ(reopened.shard_count(), kTestShards);
+  EXPECT_EQ(reopened.open_status(), exp::TrialStore::LoadStatus::kLoaded);
+  // And the records still route correctly under the manifest's N.
+  EXPECT_EQ(reopened.records_for(0x1111).size(), 2u);
 }
 
-TEST(TrialStore, RejectsForeignMagic) {
-  const auto path = fresh_store_path("magic");
-  write_sample_store(path);
+TEST(TrialStore, CorruptManifestRestartsTheWholeStoreCold) {
+  const auto dir = fresh_store_dir("bad_manifest");
+  write_sample_store(dir);
   const std::uint64_t junk = 0xdeadbeefULL;
-  patch_file(path, 0, &junk, sizeof(junk));
-  exp::TrialStore store{path};
-  EXPECT_EQ(store.load_status(),
+  patch_file(exp::manifest_path(dir), 2 * sizeof(std::uint64_t), &junk,
+             sizeof(junk));
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_EQ(store.open_status(),
             exp::TrialStore::LoadStatus::kDiscardedCorrupt);
-  EXPECT_TRUE(store.records().empty());
-}
+  EXPECT_TRUE(store.enabled());  // discarded but usable: restarted cold
+  // The routing was unknowable, so the old shard files are gone.
+  EXPECT_FALSE(std::filesystem::exists(exp::shard_path(dir, 1)));
+  EXPECT_TRUE(store.records_for(0x1111).empty());
+  EXPECT_NE(store.summary().find("corrupt manifest"), std::string::npos);
 
-TEST(TrialStore, DiscardsFileTruncatedMidRecord) {
-  const auto path = fresh_store_path("truncated");
-  write_sample_store(path);
-  // Cut the last record in half: the header now promises more bytes than
-  // the file holds, so nothing can be trusted.
-  const auto full = std::filesystem::file_size(path);
-  std::filesystem::resize_file(path, full - exp::TrialStore::kRecordBytes / 2);
-  exp::TrialStore store{path};
-  EXPECT_EQ(store.load_status(),
-            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
-  EXPECT_TRUE(store.records().empty());
-  EXPECT_TRUE(store.enabled());
-
-  // The fallback is a *working* cold store: new appends round-trip.
+  // The rebuilt manifest is valid: a fresh open loads it.
   store.append(kSampleRecords[0]);
   store.flush();
-  exp::TrialStore after{path};
-  EXPECT_EQ(after.load_status(), exp::TrialStore::LoadStatus::kLoaded);
-  ASSERT_EQ(after.records().size(), 1u);
-  EXPECT_EQ(after.records()[0], kSampleRecords[0]);
+  exp::TrialStore after{dir, kTestShards};
+  EXPECT_EQ(after.open_status(), exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_EQ(after.records_for(0x1111).size(), 1u);
+}
+
+TEST(TrialStore, RejectsShardVersionMismatch) {
+  const auto dir = fresh_store_dir("version");
+  write_sample_store(dir);
+  const std::uint64_t future = exp::TrialStore::kFormatVersion + 1;
+  patch_file(shard_file_for(dir, 0x1111), sizeof(std::uint64_t), &future,
+             sizeof(future));
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_TRUE(store.records_for(0x1111).empty());
+  EXPECT_EQ(store.shard_status(1),
+            exp::TrialStore::LoadStatus::kDiscardedVersion);
+  EXPECT_TRUE(store.enabled());
+  // Only the bad shard went cold; 0x2222's shard still serves.
+  EXPECT_EQ(store.records_for(0x2222).size(), 1u);
+  EXPECT_NE(store.summary().find("incompatible"), std::string::npos);
+}
+
+TEST(TrialStore, RejectsShardWithForeignMagic) {
+  const auto dir = fresh_store_dir("magic");
+  write_sample_store(dir);
+  const std::uint64_t junk = 0xdeadbeefULL;
+  patch_file(shard_file_for(dir, 0x1111), 0, &junk, sizeof(junk));
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_TRUE(store.records_for(0x1111).empty());
+  EXPECT_EQ(store.shard_status(1),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+}
+
+TEST(TrialStore, DiscardsShardTruncatedMidRecordThenSelfHeals) {
+  const auto dir = fresh_store_dir("truncated");
+  write_sample_store(dir);
+  // Cut the shard's last record in half: the header now promises more bytes
+  // than the file holds, so nothing in it can be trusted.
+  const auto path = shard_file_for(dir, 0x1111);
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - exp::TrialStore::kRecordBytes / 2);
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_TRUE(store.records_for(0x1111).empty());
+  EXPECT_EQ(store.shard_status(1),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+  EXPECT_TRUE(store.enabled());
+
+  // The next append resets the shard under its lock: a *working* cold
+  // shard, and new appends round-trip.
+  store.append(kSampleRecords[0]);
+  store.flush();
+  exp::TrialStore after{dir, kTestShards};
+  const auto& records = after.records_for(0x1111);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], kSampleRecords[0]);
 }
 
 TEST(TrialStore, DiscardsHugeCorruptRecordCountWithoutAllocating) {
-  const auto path = fresh_store_path("huge_count");
-  write_sample_store(path);
+  const auto dir = fresh_store_dir("huge_count");
+  write_sample_store(dir);
   // A corrupt count whose byte size wraps past 2^64 must fail the
   // truncation check, not bypass it and reserve() terabytes.
   const std::uint64_t huge = std::uint64_t{1} << 59;
-  patch_file(path, 2 * sizeof(std::uint64_t), &huge, sizeof(huge));
-  exp::TrialStore store{path};
-  EXPECT_EQ(store.load_status(),
+  patch_file(shard_file_for(dir, 0x1111), 2 * sizeof(std::uint64_t), &huge,
+             sizeof(huge));
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_TRUE(store.records_for(0x1111).empty());
+  EXPECT_EQ(store.shard_status(1),
             exp::TrialStore::LoadStatus::kDiscardedCorrupt);
-  EXPECT_TRUE(store.records().empty());
 }
 
-TEST(TrialStore, DiscardsChecksumMismatch) {
-  const auto path = fresh_store_path("checksum");
-  write_sample_store(path);
-  // Flip one byte inside the second record's value word.
+TEST(TrialStore, DiscardsShardChecksumMismatch) {
+  const auto dir = fresh_store_dir("checksum");
+  write_sample_store(dir);
+  // Flip one byte inside the second record's value word (shard 1 holds both
+  // 0x1111 records).
   const std::uint8_t junk = 0xa5;
-  patch_file(path,
+  patch_file(shard_file_for(dir, 0x1111),
              static_cast<std::streamoff>(exp::TrialStore::kHeaderBytes +
                                          exp::TrialStore::kRecordBytes + 27),
              &junk, 1);
-  exp::TrialStore store{path};
-  EXPECT_EQ(store.load_status(),
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_TRUE(store.records_for(0x1111).empty());
+  EXPECT_EQ(store.shard_status(1),
             exp::TrialStore::LoadStatus::kDiscardedCorrupt);
-  EXPECT_TRUE(store.records().empty());
+}
+
+TEST(TrialStore, ChecksumCorruptShardIsHealedByTheNextFlush) {
+  // The header of a shard with a flipped record byte still looks plausible,
+  // so the plain append fast-path would chain new records onto a prefix no
+  // load will ever accept — the shard would grow forever while serving
+  // nothing. A store whose load saw the corruption must reset the shard
+  // when it flushes.
+  const auto dir = fresh_store_dir("heal");
+  write_sample_store(dir);
+  const std::uint8_t junk = 0xa5;
+  patch_file(shard_file_for(dir, 0x1111),
+             static_cast<std::streamoff>(exp::TrialStore::kHeaderBytes + 5),
+             &junk, 1);
+
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_TRUE(store.records_for(0x1111).empty());
+  EXPECT_EQ(store.shard_status(1),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+  const auto sick_bytes =
+      std::filesystem::file_size(shard_file_for(dir, 0x1111));
+  store.append({0x1111, std::bit_cast<std::uint64_t>(0.9), 12, 6.5});
+  store.flush();
+  // The heal is recorded and the shard is back on the cheap append path.
+  EXPECT_EQ(store.shard_status(1), exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_NE(store.summary().find("reset"), std::string::npos);
+
+  // The shard was reset, not extended: smaller than the corrupt file and
+  // fully loadable again.
+  EXPECT_LT(std::filesystem::file_size(shard_file_for(dir, 0x1111)),
+            sick_bytes);
+  exp::TrialStore after{dir, kTestShards};
+  const auto& records = after.records_for(0x1111);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seed, 12u);
+  EXPECT_EQ(after.shard_status(1), exp::TrialStore::LoadStatus::kLoaded);
+}
+
+TEST(TrialStore, HealNeverWipesAShardAnotherProcessRepaired) {
+  // Between our (corrupt) load and our flush, another writer may have reset
+  // and refilled the shard; the heal re-validates under the lock and must
+  // append instead of wiping their records.
+  const auto dir = fresh_store_dir("heal_race");
+  write_sample_store(dir);
+  const std::uint8_t junk = 0xa5;
+  patch_file(shard_file_for(dir, 0x1111),
+             static_cast<std::streamoff>(exp::TrialStore::kHeaderBytes + 5),
+             &junk, 1);
+
+  exp::TrialStore observer{dir, kTestShards};
+  EXPECT_TRUE(observer.records_for(0x1111).empty());  // sees the corruption
+
+  {  // the "other process": heals the shard first
+    exp::TrialStore repairer{dir, kTestShards};
+    EXPECT_TRUE(repairer.records_for(0x1111).empty());
+    repairer.append({0x1111, std::bit_cast<std::uint64_t>(0.8), 20, 1.0});
+    repairer.flush();
+  }
+
+  observer.append({0x1111, std::bit_cast<std::uint64_t>(0.9), 21, 2.0});
+  observer.flush();
+
+  exp::TrialStore after{dir, kTestShards};
+  const auto& records = after.records_for(0x1111);
+  ASSERT_EQ(records.size(), 2u);  // the repairer's record survived
+  EXPECT_EQ(records[0].seed, 20u);
+  EXPECT_EQ(records[1].seed, 21u);
+}
+
+TEST(TrialStore, TakeRecordsTransfersOwnershipAndReloadsOnDemand) {
+  const auto dir = fresh_store_dir("take");
+  write_sample_store(dir);
+  exp::TrialStore store{dir, kTestShards};
+  const auto taken = store.take_records_for(0x1111);
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(store.loaded(), 2u);  // still counted as loaded
+  EXPECT_TRUE(store.shard_loaded(1));
+  // A later reader is served by a fresh disk read, not the moved-out husk.
+  EXPECT_EQ(store.records_for(0x1111).size(), 2u);
 }
 
 TEST(TrialStore, RecoversCommittedPrefixAfterTornAppend) {
-  const auto path = fresh_store_path("torn");
-  write_sample_store(path);
+  const auto dir = fresh_store_dir("torn");
+  write_sample_store(dir);
   // A crash between writing records and updating the header leaves valid
   // committed records followed by garbage the header does not cover.
   {
-    std::ofstream tail{path, std::ios::binary | std::ios::app};
+    std::ofstream tail{shard_file_for(dir, 0x1111),
+                       std::ios::binary | std::ios::app};
     tail.write("torn-append-garbage", 19);
   }
-  exp::TrialStore store{path};
-  EXPECT_EQ(store.load_status(), exp::TrialStore::LoadStatus::kLoaded);
-  ASSERT_EQ(store.records().size(), kSampleRecords.size());
+  exp::TrialStore store{dir, kTestShards};
+  ASSERT_EQ(store.records_for(0x1111).size(), 2u);
+  EXPECT_EQ(store.shard_status(1), exp::TrialStore::LoadStatus::kLoaded);
 
-  // The next flush overwrites the torn tail and the file is fully valid.
-  store.append({0x4444, std::bit_cast<std::uint64_t>(0.1), 11, 1.5});
+  // The next append overwrites the torn tail and the shard is fully valid.
+  store.append({0x1111, std::bit_cast<std::uint64_t>(0.1), 11, 1.5});
   store.flush();
-  exp::TrialStore after{path};
-  EXPECT_EQ(after.load_status(), exp::TrialStore::LoadStatus::kLoaded);
-  EXPECT_EQ(after.records().size(), kSampleRecords.size() + 1);
+  exp::TrialStore after{dir, kTestShards};
+  EXPECT_EQ(after.records_for(0x1111).size(), 3u);
+  EXPECT_EQ(after.shard_status(1), exp::TrialStore::LoadStatus::kLoaded);
+}
+
+TEST(TrialStore, InterleavedWritersUnionInsteadOfLastFlushWins) {
+  // The documented v1 data-loss bug: two open handles on one store, each
+  // flushing its own appends. v1 replayed each handle's in-memory prefix, so
+  // the last flush clobbered the other's records; v2 re-reads the committed
+  // header under the shard flock and extends it.
+  const auto dir = fresh_store_dir("interleaved");
+  exp::TrialStore a{dir, kTestShards};
+  exp::TrialStore b{dir, kTestShards};
+  a.append({0x1111, std::bit_cast<std::uint64_t>(0.1), 1, 1.0});
+  a.flush();
+  b.append({0x1111, std::bit_cast<std::uint64_t>(0.2), 2, 2.0});
+  b.flush();
+  a.append({0x1111, std::bit_cast<std::uint64_t>(0.3), 3, 3.0});
+  a.flush();
+
+  exp::TrialStore reloaded{dir, kTestShards};
+  EXPECT_EQ(reloaded.records_for(0x1111).size(), 3u);
+}
+
+#ifdef __unix__
+TEST(TrialStore, TwoWriterProcessesLoseNoCommittedRecords) {
+  // The fleet-sweep regime the sharded engine exists for: two *processes*
+  // appending to one cache directory, interleaving flushes. Every committed
+  // record from both must survive.
+  const auto dir = fresh_store_dir("two_procs");
+  constexpr int kPerWriter = 120;
+  const auto writer = [&dir](std::uint64_t tag) {
+    exp::TrialStore store{dir, kTestShards};
+    if (!store.enabled()) _exit(3);
+    for (int i = 0; i < kPerWriter; ++i) {
+      // Keys cycle through every shard; `tag` (the seed field) tells the
+      // two writers' records apart.
+      store.append({static_cast<std::uint64_t>(i),
+                    std::bit_cast<std::uint64_t>(static_cast<double>(i)), tag,
+                    static_cast<double>(i) + static_cast<double>(tag)});
+      if (i % 7 == 0) store.flush();
+    }
+    store.flush();
+    _exit(store.enabled() ? 0 : 4);
+  };
+
+  const pid_t first = fork();
+  ASSERT_GE(first, 0);
+  if (first == 0) writer(1000);
+  const pid_t second = fork();
+  ASSERT_GE(second, 0);
+  if (second == 0) writer(2000);
+
+  int status = 0;
+  ASSERT_EQ(waitpid(first, &status, 0), first);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "writer 1 exit status " << status;
+  ASSERT_EQ(waitpid(second, &status, 0), second);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "writer 2 exit status " << status;
+
+  const auto all = load_all_records(dir);
+  EXPECT_EQ(all.size(), 2u * kPerWriter);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (const auto& record : all) seen.insert({record.key_hash, record.seed});
+  for (const std::uint64_t tag : {1000u, 2000u}) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      EXPECT_TRUE(seen.contains({static_cast<std::uint64_t>(i), tag}))
+          << "record (" << i << ", " << tag << ") was lost";
+    }
+  }
+}
+#endif  // __unix__
+
+TEST(TrialStore, CompactDropsDuplicatesWithoutChangingLookups) {
+  const auto dir = fresh_store_dir("compact");
+  // Concurrent writers can commit the same (key, x, seed) twice; compaction
+  // must keep the *first* (what the cache would have served) and drop the
+  // rest.
+  const exp::TrialStore::Record original{
+      0x1111, std::bit_cast<std::uint64_t>(0.25), 7, 0.125};
+  exp::TrialStore::Record duplicate = original;
+  duplicate.value = 99.0;  // a conflicting later value must lose
+  {
+    exp::TrialStore store{dir, kTestShards};
+    store.append(original);
+    store.append({0x5555, std::bit_cast<std::uint64_t>(0.5), 8, -3.75});
+    store.flush();
+  }
+  {
+    // A second handle does not see the first's records, so its append
+    // duplicates them — exactly the concurrent-writer aftermath.
+    exp::TrialStore store{dir, kTestShards};
+    store.append(duplicate);
+    store.flush();
+  }
+  const exp::TrialStore::Shard shard{shard_file_for(dir, 0x1111)};
+  const auto before_bytes =
+      std::filesystem::file_size(shard_file_for(dir, 0x1111));
+  const auto stats = shard.compact();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->before, 3u);
+  EXPECT_EQ(stats->after, 2u);
+  EXPECT_LT(std::filesystem::file_size(shard_file_for(dir, 0x1111)),
+            before_bytes);
+
+  exp::TrialStore reloaded{dir, kTestShards};
+  const auto& records = reloaded.records_for(0x1111);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], original);  // first occurrence won
+
+  // Compacting an already-clean shard is a no-op.
+  const auto again = shard.compact();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->before, 2u);
+  EXPECT_EQ(again->after, 2u);
+}
+
+/// Writes a v1 flat log (single file, format version 1) the way PR 3's
+/// TrialStore did, so migration can be tested against the real layout.
+void write_legacy_v1_log(const std::string& path,
+                         std::span<const exp::TrialStore::Record> records) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  ASSERT_TRUE(out.is_open());
+  const auto put_u64 = [&out](std::uint64_t word) {
+    out.write(reinterpret_cast<const char*>(&word), sizeof(word));
+  };
+  std::uint64_t checksum = 0;
+  for (const auto& record : records) {
+    checksum = exp::TrialStore::chain_checksum(checksum, record);
+  }
+  put_u64(exp::TrialStore::kMagic);
+  put_u64(exp::TrialStore::kLegacyFormatVersion);
+  put_u64(records.size());
+  put_u64(checksum);
+  for (const auto& record : records) {
+    put_u64(record.key_hash);
+    put_u64(record.x_bits);
+    put_u64(record.seed);
+    put_u64(std::bit_cast<std::uint64_t>(record.value));
+  }
+  ASSERT_TRUE(out.good());
+}
+
+TEST(TrialStore, MigratesLegacyV1LogIntoShards) {
+  const auto dir = fresh_store_dir("migrate");
+  std::filesystem::create_directories(dir);
+  write_legacy_v1_log(exp::legacy_store_path(dir), kSampleRecords);
+
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_EQ(store.open_status(),
+            exp::TrialStore::LoadStatus::kMigratedLegacy);
+  EXPECT_EQ(store.migrated(), kSampleRecords.size());
+  // The flat log is gone; its records now serve from their shards.
+  EXPECT_FALSE(std::filesystem::exists(exp::legacy_store_path(dir)));
+  EXPECT_EQ(store.records_for(0x1111).size(), 2u);
+  EXPECT_EQ(store.records_for(0x2222).size(), 1u);
+  EXPECT_EQ(store.records_for(0x2222)[0], kSampleRecords[2]);
+  EXPECT_NE(store.summary().find("migrated from v1"), std::string::npos);
+
+  // The next open is a plain v2 open serving the same hits.
+  exp::TrialStore reopened{dir, kTestShards};
+  EXPECT_EQ(reopened.open_status(), exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_EQ(load_all_records(dir).size(), kSampleRecords.size());
+}
+
+TEST(TrialStore, CorruptLegacyV1LogIsDiscardedNotMigrated) {
+  const auto dir = fresh_store_dir("migrate_corrupt");
+  std::filesystem::create_directories(dir);
+  write_legacy_v1_log(exp::legacy_store_path(dir), kSampleRecords);
+  const std::uint8_t junk = 0xa5;
+  patch_file(exp::legacy_store_path(dir),
+             static_cast<std::streamoff>(exp::TrialStore::kHeaderBytes + 3),
+             &junk, 1);
+
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_EQ(store.open_status(), exp::TrialStore::LoadStatus::kFresh);
+  EXPECT_EQ(store.migrated(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(exp::legacy_store_path(dir)));
+  EXPECT_TRUE(load_all_records(dir).empty());
 }
 
 TEST(TrialStore, CacheAppendsOnlyFreshTrialsToTheStore) {
-  const auto path = fresh_store_path("cache_appends");
+  const auto dir = fresh_store_dir("cache_appends");
   {
-    exp::TrialStore store{path};
+    exp::TrialStore store{dir, kTestShards};
     exp::TrialCache cache;
     cache.attach_store(store);
     cache.store(1, 0.5, 7, 2.5);
@@ -409,22 +762,48 @@ TEST(TrialStore, CacheAppendsOnlyFreshTrialsToTheStore) {
     cache.store(2, 0.5, 7, 3.5);
     EXPECT_EQ(store.appended(), 2u);
   }
-  exp::TrialStore reloaded{path};
-  EXPECT_EQ(reloaded.records().size(), 2u);
-
-  // Reloaded entries are already on disk, so they are not appended again.
+  exp::TrialStore reloaded{dir, kTestShards};
   exp::TrialCache warm;
   warm.attach_store(reloaded);
-  EXPECT_EQ(warm.size(), 2u);
+  // Entries already on disk are merged before any append decision, so
+  // re-storing them appends nothing — whether the shard was first touched
+  // by a lookup (key 1) or by the store() itself (key 2).
+  double value = 0.0;
+  EXPECT_TRUE(warm.lookup(1, 0.5, 7, value));
+  EXPECT_EQ(value, 2.5);
   warm.store(1, 0.5, 7, 2.5);
+  warm.store(2, 0.5, 7, 3.5);
   EXPECT_EQ(reloaded.appended(), 0u);
+  EXPECT_EQ(warm.size(), 2u);
+}
+
+TEST(TrialStore, CacheLoadsOnlyTheShardsItsScopesTouch) {
+  const auto dir = fresh_store_dir("lazy");
+  write_sample_store(dir);  // shard 1 (0x1111 x2) and shard 2 (0x2222 x1)
+
+  exp::TrialStore store{dir, kTestShards};
+  exp::TrialCache cache;
+  cache.attach_store(store);
+  EXPECT_EQ(store.loaded(), 0u);  // attach reads nothing
+
+  double value = 0.0;
+  EXPECT_TRUE(cache.lookup(0x1111, 0.25, 7, value));
+  EXPECT_EQ(value, 0.125);
+  EXPECT_EQ(store.loaded(), 2u);  // only shard 1 was read
+  EXPECT_TRUE(store.shard_loaded(1));
+  EXPECT_FALSE(store.shard_loaded(2));
+
+  EXPECT_TRUE(cache.lookup(0x2222, -0.0, 9, value));
+  EXPECT_EQ(store.loaded(), 3u);
+  EXPECT_TRUE(store.shard_loaded(2));
+  EXPECT_EQ(cache.disk_hits(), 2u);
 }
 
 // The warm/cold property the whole subsystem exists for: a sweep run cold,
 // then rerun warm from disk in a fresh process (here: a fresh TrialCache),
 // must produce bit-identical values without running a single trial.
 TEST(TrialStore, WarmSweepIsBitIdenticalAndRunsNoTrials) {
-  const auto path = fresh_store_path("warm_cold");
+  const auto dir = fresh_store_dir("warm_cold");
   const auto xs = sim::linspace(0.0, 1.0, 9);
   const std::size_t seeds = 4;
   std::atomic<int> runs{0};
@@ -436,7 +815,7 @@ TEST(TrialStore, WarmSweepIsBitIdenticalAndRunsNoTrials) {
   sim::SweepResult cold;
   {
     exp::TrialCache cache;
-    exp::TrialStore store{path};
+    exp::TrialStore store{dir, kTestShards};
     cache.attach_store(store);
     auto scope = cache.scope(0xf1f1);
     cold = sim::sweep_stats("s", xs, seeds, 2008, counting, 4, &scope);
@@ -447,9 +826,8 @@ TEST(TrialStore, WarmSweepIsBitIdenticalAndRunsNoTrials) {
   EXPECT_EQ(cold_runs, static_cast<int>(xs.size() * seeds));
 
   exp::TrialCache cache;
-  exp::TrialStore store{path};
-  EXPECT_EQ(store.load_status(), exp::TrialStore::LoadStatus::kLoaded);
-  EXPECT_EQ(store.records().size(), xs.size() * seeds);
+  exp::TrialStore store{dir, kTestShards};
+  EXPECT_EQ(store.open_status(), exp::TrialStore::LoadStatus::kLoaded);
   cache.attach_store(store);
   auto scope = cache.scope(0xf1f1);
   const auto warm = sim::sweep_stats("s", xs, seeds, 2008, counting, 4, &scope);
@@ -458,6 +836,13 @@ TEST(TrialStore, WarmSweepIsBitIdenticalAndRunsNoTrials) {
   EXPECT_EQ(cache.misses(), 0u);
   EXPECT_EQ(cache.hits(), xs.size() * seeds);
   EXPECT_EQ(cache.disk_hits(), xs.size() * seeds);  // every hit came from disk
+  EXPECT_EQ(store.loaded(), xs.size() * seeds);
+  // One trial space -> one shard: the others were never read.
+  std::size_t shards_loaded = 0;
+  for (std::size_t i = 0; i < store.shard_count(); ++i) {
+    if (store.shard_loaded(i)) ++shards_loaded;
+  }
+  EXPECT_EQ(shards_loaded, 1u);
   ASSERT_EQ(warm.mean.ys.size(), cold.mean.ys.size());
   for (std::size_t i = 0; i < cold.mean.ys.size(); ++i) {
     // EXPECT_EQ, not NEAR: warm output must be byte-identical.
@@ -466,26 +851,29 @@ TEST(TrialStore, WarmSweepIsBitIdenticalAndRunsNoTrials) {
   }
 }
 
-TEST(TrialStore, CorruptStoreFallsBackToAColdCacheRun) {
-  const auto path = fresh_store_path("corrupt_fallback");
+TEST(TrialStore, CorruptShardFallsBackToAColdCacheRun) {
+  const auto dir = fresh_store_dir("corrupt_fallback");
   const auto xs = sim::linspace(0.0, 1.0, 5);
+  const std::uint64_t config_hash = 1;
   {
     exp::TrialCache cache;
-    exp::TrialStore store{path};
+    exp::TrialStore store{dir, kTestShards};
     cache.attach_store(store);
-    auto scope = cache.scope(1);
+    auto scope = cache.scope(config_hash);
     (void)sim::sweep_mean("s", xs, 2, 9, noisy_trial, 2, &scope);
   }
+  const auto path = shard_file_for(dir, config_hash);
   const auto full = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, full - 5);
 
   exp::TrialCache cache;
-  exp::TrialStore store{path};
-  EXPECT_EQ(store.load_status(),
-            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
+  exp::TrialStore store{dir, kTestShards};
   cache.attach_store(store);
-  auto scope = cache.scope(1);
+  auto scope = cache.scope(config_hash);
   const auto rerun = sim::sweep_mean("s", xs, 2, 9, noisy_trial, 2, &scope);
+  EXPECT_EQ(store.shard_status(static_cast<std::size_t>(
+                store.shard_of(config_hash))),
+            exp::TrialStore::LoadStatus::kDiscardedCorrupt);
   EXPECT_EQ(cache.hits(), 0u);  // nothing poisoned, nothing served
   EXPECT_EQ(cache.misses(), xs.size() * 2);
   const auto reference = sim::sweep_mean("r", xs, 2, 9, noisy_trial, 1);
@@ -497,10 +885,11 @@ TEST(TrialStore, CorruptStoreFallsBackToAColdCacheRun) {
 TEST(TrialStore, DisabledStoreIsANoOp) {
   exp::TrialStore store;
   EXPECT_FALSE(store.enabled());
-  EXPECT_EQ(store.load_status(), exp::TrialStore::LoadStatus::kDisabled);
-  store.append(kSampleRecords[0]);
+  EXPECT_EQ(store.open_status(), exp::TrialStore::LoadStatus::kDisabled);
+  store.append({1, 2, 3, 4.0});
   store.flush();  // must not crash or create files
-  EXPECT_TRUE(store.records().empty());
+  EXPECT_TRUE(store.records_for(1).empty());
+  EXPECT_EQ(store.shard_count(), 0u);
 }
 
 // --- Cli -----------------------------------------------------------------
@@ -613,6 +1002,20 @@ TEST(Cli, CacheDirNoStoreAndQuietCacheParse) {
 
   exp::Cli bad{test_spec()};
   EXPECT_EQ(parse(bad, {"--cache-dir"}), exp::ParseStatus::kError);
+}
+
+TEST(Cli, StoreShardsParsesAndRejectsZero) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {"--store-shards", "16"}), exp::ParseStatus::kOk);
+  EXPECT_EQ(cli.store_shards(), 16u);
+  EXPECT_NE(cli.usage().find("--store-shards"), std::string::npos);
+
+  exp::Cli defaulted{test_spec()};
+  ASSERT_EQ(parse(defaulted, {}), exp::ParseStatus::kOk);
+  EXPECT_EQ(defaulted.store_shards(), 0u);  // 0 = store default / manifest
+
+  exp::Cli zero{test_spec()};
+  EXPECT_EQ(parse(zero, {"--store-shards", "0"}), exp::ParseStatus::kError);
 }
 
 TEST(Cli, SeedExplicitTracksTheFlag) {

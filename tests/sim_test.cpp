@@ -161,6 +161,46 @@ TEST(Rng, BatchedFisherYatesMatchesShuffle) {
   EXPECT_EQ(a, b);
 }
 
+TEST(Rng, FillDoubleMatchesScalarPath) {
+  Rng scalar{311};
+  Rng batch{311};
+  std::vector<double> out(257);
+  batch.fill_double(std::span<double>{out});
+  for (const double v : out) {
+    // EXPECT_EQ, not NEAR: the contract is bit-identical interchange.
+    EXPECT_EQ(v, scalar.next_double());
+  }
+  // The generators stay in lockstep afterwards.
+  EXPECT_EQ(batch(), scalar());
+}
+
+TEST(Rng, FillBernoulliMatchesScalarPath) {
+  Rng scalar{313};
+  Rng batch{313};
+  std::vector<std::uint8_t> out(257);
+  batch.fill_bernoulli(0.3, std::span<std::uint8_t>{out});
+  for (const std::uint8_t v : out) {
+    EXPECT_EQ(v != 0, scalar.next_bernoulli(0.3));
+  }
+  EXPECT_EQ(batch(), scalar());
+}
+
+TEST(Rng, FillBernoulliEdgesConsumeNoStream) {
+  // next_bernoulli short-circuits p <= 0 and p >= 1 without drawing; the
+  // batch form must do the same or swapping paths would shift every later
+  // draw.
+  Rng scalar{317};
+  Rng batch{317};
+  std::vector<std::uint8_t> out(64);
+  batch.fill_bernoulli(0.0, std::span<std::uint8_t>{out});
+  for (const std::uint8_t v : out) EXPECT_EQ(v, 0u);
+  batch.fill_bernoulli(1.0, std::span<std::uint8_t>{out});
+  for (const std::uint8_t v : out) EXPECT_EQ(v, 1u);
+  batch.fill_bernoulli(-2.5, std::span<std::uint8_t>{out});
+  batch.fill_bernoulli(7.0, std::span<std::uint8_t>{out});
+  EXPECT_EQ(batch(), scalar());  // nothing was consumed
+}
+
 TEST(Rng, ShuffleIsPermutation) {
   Rng rng{29};
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};

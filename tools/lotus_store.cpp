@@ -1,0 +1,303 @@
+// lotus_store: administer the sharded on-disk trial store (store v2).
+//
+// The store under a --cache-dir is a manifest plus N shard files, appended
+// to by any number of bench/driver processes under per-shard advisory locks
+// (see src/exp/trial_store.h for the format). This tool is the offline side
+// of that design:
+//
+//   stats    per-shard record counts, file bytes, and duplicate tallies
+//   verify   validate the manifest and every shard's committed-prefix
+//            checksum; exits 1 on any corruption (CI runs this on the
+//            uploaded cache artifact)
+//   compact  rewrite each shard dropping duplicate (key, x, seed) records
+//            left by concurrent writers — first occurrence wins, so no
+//            lookup result changes
+//   migrate  convert a v1 flat log (trials.bin) into v2 shards; the
+//            records serve the same hits afterwards
+//
+// compact and migrate take the same locks the writers do, but are meant to
+// run while no sweep is active: a crash mid-compaction leaves that shard to
+// be discarded cold on its next load.
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/trial_store.h"
+
+namespace {
+
+using lotus::exp::TrialStore;
+
+constexpr std::string_view kUsage =
+    "usage: lotus_store <stats|verify|compact|migrate> [options]\n"
+    "\n"
+    "Administer the sharded on-disk trial store under a cache directory.\n"
+    "\n"
+    "subcommands:\n"
+    "  stats      per-shard record counts, bytes, and duplicate tallies\n"
+    "  verify     validate the manifest and every shard checksum\n"
+    "             (exit 1 on any corruption or version mismatch)\n"
+    "  compact    rewrite shards dropping duplicate (key, x, seed) records\n"
+    "  migrate    convert a v1 flat log (trials.bin) into v2 shards\n"
+    "\n"
+    "options:\n"
+    "  --cache-dir DIR   store directory (default .lotus-cache)\n"
+    "  --store-shards N  shard count when migrate creates a fresh store\n"
+    "                    (default 8; an existing manifest wins)\n"
+    "  --help            show this message\n";
+
+struct Args {
+  std::string command;
+  std::string cache_dir = ".lotus-cache";
+  std::uint64_t store_shards = 0;
+};
+
+int usage_error(const std::string& message) {
+  std::cerr << "lotus_store: " << message << "\n\n" << kUsage;
+  return 2;
+}
+
+std::optional<Args> parse_args(int argc, char** argv, int& exit_code) {
+  Args args;
+  if (argc < 2) {
+    exit_code = usage_error("missing subcommand");
+    return std::nullopt;
+  }
+  args.command = argv[1];
+  if (args.command == "--help" || args.command == "-h") {
+    std::cout << kUsage;
+    exit_code = 0;
+    return std::nullopt;
+  }
+  if (args.command != "stats" && args.command != "verify" &&
+      args.command != "compact" && args.command != "migrate") {
+    exit_code = usage_error("unknown subcommand '" + args.command + "'");
+    return std::nullopt;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      exit_code = 0;
+      return std::nullopt;
+    }
+    if (arg == "--cache-dir" || arg == "--store-shards") {
+      if (i + 1 >= argc) {
+        exit_code = usage_error("missing value for " + std::string{arg});
+        return std::nullopt;
+      }
+      const std::string value{argv[++i]};
+      if (arg == "--cache-dir") {
+        if (value.empty()) {
+          exit_code = usage_error("--cache-dir needs a non-empty path");
+          return std::nullopt;
+        }
+        args.cache_dir = value;
+      } else {
+        std::uint64_t parsed = 0;
+        for (const char ch : value) {
+          if (ch < '0' || ch > '9') {
+            exit_code = usage_error("invalid value '" + value +
+                                    "' for --store-shards");
+            return std::nullopt;
+          }
+          parsed = parsed * 10 + static_cast<std::uint64_t>(ch - '0');
+        }
+        if (value.empty() || parsed == 0) {
+          exit_code = usage_error("--store-shards must be >= 1");
+          return std::nullopt;
+        }
+        args.store_shards = parsed;
+      }
+      continue;
+    }
+    exit_code = usage_error("unknown option '" + std::string{arg} + "'");
+    return std::nullopt;
+  }
+  return args;
+}
+
+const char* status_name(TrialStore::LoadStatus status) {
+  switch (status) {
+    case TrialStore::LoadStatus::kFresh:
+      return "empty";
+    case TrialStore::LoadStatus::kLoaded:
+      return "ok";
+    case TrialStore::LoadStatus::kDiscardedVersion:
+      return "VERSION-MISMATCH";
+    case TrialStore::LoadStatus::kDiscardedCorrupt:
+      return "CORRUPT";
+    case TrialStore::LoadStatus::kIoError:
+      return "IO-ERROR";
+    default:
+      return "?";
+  }
+}
+
+std::size_t count_duplicates(
+    const std::vector<TrialStore::Record>& records) {
+  std::set<std::array<std::uint64_t, 3>> unique;
+  for (const auto& record : records) {
+    unique.insert({record.key_hash, record.x_bits, record.seed});
+  }
+  return records.size() - unique.size();
+}
+
+std::uintmax_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+/// Shared manifest gate for the read-only subcommands: prints why a v2
+/// store cannot be enumerated (absent, v1-only, or corrupt manifest).
+std::optional<std::uint64_t> require_manifest(const Args& args) {
+  const auto shards = TrialStore::peek_manifest(args.cache_dir);
+  if (shards) return shards;
+  std::error_code ec;
+  if (std::filesystem::exists(lotus::exp::legacy_store_path(args.cache_dir),
+                              ec)) {
+    std::cerr << "lotus_store: " << args.cache_dir
+              << " holds a v1 flat log; run `lotus_store migrate "
+                 "--cache-dir "
+              << args.cache_dir << "` first\n";
+  } else if (std::filesystem::exists(
+                 lotus::exp::manifest_path(args.cache_dir), ec)) {
+    std::cerr << "lotus_store: corrupt manifest in " << args.cache_dir
+              << " (the next bench run restarts the store cold)\n";
+  } else {
+    std::cerr << "lotus_store: no trial store at " << args.cache_dir << "\n";
+  }
+  return std::nullopt;
+}
+
+int run_stats(const Args& args) {
+  const auto shards = require_manifest(args);
+  if (!shards) return 1;
+  std::size_t total_records = 0;
+  std::size_t total_duplicates = 0;
+  std::uintmax_t total_bytes = 0;
+  std::cout << args.cache_dir << ": " << *shards << " shards\n";
+  for (std::uint64_t i = 0; i < *shards; ++i) {
+    const std::string path = lotus::exp::shard_path(args.cache_dir,
+                                                    static_cast<std::size_t>(i));
+    const TrialStore::Shard shard{path};
+    std::vector<TrialStore::Record> records;
+    const auto status = shard.load(records);
+    const auto duplicates = count_duplicates(records);
+    const auto bytes = file_bytes(path);
+    total_records += records.size();
+    total_duplicates += duplicates;
+    total_bytes += bytes;
+    std::cout << "  shard " << i << ": " << records.size() << " records, "
+              << bytes << " bytes, " << duplicates << " duplicates ["
+              << status_name(status) << "]\n";
+  }
+  std::cout << "total: " << total_records << " records, " << total_bytes
+            << " bytes, " << total_duplicates << " duplicates";
+  if (total_duplicates > 0) std::cout << " (run `lotus_store compact`)";
+  std::cout << "\n";
+  return 0;
+}
+
+int run_verify(const Args& args) {
+  const auto shards = require_manifest(args);
+  if (!shards) return 1;
+  std::size_t bad = 0;
+  std::size_t total_records = 0;
+  for (std::uint64_t i = 0; i < *shards; ++i) {
+    const TrialStore::Shard shard{lotus::exp::shard_path(
+        args.cache_dir, static_cast<std::size_t>(i))};
+    std::vector<TrialStore::Record> records;
+    const auto status = shard.load(records);
+    total_records += records.size();
+    if (status != TrialStore::LoadStatus::kLoaded &&
+        status != TrialStore::LoadStatus::kFresh) {
+      ++bad;
+      std::cout << "shard " << i << ": " << status_name(status) << "\n";
+    }
+  }
+  if (bad > 0) {
+    std::cout << "FAIL: " << bad << "/" << *shards << " shards invalid\n";
+    return 1;
+  }
+  std::cout << "OK: " << *shards << " shards, " << total_records
+            << " records, every committed prefix verified\n";
+  return 0;
+}
+
+int run_compact(const Args& args) {
+  const auto shards = require_manifest(args);
+  if (!shards) return 1;
+  std::size_t dropped = 0;
+  std::size_t failed = 0;
+  for (std::uint64_t i = 0; i < *shards; ++i) {
+    const TrialStore::Shard shard{lotus::exp::shard_path(
+        args.cache_dir, static_cast<std::size_t>(i))};
+    const auto stats = shard.compact();
+    if (!stats) {
+      ++failed;
+      std::cout << "shard " << i
+                << ": not compacted (corrupt or I/O error; the next append "
+                   "resets a corrupt shard)\n";
+      continue;
+    }
+    if (stats->before != stats->after) {
+      std::cout << "shard " << i << ": " << stats->before << " -> "
+                << stats->after << " records\n";
+      dropped += stats->before - stats->after;
+    }
+  }
+  std::cout << "compacted: " << dropped << " duplicate records dropped\n";
+  return failed == 0 ? 0 : 1;
+}
+
+int run_migrate(const Args& args) {
+  std::error_code ec;
+  const std::string legacy = lotus::exp::legacy_store_path(args.cache_dir);
+  const bool had_legacy = std::filesystem::exists(legacy, ec) && !ec;
+  if (!had_legacy) {
+    // Nothing to migrate; require_manifest tells apart "already v2",
+    // "corrupt manifest" (which migrate must not silently repair — a bench
+    // open restarts that store cold), and "no store at all".
+    const auto shards = require_manifest(args);
+    if (!shards) return 1;
+    std::cout << "already v2 (" << *shards << " shards); nothing to migrate\n";
+    return 0;
+  }
+  // Opening the store performs the migration (under the directory lock, so
+  // it is safe even if a bench is starting up concurrently).
+  TrialStore store{args.cache_dir, args.store_shards};
+  if (!store.enabled()) {
+    std::cerr << "lotus_store: cannot open store at " << args.cache_dir
+              << "\n";
+    return 1;
+  }
+  if (store.open_status() == TrialStore::LoadStatus::kMigratedLegacy) {
+    std::cout << "migrated " << store.migrated()
+              << " records from trials.bin into " << store.shard_count()
+              << " shards\n";
+  } else {
+    std::cout << "v1 log was corrupt; discarded (store is v2 with "
+              << store.shard_count() << " shards)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int exit_code = 0;
+  const auto args = parse_args(argc, argv, exit_code);
+  if (!args) return exit_code;
+  if (args->command == "stats") return run_stats(*args);
+  if (args->command == "verify") return run_verify(*args);
+  if (args->command == "compact") return run_compact(*args);
+  return run_migrate(*args);
+}

@@ -5,6 +5,9 @@
 
 #include <bit>
 #include <filesystem>
+#include <map>
+#include <utility>
+#include <vector>
 #include <string>
 
 #include "coding/gf256.h"
@@ -117,33 +120,93 @@ void BM_EigenTrust(benchmark::State& state) {
 }
 BENCHMARK(BM_EigenTrust)->Arg(100)->Arg(250);
 
-void BM_StoreColdLoadPerScope(benchmark::State& state) {
-  // What a bench pays at startup to warm one trial space from disk. With 1
-  // shard the store degenerates to the v1 whole-log load (every record
-  // read); with more shards a scope reads only the records its key routes
-  // with — the win the store-v2 engine exists for.
-  const auto shards = static_cast<std::uint64_t>(state.range(0));
-  const std::string dir =
-      (std::filesystem::temp_directory_path() /
-       ("lotus_micro_store_" + std::to_string(shards)))
-          .string();
+/// Builds (once per distinct shape) a store of `records` trials spread
+/// over 256 trial spaces, like a long sweep campaign, and returns its
+/// directory. flush() writes the sidecar indexes alongside the shards.
+const std::string& micro_store_dir(std::uint64_t shards,
+                                   std::uint64_t records) {
+  static std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> dirs;
+  auto& dir = dirs[{shards, records}];
+  if (!dir.empty()) return dir;
+  dir = (std::filesystem::temp_directory_path() /
+         ("lotus_micro_store_" + std::to_string(shards) + "_" +
+          std::to_string(records)))
+            .string();
   std::filesystem::remove_all(dir);
-  {
-    exp::TrialStore store{dir, shards};
-    // 64k records over 256 trial spaces, like a long sweep campaign.
-    for (std::uint64_t i = 0; i < 64 * 1024; ++i) {
-      store.append({i % 256, std::bit_cast<std::uint64_t>(
-                                 static_cast<double>(i)),
-                    i, static_cast<double>(i)});
-    }
-    store.flush();
+  exp::TrialStore store{dir, shards};
+  // Grouped by key, the way sweeps append (a scope's trials arrive
+  // together), so shards hold long per-key runs like a real campaign.
+  const std::uint64_t per_key = records / 256;
+  for (std::uint64_t i = 0; i < records; ++i) {
+    store.append({i / per_key, std::bit_cast<std::uint64_t>(
+                                   static_cast<double>(i)),
+                  i, static_cast<double>(i)});
   }
+  store.flush();
+  return dir;
+}
+
+void BM_StoreColdLoadPerScope(benchmark::State& state) {
+  // What a bench pays at startup to warm one trial space from disk.
+  // Args: {shards, total records, indexed}. indexed=0 is the sequential
+  // whole-shard load (v1 degenerates to it at 1 shard: every record read
+  // and copied); indexed=1 is the zero-copy path — mmap the shard and pull
+  // only the requested key's byte ranges through the sidecar index, so the
+  // cost is per-scope, independent of total store size.
+  const auto shards = static_cast<std::uint64_t>(state.range(0));
+  const auto records = static_cast<std::uint64_t>(state.range(1));
+  const bool indexed = state.range(2) != 0;
+  const std::string& dir = micro_store_dir(shards, records);
+  std::size_t scope_records = 0;
   for (auto _ : state) {
     exp::TrialStore store{dir, shards};
-    benchmark::DoNotOptimize(store.records_for(0).size());
+    if (indexed) {
+      std::vector<exp::TrialStore::Record> out;
+      benchmark::DoNotOptimize(store.indexed_records_for(0, out));
+      scope_records = out.size();
+      benchmark::DoNotOptimize(out.data());
+    } else {
+      scope_records = store.records_for(0).size();
+      benchmark::DoNotOptimize(scope_records);
+    }
+  }
+  state.counters["scope_records"] =
+      static_cast<double>(scope_records);
+}
+BENCHMARK(BM_StoreColdLoadPerScope)
+    ->ArgNames({"shards", "records", "indexed"})
+    ->Args({1, 64 * 1024, 0})
+    ->Args({1, 64 * 1024, 1})
+    ->Args({16, 64 * 1024, 0})
+    ->Args({16, 64 * 1024, 1})
+    ->Args({1, 1024 * 1024, 0})
+    ->Args({1, 1024 * 1024, 1})
+    ->Args({16, 1024 * 1024, 0})
+    ->Args({16, 1024 * 1024, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StoreNegativeLookup(benchmark::State& state) {
+  // A key hash the store has never seen: with the sidecar index this is
+  // one bloom probe against the mapped shard — no record bytes touched —
+  // so misses stay O(1) no matter how big the store grows.
+  const auto shards = static_cast<std::uint64_t>(state.range(0));
+  const auto records = static_cast<std::uint64_t>(state.range(1));
+  const std::string& dir = micro_store_dir(shards, records);
+  exp::TrialStore store{dir, shards};
+  std::vector<exp::TrialStore::Record> out;
+  std::uint64_t absent = 1000003;  // keys on disk are 0..255
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(store.indexed_records_for(absent, out));
+    absent += shards;  // same shard every probe, fresh bloom positions
+    benchmark::DoNotOptimize(out.size());
   }
 }
-BENCHMARK(BM_StoreColdLoadPerScope)->Arg(1)->Arg(16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StoreNegativeLookup)
+    ->ArgNames({"shards", "records"})
+    ->Args({16, 64 * 1024})
+    ->Args({16, 1024 * 1024})
+    ->Unit(benchmark::kNanosecond);
 
 void BM_GossipFullRun(benchmark::State& state) {
   gossip::GossipConfig config;  // Table 1 scale, shorter horizon

@@ -13,14 +13,29 @@ std::size_t TrialCache::KeyHash::operator()(const Key& k) const noexcept {
       TrialStore::trial_key_mix(k.config_hash, k.x_bits, k.seed));
 }
 
-void TrialCache::merge_shard_locked(std::uint64_t key_hash) {
+void TrialCache::merge_key_locked(std::uint64_t key_hash) {
   if (store_ == nullptr) return;
   const auto shard = static_cast<std::size_t>(store_->shard_of(key_hash));
   if (shard >= shard_merged_.size() || shard_merged_[shard]) return;
+  if (merged_keys_.contains(key_hash)) return;
+  // The zero-copy path: the store maps the shard read-only and its sidecar
+  // index locates exactly this key's records (a key the store never saw is
+  // one bloom probe), decoded in place — other trial spaces sharing the
+  // shard are never touched. Merged disk-born, so warm hits are attributed
+  // to the store.
+  std::vector<TrialStore::Record> records;
+  if (store_->indexed_records_for(key_hash, records)) {
+    merged_keys_.insert(key_hash);
+    for (const auto& record : records) {
+      map_.try_emplace(Key{record.key_hash, record.x_bits, record.seed},
+                       Entry{record.value, true});
+    }
+    return;
+  }
+  // No usable index (missing/stale sidecar, or the shard could not be
+  // mapped): merge the whole shard once via the sequential-scan load.
+  // Taken by move so the map holds the only in-memory copy.
   shard_merged_[shard] = true;
-  // The shard holds every trial space that routes to it; merge them all —
-  // disk-born, so warm hits are attributed to the store. Taken by move so
-  // the map holds the only in-memory copy of the warm records.
   for (const auto& record : store_->take_records_for(key_hash)) {
     map_.try_emplace(Key{record.key_hash, record.x_bits, record.seed},
                      Entry{record.value, true});
@@ -32,7 +47,7 @@ bool TrialCache::lookup(std::uint64_t config_hash, double x,
   const Key key{config_hash, std::bit_cast<std::uint64_t>(x), seed};
   {
     std::lock_guard lock(mu_);
-    merge_shard_locked(config_hash);
+    merge_key_locked(config_hash);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       value = it->second.value;
@@ -53,7 +68,7 @@ void TrialCache::store(std::uint64_t config_hash, double x, std::uint64_t seed,
   std::lock_guard lock(mu_);
   // Make sure the disk shard for this key is visible first, so a record
   // already on disk is never re-appended as a duplicate.
-  merge_shard_locked(config_hash);
+  merge_key_locked(config_hash);
   const auto [it, inserted] = map_.try_emplace(key, Entry{value, false});
   // Only the first writer spills: racing workers compute the same value for
   // the same (deterministic) trial, and disk-loaded entries are already in
@@ -67,6 +82,10 @@ void TrialCache::attach_store(TrialStore& store) {
   std::lock_guard lock(mu_);
   if (!store.enabled()) return;
   store_ = &store;
+  // Forget every merge decision made against a previously attached store:
+  // a key merged from the old store must be re-merged from this one, or
+  // its disk records would never load.
+  merged_keys_.clear();
   shard_merged_.assign(store.shard_count(), false);
 }
 
@@ -78,7 +97,9 @@ std::size_t TrialCache::size() const {
 void TrialCache::clear() {
   std::lock_guard lock(mu_);
   map_.clear();
-  // Forget which shards were merged so an attached store repopulates them.
+  // Forget which keys/shards were merged so an attached store repopulates
+  // them.
+  merged_keys_.clear();
   shard_merged_.assign(shard_merged_.size(), false);
   hits_.store(0, std::memory_order_relaxed);
   disk_hits_.store(0, std::memory_order_relaxed);

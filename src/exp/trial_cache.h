@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/sweep.h"
@@ -59,13 +60,17 @@ class TrialCache {
   void store(std::uint64_t config_hash, double x, std::uint64_t seed,
              double value);
 
-  /// Binds an on-disk spill (exp::TrialStore). Shards are merged lazily:
-  /// the first lookup (or store) for a key hash pulls in exactly the shard
-  /// that hash routes to — marked as disk-born for the disk_hits() counter —
-  /// so a run touches only the shards its scopes touch, never the whole
-  /// directory. Every fresh trial stored from now on is appended to the
-  /// store. The store must outlive the cache's last lookup()/store() call;
-  /// call at startup, before the sweeps run (see exp::open_store for the
+  /// Binds an on-disk spill (exp::TrialStore). Disk records are merged
+  /// lazily and *per key hash*: the first lookup (or store) for a hash
+  /// pulls in exactly that trial space's records, decoded in place from
+  /// the shard's read-only mmap via its sidecar index — marked as
+  /// disk-born for the disk_hits() counter — so a run touches only the
+  /// byte ranges its scopes need, never a whole shard, and a lookup for a
+  /// key the store has never seen costs one bloom probe. A shard without a
+  /// usable index falls back to the one-time whole-shard merge (sequential
+  /// scan). Every fresh trial stored from now on is appended to the store.
+  /// The store must outlive the cache's last lookup()/store() call; call
+  /// at startup, before the sweeps run (see exp::open_store for the
   /// standard wiring).
   void attach_store(TrialStore& store);
 
@@ -107,14 +112,17 @@ class TrialCache {
     bool from_disk;
   };
 
-  /// Merges the store shard holding `key_hash` into the map (first call
-  /// per shard only). Caller holds mu_.
-  void merge_shard_locked(std::uint64_t key_hash);
+  /// Merges the store's records for `key_hash` into the map (first call
+  /// per key hash; indexed path), or the whole shard holding it when the
+  /// shard has no usable index (first call per shard; scan fallback).
+  /// Caller holds mu_.
+  void merge_key_locked(std::uint64_t key_hash);
 
   mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> map_;
-  TrialStore* store_ = nullptr;         // guarded by mu_
-  std::vector<bool> shard_merged_;      // guarded by mu_; sized at attach
+  TrialStore* store_ = nullptr;           // guarded by mu_
+  std::unordered_set<std::uint64_t> merged_keys_;  // guarded by mu_
+  std::vector<bool> shard_merged_;        // guarded by mu_; sized at attach
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> misses_{0};

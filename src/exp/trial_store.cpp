@@ -2,11 +2,14 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -24,9 +27,20 @@ namespace {
 
 using Record = TrialStore::Record;
 using LoadStatus = TrialStore::LoadStatus;
+using IndexRun = TrialStore::Shard::IndexRun;
+using Index = TrialStore::Shard::Index;
 
 constexpr std::size_t kHeaderBytes = TrialStore::kHeaderBytes;
 constexpr std::size_t kRecordBytes = TrialStore::kRecordBytes;
+constexpr std::size_t kIndexHeaderBytes = TrialStore::kIndexHeaderBytes;
+constexpr std::size_t kIndexRunBytes = 3 * sizeof(std::uint64_t);
+
+// Salts for the two bloom probes; arbitrary odd constants.
+constexpr std::uint64_t kBloomSalt1 = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kBloomSalt2 = 0xc2b2ae3d27d4eb4fULL;
+// Caps keeping a corrupt index header from driving huge allocations.
+constexpr std::uint64_t kMaxBloomWords = std::uint64_t{1} << 22;
+constexpr std::uint64_t kMaxIndexRuns = std::uint64_t{1} << 32;
 
 // Shard files are written in host byte order: the store is a per-machine
 // cache, not an interchange format, and a file moved across architectures
@@ -34,28 +48,61 @@ constexpr std::size_t kRecordBytes = TrialStore::kRecordBytes;
 // outcome.
 
 /// RAII fd that releases its flock (via close) on scope exit.
+///
+/// After the flock is acquired the path is re-stat'ed and compared to the
+/// open fd: online compaction atomically renames a rewritten shard over the
+/// path while other processes may be blocked on the *old* inode's lock, and
+/// a writer that appended to the unlinked inode would lose its records.
+/// When the directory entry moved on, the open is retried on the new file.
 class LockedFile {
  public:
   LockedFile(const std::string& path, int open_flags, int lock_op) {
-    fd_ = ::open(path.c_str(), open_flags | O_CLOEXEC, 0644);
-    if (fd_ < 0) {
-      error_ = errno;
-      return;
-    }
-    // flock can be interrupted by signals; retry rather than failing the
-    // whole store over an EINTR.
-    while (::flock(fd_, lock_op) != 0) {
-      if (errno != EINTR) {
-        error_ = errno;  // captured before close() can clobber errno
-        ::close(fd_);
-        fd_ = -1;
+    // Bounded retries: each retry means another process replaced the file
+    // while we waited for the lock, which cannot recur unboundedly in
+    // practice; the cap just guards against a pathological livelock.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      fd_ = ::open(path.c_str(), open_flags | O_CLOEXEC, 0644);
+      if (fd_ < 0) {
+        error_ = errno;
         return;
       }
+      // flock can be interrupted by signals; retry rather than failing the
+      // whole store over an EINTR.
+      while (::flock(fd_, lock_op) != 0) {
+        if (errno != EINTR) {
+          error_ = errno;  // captured before close() can clobber errno
+          close_fd();
+          return;
+        }
+      }
+      struct stat by_fd{};
+      struct stat by_path{};
+      if (::fstat(fd_, &by_fd) != 0) {
+        error_ = errno;
+        close_fd();
+        return;
+      }
+      if (::stat(path.c_str(), &by_path) != 0) {
+        if (errno == ENOENT) {
+          // Unlinked while we waited. With O_CREAT the retry recreates it;
+          // without, the file is simply absent now.
+          close_fd();
+          if ((open_flags & O_CREAT) != 0) continue;
+          error_ = ENOENT;
+          return;
+        }
+        error_ = errno;
+        close_fd();
+        return;
+      }
+      if (by_fd.st_dev == by_path.st_dev && by_fd.st_ino == by_path.st_ino) {
+        return;  // locked the file the path currently names
+      }
+      close_fd();  // replaced while we waited; retry on the new file
     }
+    error_ = ELOOP;
   }
-  ~LockedFile() {
-    if (fd_ >= 0) ::close(fd_);  // closing drops the flock
-  }
+  ~LockedFile() { close_fd(); }
   LockedFile(const LockedFile&) = delete;
   LockedFile& operator=(const LockedFile&) = delete;
 
@@ -112,7 +159,24 @@ class LockedFile {
     return true;
   }
 
+  /// Explicitly drops the flock while keeping the fd open. Required when a
+  /// memory mapping of this fd outlives the LockedFile: a mapping pins the
+  /// open file description beyond close(), and flock locks are only
+  /// released when the description is — so a still-locked mapped fd would
+  /// hold the lock for the mapping's whole lifetime, starving every
+  /// writer's exclusive append (including our own flush: a self-deadlock).
+  void unlock() const noexcept {
+    while (::flock(fd_, LOCK_UN) != 0) {
+      if (errno != EINTR) break;
+    }
+  }
+
  private:
+  void close_fd() noexcept {
+    if (fd_ >= 0) ::close(fd_);  // closing drops the flock
+    fd_ = -1;
+  }
+
   int fd_ = -1;
   int error_ = 0;
 };
@@ -215,6 +279,209 @@ bool write_header(const LockedFile& file, std::uint64_t count,
   return file.write_at(0, &header, sizeof(header));
 }
 
+// --- Sidecar index --------------------------------------------------------
+
+/// One SplitMix mix of a single word (split_mix64 advances its state
+/// argument; these helpers want the pure function).
+std::uint64_t mix64(std::uint64_t word) {
+  std::uint64_t state = word;
+  return sim::split_mix64(state);
+}
+
+/// SplitMix fold over a word sequence: the index's self-checksum.
+std::uint64_t fold_words(std::uint64_t state, const std::uint64_t* words,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    state = mix64(state ^ words[i]);
+  }
+  return state;
+}
+
+void bloom_set(std::vector<std::uint64_t>& bloom, std::uint64_t key_hash) {
+  const std::uint64_t bits = bloom.size() * 64;
+  const std::uint64_t a = mix64(key_hash ^ kBloomSalt1) & (bits - 1);
+  const std::uint64_t b = mix64(key_hash ^ kBloomSalt2) & (bits - 1);
+  bloom[a / 64] |= std::uint64_t{1} << (a % 64);
+  bloom[b / 64] |= std::uint64_t{1} << (b % 64);
+}
+
+bool bloom_test(const std::vector<std::uint64_t>& bloom,
+                std::uint64_t key_hash) {
+  if (bloom.empty()) return true;  // no filter: cannot rule anything out
+  const std::uint64_t bits = bloom.size() * 64;
+  const std::uint64_t a = mix64(key_hash ^ kBloomSalt1) & (bits - 1);
+  const std::uint64_t b = mix64(key_hash ^ kBloomSalt2) & (bits - 1);
+  return ((bloom[a / 64] >> (a % 64)) & 1) != 0 &&
+         ((bloom[b / 64] >> (b % 64)) & 1) != 0;
+}
+
+/// Sized for ~16 bits per distinct run (distinct keys <= runs), power of
+/// two so probes are a mask, never below 256 bits.
+std::vector<std::uint64_t> build_bloom(const std::vector<IndexRun>& runs) {
+  const std::uint64_t bits = std::bit_ceil(
+      std::max<std::uint64_t>(256, static_cast<std::uint64_t>(runs.size()) * 16));
+  std::vector<std::uint64_t> bloom(static_cast<std::size_t>(bits / 64), 0);
+  for (const auto& run : runs) bloom_set(bloom, run.key_hash);
+  return bloom;
+}
+
+bool run_order(const IndexRun& a, const IndexRun& b) {
+  return a.key_hash != b.key_hash ? a.key_hash < b.key_hash
+                                  : a.first < b.first;
+}
+
+/// Coalesces `records` (stored at record indices first_index,
+/// first_index+1, …) into maximal file-order runs appended to `out`. No
+/// sorting: callers sort once at the end.
+void append_file_order_runs(std::vector<IndexRun>& out,
+                            std::uint64_t first_index,
+                            std::span<const Record> records) {
+  std::uint64_t at = first_index;
+  for (const auto& record : records) {
+    if (!out.empty() && out.back().key_hash == record.key_hash &&
+        out.back().first + out.back().count == at) {
+      ++out.back().count;
+    } else {
+      out.push_back({record.key_hash, at, 1});
+    }
+    ++at;
+  }
+}
+
+/// Folds `records` (appended contiguously at [first_index, …)) into the
+/// sorted run list. Because the new records sit at the end of the file,
+/// only the FIRST fresh run can possibly continue an existing run (one
+/// ending exactly at first_index with the same key) — every later fresh
+/// run starts where its predecessor ended — so the merge is one linear
+/// probe, not a quadratic join, and one final sort restores (key, first)
+/// order.
+void extend_runs(std::vector<IndexRun>& runs, std::uint64_t first_index,
+                 std::span<const Record> records) {
+  std::vector<IndexRun> fresh;
+  append_file_order_runs(fresh, first_index, records);
+  if (fresh.empty()) return;
+  auto begin = fresh.begin();
+  for (auto& existing : runs) {
+    if (existing.key_hash == begin->key_hash &&
+        existing.first + existing.count == begin->first) {
+      existing.count += begin->count;
+      ++begin;
+      break;
+    }
+  }
+  runs.insert(runs.end(), begin, fresh.end());
+  std::sort(runs.begin(), runs.end(), run_order);
+}
+
+std::vector<std::uint64_t> serialize_index(const Index& index) {
+  std::vector<std::uint64_t> words;
+  words.reserve(7 + index.bloom.size() + 3 * index.runs.size());
+  words.push_back(TrialStore::kIndexMagic);
+  words.push_back(TrialStore::kIndexVersion);
+  words.push_back(index.covered_count);
+  words.push_back(index.covered_checksum);
+  words.push_back(static_cast<std::uint64_t>(index.bloom.size()));
+  words.push_back(static_cast<std::uint64_t>(index.runs.size()));
+  words.push_back(0);  // self-checksum patched below
+  words.insert(words.end(), index.bloom.begin(), index.bloom.end());
+  for (const auto& run : index.runs) {
+    words.push_back(run.key_hash);
+    words.push_back(run.first);
+    words.push_back(run.count);
+  }
+  // The checksum covers every word except its own slot.
+  std::uint64_t check = fold_words(TrialStore::kIndexMagic, words.data(), 6);
+  check = fold_words(check, words.data() + 7, words.size() - 7);
+  words[6] = check;
+  return words;
+}
+
+/// Writes the index to a temp file and atomically renames it into place, so
+/// a concurrent reader sees the old index or the new one, never a torn one.
+/// Best-effort: callers ignore the result beyond cleanup.
+bool write_index_file(const std::string& index_path, const Index& index) {
+  const std::vector<std::uint64_t> words = serialize_index(index);
+  const std::string tmp = index_path + ".tmp";
+  {
+    // Truncate only once the exclusive flock is held: an append (new
+    // inode) and a compact (old inode) can both reach this with the same
+    // tmp path, and O_TRUNC at open would clip the lock holder's bytes.
+    const LockedFile file{tmp, O_RDWR | O_CREAT, LOCK_EX};
+    if (!file.ok() || !file.truncate(0) ||
+        !file.write_at(0, words.data(), words.size() * sizeof(std::uint64_t))) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), index_path.c_str()) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+/// Rebuilds runs from the full committed prefix read off the locked shard
+/// fd — the index-was-stale path; the common append path extends runs
+/// incrementally instead.
+std::optional<std::vector<IndexRun>> runs_from_fd(const LockedFile& file,
+                                                  std::uint64_t count) {
+  std::vector<IndexRun> runs;
+  std::uint64_t offset = kHeaderBytes;
+  constexpr std::uint64_t kBatch = 4096;
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(kBatch) * 4);
+  std::vector<Record> batch;
+  batch.reserve(static_cast<std::size_t>(kBatch));
+  for (std::uint64_t i = 0; i < count; i += kBatch) {
+    const std::uint64_t n = std::min(kBatch, count - i);
+    // One pread per batch, not per record: a rebuild runs under the
+    // shard's exclusive flock, so every syscall here stalls other writers.
+    if (!file.read_at(offset, words.data(),
+                      static_cast<std::size_t>(n) * kRecordBytes)) {
+      return std::nullopt;
+    }
+    offset += n * kRecordBytes;
+    batch.clear();
+    for (std::uint64_t j = 0; j < n; ++j) {
+      batch.push_back(decode_record(&words[static_cast<std::size_t>(j) * 4]));
+    }
+    // Batches are contiguous, so file-order coalescing continues across
+    // the batch boundary; sort once at the end.
+    append_file_order_runs(runs, i, batch);
+  }
+  std::sort(runs.begin(), runs.end(), run_order);
+  return runs;
+}
+
+/// Brings the sidecar index up to date after a successful append of
+/// `records` at [old_count, new_count), under the shard's exclusive flock.
+/// Fast path: the existing index covered exactly the old prefix and is
+/// extended in memory; otherwise the runs are rebuilt from the shard fd.
+void update_index_after_append(const LockedFile& file,
+                               const std::string& index_path,
+                               std::optional<Index> existing,
+                               std::uint64_t old_count,
+                               std::uint64_t old_checksum,
+                               std::span<const Record> records,
+                               std::uint64_t new_count,
+                               std::uint64_t new_checksum) {
+  Index updated;
+  if (existing && existing->covered_count == old_count &&
+      existing->covered_checksum == old_checksum) {
+    updated.runs = std::move(existing->runs);
+    extend_runs(updated.runs, old_count, records);
+  } else {
+    auto rebuilt = runs_from_fd(file, new_count);
+    if (!rebuilt) return;  // best-effort: leave the (stale) index alone
+    updated.runs = std::move(*rebuilt);
+  }
+  updated.covered_count = new_count;
+  updated.covered_checksum = new_checksum;
+  updated.bloom = build_bloom(updated.runs);
+  (void)write_index_file(index_path, updated);
+}
+
 // --- Manifest -------------------------------------------------------------
 
 /// Folds the manifest fields so a stray write to manifest.bin is detected
@@ -296,7 +563,325 @@ std::uint64_t TrialStore::chain_checksum(std::uint64_t checksum,
   return checksum;
 }
 
+// --- Shard::Index ---------------------------------------------------------
+
+bool TrialStore::Shard::Index::may_contain(
+    std::uint64_t key_hash) const noexcept {
+  return bloom_test(bloom, key_hash);
+}
+
+std::span<const IndexRun> TrialStore::Shard::Index::runs_for(
+    std::uint64_t key_hash) const noexcept {
+  const auto lo = std::lower_bound(
+      runs.begin(), runs.end(), key_hash,
+      [](const IndexRun& run, std::uint64_t key) { return run.key_hash < key; });
+  auto hi = lo;
+  while (hi != runs.end() && hi->key_hash == key_hash) ++hi;
+  return {runs.data() + (lo - runs.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+// --- Shard::Mapping -------------------------------------------------------
+
+TrialStore::Shard::Mapping::~Mapping() { reset(); }
+
+TrialStore::Shard::Mapping::Mapping(Mapping&& other) noexcept
+    : status_(other.status_),
+      base_(other.base_),
+      map_bytes_(other.map_bytes_),
+      count_(other.count_),
+      has_index_(other.has_index_),
+      index_(std::move(other.index_)) {
+  other.base_ = nullptr;
+  other.map_bytes_ = 0;
+  other.count_ = 0;
+  other.has_index_ = false;
+  other.status_ = LoadStatus::kFresh;
+}
+
+TrialStore::Shard::Mapping& TrialStore::Shard::Mapping::operator=(
+    Mapping&& other) noexcept {
+  if (this != &other) {
+    reset();
+    status_ = other.status_;
+    base_ = other.base_;
+    map_bytes_ = other.map_bytes_;
+    count_ = other.count_;
+    has_index_ = other.has_index_;
+    index_ = std::move(other.index_);
+    other.base_ = nullptr;
+    other.map_bytes_ = 0;
+    other.count_ = 0;
+    other.has_index_ = false;
+    other.status_ = LoadStatus::kFresh;
+  }
+  return *this;
+}
+
+void TrialStore::Shard::Mapping::reset() noexcept {
+  if (base_ != nullptr) ::munmap(base_, map_bytes_);
+  base_ = nullptr;
+  map_bytes_ = 0;
+  count_ = 0;
+  has_index_ = false;
+  index_ = Index{};
+  status_ = LoadStatus::kFresh;
+}
+
+Record TrialStore::Shard::Mapping::record(std::size_t i) const noexcept {
+  std::uint64_t words[4];
+  std::memcpy(words,
+              static_cast<const char*>(base_) + kHeaderBytes +
+                  i * kRecordBytes,
+              kRecordBytes);
+  return decode_record(words);
+}
+
+bool TrialStore::Shard::Mapping::may_contain(
+    std::uint64_t key_hash) const noexcept {
+  if (count_ == 0) return false;
+  if (!has_index_) return true;
+  if (index_.may_contain(key_hash)) return true;
+  // The bloom only rules out the covered prefix; the tail must be scanned.
+  for (std::size_t i = static_cast<std::size_t>(index_.covered_count);
+       i < count_; ++i) {
+    if (record(i).key_hash == key_hash) return true;
+  }
+  return false;
+}
+
+std::size_t TrialStore::Shard::Mapping::collect(
+    std::uint64_t key_hash, std::vector<Record>& out) const {
+  if (count_ == 0 || base_ == nullptr) return 0;
+  std::size_t added = 0;
+  if (has_index_) {
+    if (index_.may_contain(key_hash)) {
+      for (const auto& run : index_.runs_for(key_hash)) {
+        for (std::uint64_t i = 0; i < run.count; ++i) {
+          out.push_back(record(static_cast<std::size_t>(run.first + i)));
+          ++added;
+        }
+      }
+    }
+    for (std::size_t i = static_cast<std::size_t>(index_.covered_count);
+         i < count_; ++i) {
+      const Record candidate = record(i);
+      if (candidate.key_hash == key_hash) {
+        out.push_back(candidate);
+        ++added;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Record candidate = record(i);
+      if (candidate.key_hash == key_hash) {
+        out.push_back(candidate);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
 // --- Shard ----------------------------------------------------------------
+
+std::string TrialStore::Shard::index_path() const {
+  if (path_.ends_with(".bin")) {
+    return path_.substr(0, path_.size() - 4) + ".idx";
+  }
+  return path_ + ".idx";
+}
+
+std::optional<Index> TrialStore::Shard::read_index(bool* corrupt) const {
+  if (corrupt != nullptr) *corrupt = false;
+  const LockedFile file{index_path(), O_RDONLY, LOCK_SH};
+  if (!file.ok()) return std::nullopt;  // absent or unreadable: no index
+  const auto mark_corrupt = [corrupt] {
+    if (corrupt != nullptr) *corrupt = true;
+  };
+  const auto size = file.size();
+  if (!size) return std::nullopt;
+  if (*size < kIndexHeaderBytes) {
+    mark_corrupt();
+    return std::nullopt;
+  }
+  std::uint64_t header[7];
+  if (!file.read_at(0, header, sizeof(header))) return std::nullopt;
+  const std::uint64_t bloom_words = header[4];
+  const std::uint64_t run_count = header[5];
+  if (header[0] != kIndexMagic || header[1] != kIndexVersion ||
+      bloom_words == 0 || bloom_words > kMaxBloomWords ||
+      !std::has_single_bit(bloom_words * 64) || run_count > kMaxIndexRuns) {
+    mark_corrupt();
+    return std::nullopt;
+  }
+  const std::uint64_t expected_size = kIndexHeaderBytes +
+                                      bloom_words * sizeof(std::uint64_t) +
+                                      run_count * kIndexRunBytes;
+  if (*size != expected_size) {
+    mark_corrupt();
+    return std::nullopt;
+  }
+  Index index;
+  index.covered_count = header[2];
+  index.covered_checksum = header[3];
+  index.bloom.resize(static_cast<std::size_t>(bloom_words));
+  if (!file.read_at(kIndexHeaderBytes, index.bloom.data(),
+                    index.bloom.size() * sizeof(std::uint64_t))) {
+    return std::nullopt;
+  }
+  std::vector<std::uint64_t> run_words(
+      static_cast<std::size_t>(run_count) * 3);
+  if (!run_words.empty() &&
+      !file.read_at(kIndexHeaderBytes + bloom_words * sizeof(std::uint64_t),
+                    run_words.data(),
+                    run_words.size() * sizeof(std::uint64_t))) {
+    return std::nullopt;
+  }
+  std::uint64_t check = fold_words(kIndexMagic, header, 6);
+  check = fold_words(check, index.bloom.data(), index.bloom.size());
+  check = fold_words(check, run_words.data(), run_words.size());
+  if (check != header[6]) {
+    mark_corrupt();
+    return std::nullopt;
+  }
+  index.runs.reserve(static_cast<std::size_t>(run_count));
+  for (std::size_t i = 0; i < run_count; ++i) {
+    index.runs.push_back(
+        {run_words[3 * i], run_words[3 * i + 1], run_words[3 * i + 2]});
+  }
+  // Structural validation: runs sorted by (key, first), each non-empty and
+  // inside the covered prefix, and together tiling [0, covered) exactly —
+  // so a lookup that trusts the runs can never read past the prefix or
+  // miss a record.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < index.runs.size(); ++i) {
+    const IndexRun& run = index.runs[i];
+    if (run.count == 0 || run.first > index.covered_count ||
+        run.count > index.covered_count - run.first) {
+      mark_corrupt();
+      return std::nullopt;
+    }
+    if (i > 0 && !run_order(index.runs[i - 1], run)) {
+      mark_corrupt();
+      return std::nullopt;
+    }
+    total += run.count;
+  }
+  if (total != index.covered_count) {
+    mark_corrupt();
+    return std::nullopt;
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  spans.reserve(index.runs.size());
+  for (const auto& run : index.runs) spans.emplace_back(run.first, run.count);
+  std::sort(spans.begin(), spans.end());
+  std::uint64_t next = 0;
+  for (const auto& [first, count] : spans) {
+    if (first != next) {
+      mark_corrupt();
+      return std::nullopt;
+    }
+    next = first + count;
+  }
+  return index;
+}
+
+LoadStatus TrialStore::Shard::map(Mapping& out) const {
+  out.reset();
+  const LockedFile file{path_, O_RDONLY, LOCK_SH};
+  if (!file.ok()) {
+    out.status_ =
+        file.error() == ENOENT ? LoadStatus::kFresh : LoadStatus::kIoError;
+    return out.status_;
+  }
+  const auto size = file.size();
+  if (!size) {
+    out.status_ = LoadStatus::kIoError;
+    return out.status_;
+  }
+  if (*size == 0) {
+    out.status_ = LoadStatus::kFresh;
+    return out.status_;
+  }
+  if (*size < kHeaderBytes) {
+    out.status_ = LoadStatus::kDiscardedCorrupt;
+    return out.status_;
+  }
+  Header header{};
+  if (!file.read_at(0, &header, sizeof(header))) {
+    out.status_ = LoadStatus::kIoError;
+    return out.status_;
+  }
+  if (header.magic != kMagic) {
+    out.status_ = LoadStatus::kDiscardedCorrupt;
+    return out.status_;
+  }
+  if (header.version != kFormatVersion) {
+    out.status_ = LoadStatus::kDiscardedVersion;
+    return out.status_;
+  }
+  if (header.count > (*size - kHeaderBytes) / kRecordBytes) {
+    out.status_ = LoadStatus::kDiscardedCorrupt;
+    return out.status_;
+  }
+  if (header.count == 0) {
+    out.count_ = 0;
+    out.status_ = LoadStatus::kLoaded;
+    return out.status_;
+  }
+  const std::size_t map_bytes =
+      kHeaderBytes + static_cast<std::size_t>(header.count) * kRecordBytes;
+  void* base = ::mmap(nullptr, map_bytes, PROT_READ, MAP_SHARED, file.fd(), 0);
+  if (base == MAP_FAILED) {
+    out.status_ = LoadStatus::kIoError;
+    return out.status_;
+  }
+  out.base_ = base;
+  out.map_bytes_ = map_bytes;
+  out.count_ = static_cast<std::size_t>(header.count);
+
+  // Validate the committed prefix in place, still under the shared flock:
+  // a heal-append may truncate a shard whose records are corrupt under a
+  // plausible header, and doing that while we chain over the mapped bytes
+  // would SIGBUS us past the new EOF — the lock holds it off until we have
+  // either validated (after which no same-format process will ever reset
+  // this prefix) or cleanly discarded. With an index bound to a prefix of
+  // this shard, only the uncovered tail needs re-chaining — the index's
+  // covered_checksum vouches for the rest; without one, chain everything.
+  bool bound = false;
+  if (auto index = read_index();
+      index && index->covered_count <= header.count) {
+    std::uint64_t chain = index->covered_checksum;
+    for (std::uint64_t i = index->covered_count; i < header.count; ++i) {
+      chain = chain_checksum(chain, out.record(static_cast<std::size_t>(i)));
+    }
+    if (chain == header.checksum) {
+      out.index_ = std::move(*index);
+      out.has_index_ = true;
+      bound = true;
+    }
+  }
+  if (!bound) {
+    std::uint64_t chain = 0;
+    for (std::uint64_t i = 0; i < header.count; ++i) {
+      chain = chain_checksum(chain, out.record(static_cast<std::size_t>(i)));
+    }
+    if (chain != header.checksum) {
+      out.reset();
+      out.status_ = LoadStatus::kDiscardedCorrupt;
+      return out.status_;
+    }
+  }
+  // Drop the flock explicitly before returning: the mapping pins the open
+  // file description beyond close(), so without this the shared lock would
+  // live as long as the mapping and starve every writer's exclusive append
+  // (including our own flush — a self-deadlock). flock(LOCK_UN) releases
+  // the lock regardless of the mmap reference; see LockedFile::unlock.
+  file.unlock();
+  out.status_ = LoadStatus::kLoaded;
+  return out.status_;
+}
 
 LoadStatus TrialStore::Shard::load(std::vector<Record>& out,
                                    std::uint64_t expect_version) const {
@@ -359,6 +944,11 @@ bool TrialStore::Shard::append(std::span<const Record> records,
   }
   if (reset && (!file.truncate(0) || !write_header(file, 0, 0))) return false;
 
+  // The old prefix the index may cover — read it before encode_records
+  // chains the new records into `checksum`.
+  const std::uint64_t old_count = count;
+  const std::uint64_t old_checksum = checksum;
+
   // Records first, at the end of the committed prefix (clobbering any torn
   // tail a previous crash left behind)...
   const std::vector<char> bytes = encode_records(records, checksum);
@@ -368,7 +958,15 @@ bool TrialStore::Shard::append(std::span<const Record> records,
   }
   // ...then the header that makes them part of the valid prefix. A crash
   // in between leaves the previous prefix intact.
-  return write_header(file, count + records.size(), checksum);
+  if (!write_header(file, count + records.size(), checksum)) return false;
+
+  // Bring the sidecar index up to date while we still hold the exclusive
+  // flock. Best-effort: a failure leaves a stale index behind, which the
+  // next reader detects (binding checksum) and scans around.
+  update_index_after_append(file, index_path(), read_index(), old_count,
+                            old_checksum, records, count + records.size(),
+                            checksum);
+  return true;
 }
 
 std::optional<TrialStore::Shard::CompactStats> TrialStore::Shard::compact()
@@ -396,22 +994,43 @@ std::optional<TrialStore::Shard::CompactStats> TrialStore::Shard::compact()
       unique.push_back(record);
     }
   }
-  if (unique.size() == records.size()) {
-    // No duplicates; still truncate away any torn tail past the prefix.
-    if (!file.truncate(kHeaderBytes + records.size() * kRecordBytes)) {
-      return std::nullopt;
-    }
-    return CompactStats{records.size(), records.size()};
-  }
 
+  // Rewrite into a temp file and atomically rename it over the shard while
+  // the exclusive flock is held. Readers keep serving the old inode; a
+  // writer blocked on this flock re-validates the inode after acquiring it
+  // and retries on the compacted file (see LockedFile), so records are
+  // never appended to the unlinked original. A crash anywhere here leaves
+  // the original shard untouched.
   std::uint64_t checksum = 0;
   const std::vector<char> bytes =
       encode_records(std::span<const Record>{unique}, checksum);
-  if (!file.write_at(kHeaderBytes, bytes.data(), bytes.size()) ||
-      !write_header(file, unique.size(), checksum) ||
-      !file.truncate(kHeaderBytes + bytes.size())) {
+  const std::string tmp = path_ + ".tmp";
+  {
+    const LockedFile out{tmp, O_RDWR | O_CREAT | O_TRUNC, LOCK_EX};
+    const Header fresh{kMagic, kFormatVersion, unique.size(), checksum};
+    if (!out.ok() || !out.write_at(0, &fresh, sizeof(fresh)) ||
+        !out.write_at(kHeaderBytes, bytes.data(), bytes.size())) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return std::nullopt;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
     return std::nullopt;
   }
+
+  // A compacted shard gets a freshly built index. A reader that races the
+  // two renames sees the new shard with the old index, whose binding
+  // checksum fails — it scans sequentially until the index lands.
+  Index index;
+  extend_runs(index.runs, 0, unique);
+  index.covered_count = unique.size();
+  index.covered_checksum = checksum;
+  index.bloom = build_bloom(index.runs);
+  (void)write_index_file(index_path(), index);
+
   return CompactStats{records.size(), unique.size()};
 }
 
@@ -460,7 +1079,9 @@ TrialStore::TrialStore(std::string dir, std::uint64_t requested_shards)
       for (const auto& entry :
            std::filesystem::directory_iterator{dir_, ec}) {
         const std::string name = entry.path().filename().string();
-        if (name.starts_with("shard-") && name.ends_with(".bin")) {
+        if (name.starts_with("shard-") &&
+            (name.ends_with(".bin") || name.ends_with(".idx") ||
+             name.ends_with(".tmp"))) {
           stale.push_back(entry.path());
         }
       }
@@ -526,6 +1147,40 @@ void TrialStore::disable() noexcept {
   for (auto& state : shards_) state.pending.clear();
 }
 
+bool TrialStore::ensure_mapped(ShardState& state) {
+  // remap_needed: this process flushed records into the shard after it was
+  // mapped, so the snapshot no longer covers everything on disk. Remapping
+  // keeps parity with the scan path, which re-reads the file — it matters
+  // when the cache is cleared and repopulates from the store.
+  if (!state.map_attempted || state.remap_needed) {
+    const bool first = !state.map_attempted;
+    state.map_attempted = true;
+    state.remap_needed = false;
+    (void)state.shard.map(state.mapping);
+    // Reflect what the mapping found unless a whole-shard load already
+    // recorded a status for shard_status()/summary().
+    if (!state.load_attempted) state.status = state.mapping.status();
+    if (first && state.mapping.usable() && state.mapping.count() > 0 &&
+        !state.mapping.has_index()) {
+      ++index_fallbacks_;
+    }
+  }
+  // Indexed reads need a usable mapping and, for non-empty shards, a bound
+  // index — otherwise per-key collection would degenerate to one full scan
+  // per trial space, worse than the single whole-shard merge fallback.
+  return state.mapping.usable() &&
+         (state.mapping.count() == 0 || state.mapping.has_index());
+}
+
+bool TrialStore::indexed_records_for(std::uint64_t key_hash,
+                                     std::vector<Record>& out) {
+  if (!enabled() || shards_.empty()) return false;
+  ShardState& state = shards_[shard_of(key_hash)];
+  if (!ensure_mapped(state)) return false;
+  loaded_ += state.mapping.collect(key_hash, out);
+  return true;
+}
+
 std::vector<Record> TrialStore::take_records_for(std::uint64_t key_hash) {
   if (!enabled() || shards_.empty()) return {};
   (void)records_for(key_hash);  // ensure the shard is loaded and counted
@@ -561,7 +1216,7 @@ void TrialStore::flush() {
     // A shard whose load was discarded gets the heal path: re-validate
     // under the lock and reset it if the prefix is still unloadable, so
     // corruption cannot make a shard grow forever while serving nothing.
-    const bool heal = state.load_attempted &&
+    const bool heal = (state.load_attempted || state.map_attempted) &&
                       (state.status == LoadStatus::kDiscardedCorrupt ||
                        state.status == LoadStatus::kDiscardedVersion);
     if (!state.shard.append(state.pending, heal)) {
@@ -575,6 +1230,9 @@ void TrialStore::flush() {
       state.status = LoadStatus::kLoaded;
       ++healed_;
     }
+    // Any existing mapping now predates these records; remap before the
+    // next indexed read so a cleared cache repopulates completely.
+    if (state.map_attempted) state.remap_needed = true;
     state.pending.clear();
   }
 }
@@ -585,7 +1243,7 @@ std::string TrialStore::summary() const {
   std::size_t discarded_version = 0;
   std::size_t unreadable = 0;
   for (const auto& state : shards_) {
-    if (!state.load_attempted) continue;
+    if (!state.load_attempted && !state.map_attempted) continue;
     ++touched;
     if (state.status == LoadStatus::kDiscardedCorrupt) ++discarded_corrupt;
     if (state.status == LoadStatus::kDiscardedVersion) ++discarded_version;
@@ -608,6 +1266,9 @@ std::string TrialStore::summary() const {
   }
   if (healed_ > 0) os << " (" << healed_ << " corrupt shards reset)";
   if (unreadable > 0) os << " (" << unreadable << " shards unreadable)";
+  if (index_fallbacks_ > 0) {
+    os << " (" << index_fallbacks_ << " shards scanned without index)";
+  }
   os << ", " << appended_ << " appended";
   return os.str();
 }
@@ -621,6 +1282,12 @@ std::string manifest_path(const std::string& cache_dir) {
 std::string shard_path(const std::string& cache_dir, std::size_t index) {
   char name[32];
   std::snprintf(name, sizeof(name), "shard-%04zu.bin", index);
+  return (std::filesystem::path{cache_dir} / name).string();
+}
+
+std::string shard_index_path(const std::string& cache_dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04zu.idx", index);
   return (std::filesystem::path{cache_dir} / name).string();
 }
 

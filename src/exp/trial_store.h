@@ -1,4 +1,5 @@
-// Persistent on-disk spill for the trial cache: the store-v2 sharded engine.
+// Persistent on-disk spill for the trial cache: the store-v2 sharded engine
+// with mmap'd zero-copy reads and per-shard sidecar indexes.
 //
 // exp::TrialCache deduplicates (config hash, x, seed) gossip trials within
 // one process; TrialStore extends that across processes. Version 1 was one
@@ -11,13 +12,35 @@
 //   - appends take an exclusive flock(2) on the shard file and re-read its
 //     committed-prefix header before writing, so concurrent writer
 //     processes interleave their records instead of clobbering each other;
-//   - offline compaction (tools/lotus_store) rewrites a shard dropping
-//     duplicate (key, x, seed) records left by concurrent writers.
+//   - compaction rewrites a shard to a temp file and atomically renames it
+//     into place under the shard flock, so it is safe to run online while
+//     writers and readers are active (tools/lotus_store compact --online).
+//
+// The read path is zero-copy: a Shard maps its committed prefix read-only
+// (Shard::Mapping) and records are decoded in place, so warm-start cost no
+// longer includes copying every shard record into fresh heap allocations.
+// Each shard carries a sidecar index file (shard-NNNN.idx) holding a bloom
+// filter over key hashes plus sorted (key hash -> record offset, count)
+// runs, written at flush/compact time under the same flock:
+//
+//   - a per-scope cold load touches only the byte ranges of the runs its
+//     key hash routes to, so its cost is independent of total store size;
+//   - a negative lookup is one bloom probe, no record bytes touched;
+//   - a valid index also lets the mapping validate the committed prefix by
+//     chaining the checksum over the *uncovered tail only*, so validation
+//     cost is O(records appended since the index was written), not O(shard).
+//
+// The index is advisory: a missing, stale, or corrupt index file never
+// loses data — readers fall back to a sequential scan of the shard, and
+// the next flush or compact rewrites the index (always via a temp file +
+// atomic rename, so readers see an old index or a new one, never a torn
+// one; a stale index is detected by its binding checksum and discarded).
 //
 // On-disk layout under --cache-dir:
 //
 //   manifest.bin     {manifest magic, format version, shard count, check}
 //   shard-0000.bin   {magic, version, count, checksum} + `count` records
+//   shard-0000.idx   sidecar index for shard 0 (see Shard::Mapping)
 //   ...
 //   store.lock       zero-byte flock target serialising open/migration
 //
@@ -27,6 +50,13 @@
 // discarded (cold start for that shard only, never poisoned results). A v1
 // flat log (trials.bin) found at open is migrated into shards, not
 // discarded.
+//
+// Because compaction replaces the shard *file* while writers may be blocked
+// on the old inode's flock, every locked open re-stats the path after
+// acquiring the lock and retries when the directory entry moved on — a
+// writer that raced a compaction appends to the compacted file, never to
+// the unlinked one, which is how concurrent compact + append unions
+// correctly.
 //
 // The store never throws and never fails a bench: any I/O error just turns
 // it off for the rest of the run. Values are the exact doubles the trials
@@ -80,8 +110,12 @@ class TrialStore {
   static constexpr std::uint64_t kLegacyFormatVersion = 1;
   // "LOTUSMAN": the manifest's magic word.
   static constexpr std::uint64_t kManifestMagic = 0x4c4f5455534d414eULL;
+  // "LOTUSIDX": the sidecar index's magic word.
+  static constexpr std::uint64_t kIndexMagic = 0x4c4f545553494458ULL;
+  static constexpr std::uint64_t kIndexVersion = 1;
   static constexpr std::size_t kHeaderBytes = 4 * sizeof(std::uint64_t);
   static constexpr std::size_t kRecordBytes = 4 * sizeof(std::uint64_t);
+  static constexpr std::size_t kIndexHeaderBytes = 7 * sizeof(std::uint64_t);
   static constexpr std::uint64_t kDefaultShards = 8;
   static constexpr std::uint64_t kMaxShards = 4096;
 
@@ -101,23 +135,136 @@ class TrialStore {
 
   /// One shard file: a reader/writer for the committed-prefix log format.
   /// Stateless beyond its path — every operation opens the file, takes the
-  /// appropriate flock, and works off the on-disk header, so any number of
-  /// processes can interleave safely.
+  /// appropriate flock (re-validating the inode, see file comment), and
+  /// works off the on-disk header, so any number of processes can
+  /// interleave safely, including with an online compaction.
   class Shard {
    public:
+    /// One maximal run of consecutive records sharing a key hash: records
+    /// [first, first + count) of the shard all have `key_hash`. The sidecar
+    /// index stores these sorted by (key_hash, first), so the byte ranges
+    /// for one trial space are found by binary search.
+    struct IndexRun {
+      std::uint64_t key_hash;
+      std::uint64_t first;
+      std::uint64_t count;
+      bool operator==(const IndexRun&) const = default;
+    };
+
+    /// The parsed sidecar index: bloom filter over key hashes plus sorted
+    /// runs, covering the first `covered_count` records of the shard (the
+    /// committed prefix at the time the index was written).
+    struct Index {
+      std::uint64_t covered_count = 0;
+      /// Shard chain checksum after `covered_count` records — binds the
+      /// index to one exact prefix; a reader re-chains the tail from here.
+      std::uint64_t covered_checksum = 0;
+      std::vector<std::uint64_t> bloom;  ///< power-of-two word count
+      std::vector<IndexRun> runs;        ///< sorted by (key_hash, first)
+
+      /// False means "definitely absent from the covered prefix".
+      [[nodiscard]] bool may_contain(std::uint64_t key_hash) const noexcept;
+      /// The sorted runs for `key_hash` (empty when absent).
+      [[nodiscard]] std::span<const IndexRun> runs_for(
+          std::uint64_t key_hash) const noexcept;
+    };
+
+    /// A read-only mmap of the shard's committed prefix, plus the sidecar
+    /// index when one binds to it. Records are decoded in place from the
+    /// mapped bytes — no heap copy of the shard. The mapping holds NO lock
+    /// (the shared flock is explicitly dropped before mmap, because a
+    /// mapping pins the open file description and would otherwise hold the
+    /// lock for its whole lifetime, starving writers) and stays valid
+    /// regardless of concurrent activity: committed record bytes are
+    /// append-only (compaction replaces the file, and the old inode's
+    /// pages live on until the mapping is dropped).
+    class Mapping {
+     public:
+      Mapping() = default;
+      ~Mapping();
+      Mapping(Mapping&& other) noexcept;
+      Mapping& operator=(Mapping&& other) noexcept;
+      Mapping(const Mapping&) = delete;
+      Mapping& operator=(const Mapping&) = delete;
+
+      /// What Shard::map found; kLoaded and kFresh mappings are usable.
+      [[nodiscard]] LoadStatus status() const noexcept { return status_; }
+      [[nodiscard]] bool usable() const noexcept {
+        return status_ == LoadStatus::kLoaded || status_ == LoadStatus::kFresh;
+      }
+      /// Committed records in the mapped prefix.
+      [[nodiscard]] std::size_t count() const noexcept { return count_; }
+      /// Decodes record `i` in place from the mapped bytes.
+      [[nodiscard]] Record record(std::size_t i) const noexcept;
+
+      /// Whether a sidecar index bound to this prefix (false: callers scan).
+      [[nodiscard]] bool has_index() const noexcept { return has_index_; }
+      [[nodiscard]] const Index& index() const noexcept { return index_; }
+      /// Records the index does not cover (appended after it was written);
+      /// an indexed lookup scans only these [covered, count) records.
+      [[nodiscard]] std::size_t uncovered() const noexcept {
+        return has_index_ ? count_ - static_cast<std::size_t>(
+                                         index_.covered_count)
+                          : count_;
+      }
+
+      /// Bloom probe plus tail scan: true when `key_hash` may have records
+      /// here. Without an index this is trivially true.
+      [[nodiscard]] bool may_contain(std::uint64_t key_hash) const noexcept;
+
+      /// Appends every record with `key_hash` to `out`, in shard order.
+      /// With an index: binary-searched runs plus the uncovered tail; the
+      /// records of other trial spaces are never touched. Without: full
+      /// scan. Returns the number appended.
+      std::size_t collect(std::uint64_t key_hash,
+                          std::vector<Record>& out) const;
+
+     private:
+      friend class Shard;
+      void reset() noexcept;
+
+      LoadStatus status_ = LoadStatus::kFresh;
+      void* base_ = nullptr;        ///< mmap base (nullptr: empty shard)
+      std::size_t map_bytes_ = 0;   ///< mapped length
+      std::size_t count_ = 0;
+      bool has_index_ = false;
+      Index index_;
+    };
+
     Shard() = default;
     explicit Shard(std::string path) : path_(std::move(path)) {}
 
     [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    /// The sidecar index path: `<shard stem>.idx` next to the shard file.
+    [[nodiscard]] std::string index_path() const;
 
-    /// Reads the committed prefix under a shared flock. An absent file is
-    /// kFresh (empty, valid); a corrupt or version-mismatched file yields an
-    /// empty `out` and the discard reason — the file itself is left alone
-    /// and repaired by the next append(). `expect_version` lets the
+    /// Maps the committed prefix read-only under a shared flock and
+    /// validates it (via the index's tail-only re-chain when the index
+    /// binds, else a full checksum pass over the mapped bytes — no heap
+    /// copy either way). An absent file maps as kFresh (empty, usable); a
+    /// corrupt or version-mismatched file yields an unusable mapping with
+    /// the discard reason. The flock is released before returning; see
+    /// Mapping for why that is safe.
+    [[nodiscard]] LoadStatus map(Mapping& out) const;
+
+    /// Reads the committed prefix into `out` under a shared flock — the
+    /// copying fallback (and the admin/test path). An absent file is
+    /// kFresh (empty, valid); a corrupt or version-mismatched file yields
+    /// an empty `out` and the discard reason — the file itself is left
+    /// alone and repaired by the next append(). `expect_version` lets the
     /// migration path read v1 logs with the same validation.
     [[nodiscard]] LoadStatus load(std::vector<Record>& out,
                                   std::uint64_t expect_version =
                                       kFormatVersion) const;
+
+    /// Reads and validates the sidecar index alone (no shard access): the
+    /// self-checksum must hold. Binding to the shard's current prefix is
+    /// the caller's job (verify tooling / Shard::map). std::nullopt when
+    /// the file is absent, unreadable, or fails its self-checksum;
+    /// `*corrupt` (when given) tells those apart: set true only when the
+    /// file exists but is invalid.
+    [[nodiscard]] std::optional<Index> read_index(
+        bool* corrupt = nullptr) const;
 
     /// Appends records after the current committed prefix under an
     /// exclusive flock. The header (count, checksum) is re-read inside the
@@ -125,6 +272,10 @@ class TrialStore {
     /// extended, not overwritten; a file whose header is unreadable or
     /// inconsistent is reset to an empty log first. Records are written
     /// before the header, so a crash leaves the previous prefix intact.
+    /// The sidecar index is then brought up to date under the same lock
+    /// (extended in place when it covered the old prefix, rebuilt from the
+    /// file otherwise) — best-effort: an index write failure never fails
+    /// the append.
     ///
     /// `heal` re-validates the full checksum chain inside the lock and
     /// resets the shard when it fails — the repair path for a shard whose
@@ -143,13 +294,15 @@ class TrialStore {
       std::size_t after = 0;
     };
 
-    /// Rewrites the shard in place, dropping duplicate (key, x, seed)
-    /// records (first occurrence wins — the same entry the cache would have
-    /// kept, so no lookup result changes). Holds the exclusive flock for
-    /// the whole rewrite; meant for offline administration
-    /// (tools/lotus_store), since a crash mid-rewrite leaves the shard to
-    /// be discarded cold on its next load. std::nullopt on I/O failure or
-    /// a corrupt shard.
+    /// Rewrites the shard dropping duplicate (key, x, seed) records (first
+    /// occurrence wins — the same entry the cache would have kept, so no
+    /// lookup result changes) and writes a fresh sidecar index. The
+    /// rewrite goes to a temp file that is atomically renamed over the
+    /// shard while the exclusive flock is held, so it is safe ONLINE:
+    /// readers keep serving the old inode, a concurrent writer blocked on
+    /// the flock re-validates the inode and appends to the compacted file,
+    /// and a crash mid-compact leaves the original shard untouched.
+    /// std::nullopt on I/O failure or a corrupt shard.
     [[nodiscard]] std::optional<CompactStats> compact() const;
 
    private:
@@ -198,10 +351,22 @@ class TrialStore {
     return shards_[i].shard;
   }
 
+  /// The zero-copy read path: maps the shard holding `key_hash` (first
+  /// call per shard) and appends exactly that key's records to `out`,
+  /// decoded in place via the sidecar index. Returns true when the indexed
+  /// path answered — including "definitely absent" after one bloom probe
+  /// (empty `out`) and an empty/fresh shard. Returns false when the shard
+  /// has no usable index (missing, stale, or corrupt sidecar) or could not
+  /// be mapped: the caller falls back to the sequential-scan load
+  /// (records_for / take_records_for).
+  [[nodiscard]] bool indexed_records_for(std::uint64_t key_hash,
+                                         std::vector<Record>& out);
+
   /// Lazily loads the shard holding `key_hash` (first call only) and
-  /// returns its committed records. Empty when the store is disabled or the
-  /// shard was discarded. Not thread-safe on its own: the cache calls it
-  /// under its lock (TrialCache::attach_store wiring).
+  /// returns its committed records — the copying fallback path. Empty when
+  /// the store is disabled or the shard was discarded. Not thread-safe on
+  /// its own: the cache calls it under its lock (TrialCache::attach_store
+  /// wiring).
   [[nodiscard]] const std::vector<Record>& records_for(std::uint64_t key_hash);
 
   /// Like records_for, but transfers ownership of the shard's records to
@@ -210,27 +375,35 @@ class TrialStore {
   /// once — in the cache map — instead of twice for the process lifetime.
   [[nodiscard]] std::vector<Record> take_records_for(std::uint64_t key_hash);
 
-  /// Load status of shard `i`; kFresh until records_for touches it.
+  /// Load status of shard `i`; kFresh until records_for / the indexed read
+  /// path touches it.
   [[nodiscard]] LoadStatus shard_status(std::size_t i) const noexcept {
     return shards_[i].status;
   }
   [[nodiscard]] bool shard_loaded(std::size_t i) const noexcept {
-    return shards_[i].load_attempted;
+    return shards_[i].load_attempted || shards_[i].map_attempted;
   }
 
-  /// Records read so far across the lazily loaded shards.
+  /// Records read so far across the lazily loaded shards (whole-shard
+  /// loads plus records decoded through the indexed path).
   [[nodiscard]] std::size_t loaded() const noexcept { return loaded_; }
   /// Records appended this session (pending plus already flushed).
   [[nodiscard]] std::size_t appended() const noexcept { return appended_; }
   /// Records carried over from a migrated v1 log (0 otherwise).
   [[nodiscard]] std::size_t migrated() const noexcept { return migrated_; }
+  /// Shards whose sidecar index was unusable and fell back to a scan.
+  [[nodiscard]] std::size_t index_fallbacks() const noexcept {
+    return index_fallbacks_;
+  }
 
   /// Queues a record for the next flush(). Not thread-safe on its own: the
   /// cache calls it under its lock (TrialCache::store).
   void append(const Record& record);
 
   /// Commits pending records shard by shard under each shard's exclusive
-  /// flock (see Shard::append). Disables the store on I/O failure.
+  /// flock (see Shard::append); each touched shard's sidecar index is
+  /// brought up to date under the same lock. Disables the store on I/O
+  /// failure.
   void flush();
 
   /// One-line "N loaded (k/N shards), M appended" summary fragment for
@@ -246,9 +419,15 @@ class TrialStore {
     bool taken = false;  ///< records moved out; records_for reloads on demand
     std::vector<Record> records;
     std::vector<Record> pending;
+    Shard::Mapping mapping;      ///< zero-copy view; set on first indexed read
+    bool map_attempted = false;
+    bool remap_needed = false;   ///< flushed since mapped: snapshot is stale
   };
 
   void disable() noexcept;
+  /// Maps shard `state` on first use; returns whether the mapping is
+  /// usable for indexed reads (index bound and prefix validated).
+  [[nodiscard]] bool ensure_mapped(ShardState& state);
 
   std::string dir_;
   LoadStatus status_ = LoadStatus::kDisabled;
@@ -257,12 +436,15 @@ class TrialStore {
   std::size_t appended_ = 0;
   std::size_t migrated_ = 0;
   std::size_t healed_ = 0;  ///< corrupt shards reset by a heal append
+  std::size_t index_fallbacks_ = 0;
 };
 
 /// The store's file locations inside a cache directory.
 [[nodiscard]] std::string manifest_path(const std::string& cache_dir);
 [[nodiscard]] std::string shard_path(const std::string& cache_dir,
                                      std::size_t index);
+[[nodiscard]] std::string shard_index_path(const std::string& cache_dir,
+                                           std::size_t index);
 [[nodiscard]] std::string store_lock_path(const std::string& cache_dir);
 /// Where the v1 flat log lived (the migration source).
 [[nodiscard]] std::string legacy_store_path(const std::string& cache_dir);

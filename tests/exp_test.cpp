@@ -882,6 +882,393 @@ TEST(TrialStore, CorruptShardFallsBackToAColdCacheRun) {
   }
 }
 
+// --- Sidecar index + mmap read path --------------------------------------
+
+TEST(TrialStore, FlushWritesAValidSidecarIndex) {
+  const auto dir = fresh_store_dir("idx_flush");
+  write_sample_store(dir);
+  // Shard 1 (both 0x1111 records) got an index bound to its prefix.
+  const exp::TrialStore::Shard shard{shard_file_for(dir, 0x1111)};
+  bool corrupt = true;
+  const auto index = shard.read_index(&corrupt);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_FALSE(corrupt);
+  EXPECT_EQ(index->covered_count, 2u);
+  EXPECT_TRUE(index->may_contain(0x1111));
+  ASSERT_EQ(index->runs_for(0x1111).size(), 1u);
+  EXPECT_EQ(index->runs_for(0x1111)[0],
+            (exp::TrialStore::Shard::IndexRun{0x1111, 0, 2}));
+  EXPECT_TRUE(index->runs_for(0x9999).empty());
+}
+
+TEST(TrialStore, MappedShardDecodesRecordsInPlace) {
+  const auto dir = fresh_store_dir("idx_map");
+  write_sample_store(dir);
+  const exp::TrialStore::Shard shard{shard_file_for(dir, 0x1111)};
+  exp::TrialStore::Shard::Mapping mapping;
+  ASSERT_EQ(shard.map(mapping), exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_TRUE(mapping.usable());
+  EXPECT_TRUE(mapping.has_index());
+  ASSERT_EQ(mapping.count(), 2u);
+  EXPECT_EQ(mapping.record(0), kSampleRecords[0]);
+  EXPECT_EQ(mapping.record(1), kSampleRecords[1]);
+  EXPECT_EQ(mapping.uncovered(), 0u);
+  EXPECT_TRUE(mapping.may_contain(0x1111));
+
+  std::vector<exp::TrialStore::Record> out;
+  EXPECT_EQ(mapping.collect(0x1111, out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], kSampleRecords[0]);
+  EXPECT_EQ(out[1], kSampleRecords[1]);
+  out.clear();
+  EXPECT_EQ(mapping.collect(0x9999, out), 0u);  // negative: bloom probe
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TrialStore, IndexedLookupServesOnlyTheRequestedTrialSpace) {
+  const auto dir = fresh_store_dir("idx_lookup");
+  write_sample_store(dir);
+  exp::TrialStore store{dir, kTestShards};
+  std::vector<exp::TrialStore::Record> out;
+  ASSERT_TRUE(store.indexed_records_for(0x1111, out));
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(store.loaded(), 2u);
+  EXPECT_TRUE(store.shard_loaded(1));
+  EXPECT_FALSE(store.shard_loaded(2));
+  // A key the store never saw is one bloom probe, not a scan.
+  std::vector<exp::TrialStore::Record> none;
+  // 0x5555 % 4 == 1: routes to the mapped shard but holds no records.
+  ASSERT_TRUE(store.indexed_records_for(0x5555, none));
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(store.loaded(), 2u);
+  EXPECT_EQ(store.index_fallbacks(), 0u);
+}
+
+// The property the index must never break: for every key hash (present or
+// absent), the indexed lookup returns exactly the records a sequential
+// scan finds, in the same order.
+TEST(TrialStore, IndexedAndScanLookupsReturnIdenticalTrials) {
+  const auto dir = fresh_store_dir("idx_property");
+  sim::Rng rng{2008};
+  std::vector<exp::TrialStore::Record> written;
+  {
+    exp::TrialStore store{dir, kTestShards};
+    // Interleaved keys across several flushes, so shards hold multiple
+    // runs per key and the incremental index extension is exercised.
+    for (int flush = 0; flush < 4; ++flush) {
+      for (int i = 0; i < 64; ++i) {
+        const std::uint64_t key = rng.next_below(13);  // all 4 shards
+        const exp::TrialStore::Record record{
+            key, std::bit_cast<std::uint64_t>(rng.next_double()),
+            rng.next_below(1000), rng.next_double()};
+        store.append(record);
+        written.push_back(record);
+      }
+      store.flush();
+    }
+  }
+
+  exp::TrialStore indexed{dir, kTestShards};
+  exp::TrialStore scanned{dir, kTestShards};
+  for (std::uint64_t key = 0; key < 20; ++key) {  // 13..19 are absent
+    std::vector<exp::TrialStore::Record> via_index;
+    ASSERT_TRUE(indexed.indexed_records_for(key, via_index))
+        << "no usable index for key " << key;
+    std::vector<exp::TrialStore::Record> via_scan;
+    for (const auto& record : scanned.records_for(key)) {
+      if (record.key_hash == key) via_scan.push_back(record);
+    }
+    EXPECT_EQ(via_index, via_scan) << "key " << key;
+    if (key >= 13) {
+      EXPECT_TRUE(via_index.empty());
+    }
+  }
+  EXPECT_EQ(indexed.index_fallbacks(), 0u);
+}
+
+TEST(TrialStore, MissingIndexFallsBackToSequentialScan) {
+  const auto dir = fresh_store_dir("idx_missing");
+  write_sample_store(dir);
+  std::filesystem::remove(
+      exp::TrialStore::Shard{shard_file_for(dir, 0x1111)}.index_path());
+
+  exp::TrialStore store{dir, kTestShards};
+  std::vector<exp::TrialStore::Record> out;
+  EXPECT_FALSE(store.indexed_records_for(0x1111, out));  // no index: scan
+  EXPECT_EQ(store.index_fallbacks(), 1u);
+  EXPECT_NE(store.summary().find("scanned without index"), std::string::npos);
+
+  // The cache still serves every trial through the scan fallback.
+  exp::TrialCache cache;
+  cache.attach_store(store);
+  double value = 0.0;
+  EXPECT_TRUE(cache.lookup(0x1111, 0.25, 7, value));
+  EXPECT_EQ(value, 0.125);
+  EXPECT_TRUE(cache.lookup(0x1111, 0.5, 8, value));
+  EXPECT_EQ(value, -3.75);
+  EXPECT_EQ(cache.disk_hits(), 2u);
+}
+
+TEST(TrialStore, CorruptIndexFallsBackAndServesIdenticalTrials) {
+  const auto dir = fresh_store_dir("idx_corrupt");
+  write_sample_store(dir);
+  const exp::TrialStore::Shard shard{shard_file_for(dir, 0x1111)};
+  // Flip a byte inside the bloom filter: the self-checksum must catch it.
+  const std::uint8_t junk = 0xa5;
+  patch_file(shard.index_path(),
+             static_cast<std::streamoff>(exp::TrialStore::kIndexHeaderBytes +
+                                         1),
+             &junk, 1);
+  bool corrupt = false;
+  EXPECT_FALSE(shard.read_index(&corrupt).has_value());
+  EXPECT_TRUE(corrupt);
+
+  // The mapping still validates the shard (full checksum pass) and the
+  // cache serves the same trials through the scan fallback.
+  exp::TrialStore store{dir, kTestShards};
+  std::vector<exp::TrialStore::Record> out;
+  EXPECT_FALSE(store.indexed_records_for(0x1111, out));
+  exp::TrialCache cache;
+  cache.attach_store(store);
+  double value = 0.0;
+  EXPECT_TRUE(cache.lookup(0x1111, 0.25, 7, value));
+  EXPECT_EQ(value, 0.125);
+}
+
+TEST(TrialStore, StaleTailIndexStillServesRecordsAppendedAfterIt) {
+  // A writer can die between committing records and refreshing the index
+  // (the index write is best-effort). The stale index still covers a valid
+  // prefix, so the mapping binds it and scans only the uncovered tail.
+  const auto dir = fresh_store_dir("idx_tail");
+  write_sample_store(dir);
+  const exp::TrialStore::Shard shard{shard_file_for(dir, 0x1111)};
+  // Preserve the index as written, then append behind its back.
+  const std::string saved = shard.index_path() + ".saved";
+  std::filesystem::copy_file(shard.index_path(), saved);
+  {
+    exp::TrialStore store{dir, kTestShards};
+    store.append({0x1111, std::bit_cast<std::uint64_t>(0.75), 11, 4.5});
+    store.append({0x5555, std::bit_cast<std::uint64_t>(0.1), 12, 5.5});
+    store.flush();
+  }
+  std::filesystem::rename(saved, shard.index_path());  // stale again
+
+  exp::TrialStore store{dir, kTestShards};
+  std::vector<exp::TrialStore::Record> out;
+  ASSERT_TRUE(store.indexed_records_for(0x1111, out));  // tail-bound index
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].seed, 11u);
+  std::vector<exp::TrialStore::Record> other;
+  ASSERT_TRUE(store.indexed_records_for(0x5555, other));
+  ASSERT_EQ(other.size(), 1u);  // tail-only key, absent from the bloom
+  EXPECT_EQ(other[0].seed, 12u);
+}
+
+TEST(TrialStore, IndexCoveringMoreThanTheShardIsRejected) {
+  // The reverse staleness: the shard shrank under the index (a foreign
+  // compact replaced it while our copy of the index survived). covered >
+  // count can never bind; the reader must scan, not trust it.
+  const auto dir = fresh_store_dir("idx_shrunk");
+  const exp::TrialStore::Record dup{
+      0x1111, std::bit_cast<std::uint64_t>(0.25), 7, 0.125};
+  {
+    exp::TrialStore a{dir, kTestShards};
+    a.append(dup);
+    a.flush();
+  }
+  {
+    exp::TrialStore b{dir, kTestShards};  // separate handle: re-appends
+    b.append(dup);
+    b.append({0x1111, std::bit_cast<std::uint64_t>(0.5), 8, 1.5});
+    b.flush();
+  }
+  const exp::TrialStore::Shard shard{shard_file_for(dir, 0x1111)};
+  const std::string saved = shard.index_path() + ".saved";
+  std::filesystem::copy_file(shard.index_path(), saved);  // covers 3
+  ASSERT_TRUE(shard.compact().has_value());               // dedupe: 3 -> 2
+  std::filesystem::rename(saved, shard.index_path());     // stale: covers 3
+
+  exp::TrialStore store{dir, kTestShards};
+  std::vector<exp::TrialStore::Record> out;
+  EXPECT_FALSE(store.indexed_records_for(0x1111, out));  // scan fallback
+  const auto& records = store.records_for(0x1111);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], dup);
+}
+
+TEST(TrialStore, TornAppendRecoversCommittedPrefixUnderMmap) {
+  const auto dir = fresh_store_dir("idx_torn");
+  write_sample_store(dir);
+  {
+    std::ofstream tail{shard_file_for(dir, 0x1111),
+                       std::ios::binary | std::ios::app};
+    tail.write("torn-append-garbage", 19);
+  }
+  exp::TrialStore store{dir, kTestShards};
+  std::vector<exp::TrialStore::Record> out;
+  ASSERT_TRUE(store.indexed_records_for(0x1111, out));  // mmap + index path
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], kSampleRecords[0]);
+  EXPECT_EQ(out[1], kSampleRecords[1]);
+  EXPECT_EQ(store.shard_status(1), exp::TrialStore::LoadStatus::kLoaded);
+}
+
+TEST(TrialStore, CompactRewritesViaRenameAndRebuildsTheIndex) {
+  const auto dir = fresh_store_dir("idx_compact");
+  const exp::TrialStore::Record original{
+      0x1111, std::bit_cast<std::uint64_t>(0.25), 7, 0.125};
+  {
+    exp::TrialStore a{dir, kTestShards};
+    a.append(original);
+    a.flush();
+  }
+  {
+    exp::TrialStore b{dir, kTestShards};
+    b.append(original);  // second handle: duplicates on disk
+    b.flush();
+  }
+  // A reader holding the pre-compact mapping keeps serving the old inode
+  // even after the rename — the online-compaction contract.
+  const exp::TrialStore::Shard shard{shard_file_for(dir, 0x1111)};
+  exp::TrialStore::Shard::Mapping before;
+  ASSERT_EQ(shard.map(before), exp::TrialStore::LoadStatus::kLoaded);
+  ASSERT_EQ(before.count(), 2u);
+
+  const auto stats = shard.compact();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->before, 2u);
+  EXPECT_EQ(stats->after, 1u);
+  EXPECT_EQ(before.count(), 2u);  // old mapping still readable
+  EXPECT_EQ(before.record(0), original);
+
+  bool corrupt = false;
+  const auto index = shard.read_index(&corrupt);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_FALSE(corrupt);
+  EXPECT_EQ(index->covered_count, 1u);
+  exp::TrialStore::Shard::Mapping after;
+  ASSERT_EQ(shard.map(after), exp::TrialStore::LoadStatus::kLoaded);
+  EXPECT_TRUE(after.has_index());
+  ASSERT_EQ(after.count(), 1u);
+  EXPECT_EQ(after.record(0), original);
+}
+
+#ifdef __unix__
+TEST(TrialStore, OnlineCompactConcurrentWithWriterLosesNoRecords) {
+  // The compact --online contract: one process appends and flushes while
+  // another repeatedly compacts every shard (temp file + atomic rename
+  // under the shard flock). Every record the writer committed must be
+  // present afterwards — the append path re-validates the inode after
+  // acquiring the flock, so a writer that raced a rename retries on the
+  // compacted file instead of appending to the unlinked one.
+  const auto dir = fresh_store_dir("compact_race");
+  constexpr int kWriterRecords = 160;
+  // Seed duplicates so compaction always has real work to do.
+  {
+    const exp::TrialStore::Record dup{
+        3, std::bit_cast<std::uint64_t>(0.5), 1, 1.0};
+    exp::TrialStore a{dir, kTestShards};
+    exp::TrialStore b{dir, kTestShards};
+    a.append(dup);
+    b.append(dup);
+  }
+
+  const pid_t writer = fork();
+  ASSERT_GE(writer, 0);
+  if (writer == 0) {
+    exp::TrialStore store{dir, kTestShards};
+    if (!store.enabled()) _exit(3);
+    for (int i = 0; i < kWriterRecords; ++i) {
+      store.append({static_cast<std::uint64_t>(i),
+                    std::bit_cast<std::uint64_t>(static_cast<double>(i)),
+                    7777, static_cast<double>(i)});
+      if (i % 5 == 0) store.flush();
+    }
+    store.flush();
+    _exit(store.enabled() ? 0 : 4);
+  }
+  const pid_t compactor = fork();
+  ASSERT_GE(compactor, 0);
+  if (compactor == 0) {
+    for (int round = 0; round < 40; ++round) {
+      for (std::uint64_t s = 0; s < kTestShards; ++s) {
+        const exp::TrialStore::Shard shard{
+            exp::shard_path(dir, static_cast<std::size_t>(s))};
+        if (!shard.compact().has_value()) _exit(5);
+      }
+    }
+    _exit(0);
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(writer, &status, 0), writer);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "writer exit status " << status;
+  ASSERT_EQ(waitpid(compactor, &status, 0), compactor);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "compactor exit status " << status;
+
+  const auto all = load_all_records(dir);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (const auto& record : all) seen.insert({record.key_hash, record.seed});
+  for (int i = 0; i < kWriterRecords; ++i) {
+    EXPECT_TRUE(seen.contains({static_cast<std::uint64_t>(i), 7777u}))
+        << "record " << i << " was lost to the concurrent compaction";
+  }
+  // And a final quiesced compact leaves every shard + index fully valid.
+  for (std::uint64_t s = 0; s < kTestShards; ++s) {
+    const exp::TrialStore::Shard shard{
+        exp::shard_path(dir, static_cast<std::size_t>(s))};
+    ASSERT_TRUE(shard.compact().has_value());
+    exp::TrialStore::Shard::Mapping mapping;
+    const auto mapped = shard.map(mapping);
+    EXPECT_TRUE(mapped == exp::TrialStore::LoadStatus::kLoaded ||
+                mapped == exp::TrialStore::LoadStatus::kFresh);
+    if (mapping.count() > 0) {
+      EXPECT_TRUE(mapping.has_index());
+    }
+  }
+}
+#endif  // __unix__
+
+TEST(TrialStore, ClearedCacheRepopulatesRecordsFlushedAfterTheFirstMap) {
+  // The mapping is a snapshot; records this process flushes after mapping
+  // a shard must still be visible when the cache is cleared and
+  // repopulates from the store (flush marks the shard for remap).
+  const auto dir = fresh_store_dir("idx_remap");
+  write_sample_store(dir);
+  exp::TrialStore store{dir, kTestShards};
+  exp::TrialCache cache;
+  cache.attach_store(store);
+  double value = 0.0;
+  EXPECT_TRUE(cache.lookup(0x1111, 0.25, 7, value));  // maps shard 1
+  cache.store(0x1111, 0.9, 21, 6.25);                 // fresh trial
+  store.flush();                                      // now on disk
+  cache.clear();
+  EXPECT_TRUE(cache.lookup(0x1111, 0.9, 21, value));  // served from disk
+  EXPECT_EQ(value, 6.25);
+  EXPECT_EQ(cache.disk_hits(), 1u);
+}
+
+TEST(TrialCache, ReattachingAStoreForgetsOldMergeDecisions) {
+  // A key probed (and found absent) against one store must be re-merged
+  // when a different store is attached, or its records there never load.
+  const auto dir_a = fresh_store_dir("reattach_a");
+  const auto dir_b = fresh_store_dir("reattach_b");
+  exp::TrialStore empty{dir_a, kTestShards};
+  exp::TrialStore full{dir_b, kTestShards};
+  full.append({0x1111, std::bit_cast<std::uint64_t>(0.25), 7, 2.5});
+  full.flush();
+
+  exp::TrialCache cache;
+  cache.attach_store(empty);
+  double value = 0.0;
+  EXPECT_FALSE(cache.lookup(0x1111, 0.25, 7, value));  // merged: nothing
+  cache.attach_store(full);
+  EXPECT_TRUE(cache.lookup(0x1111, 0.25, 7, value));
+  EXPECT_EQ(value, 2.5);
+}
+
 TEST(TrialStore, DisabledStoreIsANoOp) {
   exp::TrialStore store;
   EXPECT_FALSE(store.enabled());

@@ -5,20 +5,32 @@
 // (see src/exp/trial_store.h for the format). This tool is the offline side
 // of that design:
 //
-//   stats    per-shard record counts, file bytes, and duplicate tallies
-//   verify   validate the manifest and every shard's committed-prefix
-//            checksum; exits 1 on any corruption (CI runs this on the
-//            uploaded cache artifact)
+//   stats    per-shard record counts, file bytes, duplicate tallies, and
+//            sidecar index health
+//   verify   validate the manifest, every shard's committed-prefix
+//            checksum, and every sidecar index (self-checksum, binding to
+//            the shard prefix, bloom membership of every covered record,
+//            and offset-run coverage); exits 1 on any corruption (CI runs
+//            this on the uploaded cache artifact)
 //   compact  rewrite each shard dropping duplicate (key, x, seed) records
 //            left by concurrent writers — first occurrence wins, so no
-//            lookup result changes
+//            lookup result changes — and rebuild its sidecar index. Each
+//            shard is rewritten to a temp file and atomically renamed
+//            under the shard's exclusive flock, so a crash mid-compaction
+//            leaves the original shard intact. By default the store's
+//            directory lock is held too, serialising against store opens
+//            and migrations; --online skips it, letting compaction run
+//            concurrently with live sweeps (writers blocked on a shard's
+//            flock re-validate the inode and append to the compacted
+//            file, so no committed record is ever lost).
 //   migrate  convert a v1 flat log (trials.bin) into v2 shards; the
 //            records serve the same hits afterwards
-//
-// compact and migrate take the same locks the writers do, but are meant to
-// run while no sweep is active: a crash mid-compaction leaves that shard to
-// be discarded cold on its next load.
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
@@ -40,22 +52,28 @@ constexpr std::string_view kUsage =
     "Administer the sharded on-disk trial store under a cache directory.\n"
     "\n"
     "subcommands:\n"
-    "  stats      per-shard record counts, bytes, and duplicate tallies\n"
-    "  verify     validate the manifest and every shard checksum\n"
-    "             (exit 1 on any corruption or version mismatch)\n"
+    "  stats      per-shard record counts, bytes, duplicate tallies, and\n"
+    "             sidecar index health\n"
+    "  verify     validate the manifest, every shard checksum, and every\n"
+    "             sidecar index (exit 1 on any corruption or mismatch)\n"
     "  compact    rewrite shards dropping duplicate (key, x, seed) records\n"
+    "             and rebuild their sidecar indexes (atomic rename per\n"
+    "             shard); --online runs concurrently with live sweeps\n"
     "  migrate    convert a v1 flat log (trials.bin) into v2 shards\n"
     "\n"
     "options:\n"
     "  --cache-dir DIR   store directory (default .lotus-cache)\n"
     "  --store-shards N  shard count when migrate creates a fresh store\n"
     "                    (default 8; an existing manifest wins)\n"
+    "  --online          compact only: skip the store directory lock so\n"
+    "                    compaction interleaves safely with running sweeps\n"
     "  --help            show this message\n";
 
 struct Args {
   std::string command;
   std::string cache_dir = ".lotus-cache";
   std::uint64_t store_shards = 0;
+  bool online = false;
 };
 
 int usage_error(const std::string& message) {
@@ -86,6 +104,14 @@ std::optional<Args> parse_args(int argc, char** argv, int& exit_code) {
       std::cout << kUsage;
       exit_code = 0;
       return std::nullopt;
+    }
+    if (arg == "--online") {
+      if (args.command != "compact") {
+        exit_code = usage_error("--online only applies to compact");
+        return std::nullopt;
+      }
+      args.online = true;
+      continue;
     }
     if (arg == "--cache-dir" || arg == "--store-shards") {
       if (i + 1 >= argc) {
@@ -177,6 +203,28 @@ std::optional<std::uint64_t> require_manifest(const Args& args) {
   return std::nullopt;
 }
 
+/// One-word sidecar-index health for stats output.
+const char* index_health(const TrialStore::Shard& shard,
+                         const std::vector<TrialStore::Record>& records) {
+  bool corrupt = false;
+  const auto index = shard.read_index(&corrupt);
+  if (corrupt) return "CORRUPT-INDEX";
+  if (!index) {
+    // Absent shards legitimately have no index; a populated shard without
+    // one still serves, via the sequential-scan fallback.
+    return records.empty() ? "no-index" : "NO-INDEX(scan)";
+  }
+  if (index->covered_count > records.size()) return "STALE-INDEX";
+  std::uint64_t chain = 0;
+  for (std::uint64_t i = 0; i < index->covered_count; ++i) {
+    chain = TrialStore::chain_checksum(chain,
+                                       records[static_cast<std::size_t>(i)]);
+  }
+  if (chain != index->covered_checksum) return "STALE-INDEX";
+  if (index->covered_count < records.size()) return "indexed(tail)";
+  return "indexed";
+}
+
 int run_stats(const Args& args) {
   const auto shards = require_manifest(args);
   if (!shards) return 1;
@@ -197,7 +245,8 @@ int run_stats(const Args& args) {
     total_bytes += bytes;
     std::cout << "  shard " << i << ": " << records.size() << " records, "
               << bytes << " bytes, " << duplicates << " duplicates ["
-              << status_name(status) << "]\n";
+              << status_name(status) << ", "
+              << index_health(shard, records) << "]\n";
   }
   std::cout << "total: " << total_records << " records, " << total_bytes
             << " bytes, " << total_duplicates << " duplicates";
@@ -206,11 +255,79 @@ int run_stats(const Args& args) {
   return 0;
 }
 
+/// Deep sidecar-index validation against the shard's loaded records:
+/// binding checksum, bloom membership of every covered record, and the
+/// run list locating every covered record under its own key. (Structural
+/// checks — self-checksum, sortedness, exact [0, covered) tiling — already
+/// ran inside read_index.) Returns false (with a diagnostic on stdout)
+/// when the index exists but lies; a *missing* index is legal (readers
+/// fall back to a sequential scan) and only noted. `indexed` reports
+/// whether a valid index was found, so the caller need not re-read it.
+bool verify_index(std::uint64_t shard_no, const TrialStore::Shard& shard,
+                  const std::vector<TrialStore::Record>& records,
+                  bool& indexed) {
+  indexed = false;
+  bool corrupt = false;
+  const auto index = shard.read_index(&corrupt);
+  if (corrupt) {
+    std::cout << "shard " << shard_no
+              << ": CORRUPT-INDEX (self-checksum or structure)\n";
+    return false;
+  }
+  if (!index) {
+    if (!records.empty()) {
+      std::cout << "shard " << shard_no
+                << ": note: no sidecar index (reads fall back to a "
+                   "sequential scan; compact rebuilds it)\n";
+    }
+    return true;
+  }
+  indexed = true;
+  if (index->covered_count > records.size()) {
+    std::cout << "shard " << shard_no << ": STALE-INDEX (covers "
+              << index->covered_count << " of " << records.size()
+              << " records)\n";
+    return false;
+  }
+  std::uint64_t chain = 0;
+  for (std::uint64_t i = 0; i < index->covered_count; ++i) {
+    chain = TrialStore::chain_checksum(chain,
+                                       records[static_cast<std::size_t>(i)]);
+  }
+  if (chain != index->covered_checksum) {
+    std::cout << "shard " << shard_no
+              << ": STALE-INDEX (binding checksum mismatch)\n";
+    return false;
+  }
+  for (std::uint64_t i = 0; i < index->covered_count; ++i) {
+    const auto& record = records[static_cast<std::size_t>(i)];
+    if (!index->may_contain(record.key_hash)) {
+      std::cout << "shard " << shard_no << ": BAD-INDEX (record " << i
+                << " key not in bloom filter)\n";
+      return false;
+    }
+    bool located = false;
+    for (const auto& run : index->runs_for(record.key_hash)) {
+      if (i >= run.first && i < run.first + run.count) {
+        located = true;
+        break;
+      }
+    }
+    if (!located) {
+      std::cout << "shard " << shard_no << ": BAD-INDEX (record " << i
+                << " not covered by its key's offset runs)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 int run_verify(const Args& args) {
   const auto shards = require_manifest(args);
   if (!shards) return 1;
   std::size_t bad = 0;
   std::size_t total_records = 0;
+  std::size_t indexed = 0;
   for (std::uint64_t i = 0; i < *shards; ++i) {
     const TrialStore::Shard shard{lotus::exp::shard_path(
         args.cache_dir, static_cast<std::size_t>(i))};
@@ -221,20 +338,68 @@ int run_verify(const Args& args) {
         status != TrialStore::LoadStatus::kFresh) {
       ++bad;
       std::cout << "shard " << i << ": " << status_name(status) << "\n";
+      continue;
     }
+    bool shard_indexed = false;
+    if (!verify_index(i, shard, records, shard_indexed)) {
+      ++bad;
+      continue;
+    }
+    if (shard_indexed) ++indexed;
   }
   if (bad > 0) {
-    std::cout << "FAIL: " << bad << "/" << *shards << " shards invalid\n";
+    std::cout << "FAIL: " << bad << "/" << *shards
+              << " shards or indexes invalid\n";
     return 1;
   }
-  std::cout << "OK: " << *shards << " shards, " << total_records
-            << " records, every committed prefix verified\n";
+  std::cout << "OK: " << *shards << " shards (" << indexed << " indexed), "
+            << total_records
+            << " records, every committed prefix and index verified\n";
   return 0;
 }
+
+/// Exclusive flock on the store's directory lock for the default (offline)
+/// compact: serialises against store opens/migrations so compaction sees a
+/// quiesced directory. --online skips this and relies on the per-shard
+/// flocks plus atomic renames alone.
+class DirectoryLock {
+ public:
+  explicit DirectoryLock(const std::string& cache_dir) {
+    const std::string path = lotus::exp::store_lock_path(cache_dir);
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    while (::flock(fd_, LOCK_EX) != 0) {
+      if (errno != EINTR) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+      }
+    }
+  }
+  ~DirectoryLock() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  DirectoryLock(const DirectoryLock&) = delete;
+  DirectoryLock& operator=(const DirectoryLock&) = delete;
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
 
 int run_compact(const Args& args) {
   const auto shards = require_manifest(args);
   if (!shards) return 1;
+  std::optional<DirectoryLock> dir_lock;
+  if (!args.online) {
+    dir_lock.emplace(args.cache_dir);
+    if (!dir_lock->ok()) {
+      std::cerr << "lotus_store: cannot take the store directory lock in "
+                << args.cache_dir << " (retry with --online to compact "
+                << "without it)\n";
+      return 1;
+    }
+  }
   std::size_t dropped = 0;
   std::size_t failed = 0;
   for (std::uint64_t i = 0; i < *shards; ++i) {
@@ -254,7 +419,8 @@ int run_compact(const Args& args) {
       dropped += stats->before - stats->after;
     }
   }
-  std::cout << "compacted: " << dropped << " duplicate records dropped\n";
+  std::cout << "compacted" << (args.online ? " (online)" : "") << ": "
+            << dropped << " duplicate records dropped\n";
   return failed == 0 ? 0 : 1;
 }
 

@@ -38,6 +38,7 @@ int run_fig1_attacks(const exp::Cli& cli, exp::CsvSink& sink,
                      exp::TrialCache& cache) {
   gossip::GossipConfig config;  // Table 1 defaults
   config.seed = cli.seed();
+  cli.apply_scale(config);  // --nodes/--rounds scale sweeps
 
   core::CriticalQuery query;
   query.config = config;

@@ -31,6 +31,7 @@ int run_fig2_pushsize(const exp::Cli& cli, exp::CsvSink& sink,
   gossip::GossipConfig config;  // Table 1 ...
   config.push_size = 10;        // ... with the Figure 2 change
   config.seed = cli.seed();
+  cli.apply_scale(config);  // --nodes/--rounds scale sweeps
 
   core::CriticalQuery query;
   query.config = config;

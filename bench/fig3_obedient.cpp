@@ -56,6 +56,7 @@ int run_fig3_obedient(const exp::Cli& cli, exp::CsvSink& sink,
     config.push_size = variant.push_size;
     config.unbalanced_exchange = variant.unbalanced;
     config.seed = cli.seed();
+    cli.apply_scale(config);  // --nodes/--rounds scale sweeps
     usability_threshold = config.usability_threshold;
     core::CriticalQuery query;
     query.config = config;

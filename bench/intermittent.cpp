@@ -29,6 +29,7 @@ int run_intermittent(const exp::Cli& cli, exp::CsvSink& sink,
   // every node should live through several isolated stretches.
   config.rounds = 360;
   config.seed = cli.seed();
+  cli.apply_scale(config);  // --nodes/--rounds scale sweeps
 
   std::cout << "=== Extension: intermittent satiation hurts everyone (§1) ===\n"
             << "ideal lotus-eater at 10% control, satiating 70% of nodes\n\n";

@@ -222,6 +222,41 @@ void BM_GossipFullRun(benchmark::State& state) {
 }
 BENCHMARK(BM_GossipFullRun)->Unit(benchmark::kMillisecond);
 
+void BM_GossipScale(benchmark::State& state) {
+  // The windowed-engine scale story: 1000 rounds of the critical ideal
+  // lotus-eater attack at growing node counts. rounds_per_sec is the
+  // throughput headline; bytes_per_node demonstrates that state is
+  // O(active window), independent of the horizon. The checked-in baseline
+  // lives in bench/BENCH_scale.json (see README "Engine architecture").
+  gossip::GossipConfig config;  // Table 1 protocol parameters
+  config.nodes = static_cast<std::uint32_t>(state.range(0));
+  config.rounds = 1000;
+  config.warmup_rounds = 10;
+  config.seed = 2008;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kIdealLotus;
+  plan.attacker_fraction = 0.2;
+  std::size_t state_bytes = 0;
+  for (auto _ : state) {
+    gossip::GossipEngine engine{config, plan};
+    benchmark::DoNotOptimize(engine.run());
+    state_bytes = engine.state_bytes();
+  }
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(config.rounds) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["bytes_per_node"] =
+      static_cast<double>(state_bytes) / static_cast<double>(config.nodes);
+}
+BENCHMARK(BM_GossipScale)
+    ->ArgName("nodes")
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -28,6 +28,7 @@ int run_obedience_report(const exp::Cli& cli, exp::CsvSink& sink,
   config.reporting_enabled = true;
   config.service_limit = 25;
   config.seed = cli.seed();
+  cli.apply_scale(config);  // --nodes/--rounds scale sweeps
 
   gossip::AttackPlan plan;
   plan.kind = gossip::AttackKind::kTradeLotus;

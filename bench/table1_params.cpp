@@ -23,6 +23,7 @@ int run_table1_params(const exp::Cli& cli, exp::CsvSink& sink,
                       exp::TrialCache& /*cache*/) {
   gossip::GossipConfig config;  // defaults are Table 1
   config.seed = cli.seed();
+  cli.apply_scale(config);  // --nodes/--rounds scale sweeps
 
   std::cout << "=== Table 1: Simulation Parameters ===\n";
   sim::Table table{{"Parameter", "Value"}};

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string_view>
 #include <utility>
@@ -82,7 +83,8 @@ ParseStatus Cli::parse(int argc, const char* const* argv) {
       continue;
     }
     if (arg == "--points" || arg == "--seeds" || arg == "--seed" ||
-        arg == "--threads" || arg == "--store-shards") {
+        arg == "--threads" || arg == "--store-shards" || arg == "--nodes" ||
+        arg == "--rounds") {
       std::string_view text;
       if (!value_of(i, text)) {
         return fail("missing value for " + std::string{arg});
@@ -98,6 +100,16 @@ ParseStatus Cli::parse(int argc, const char* const* argv) {
       if (arg == "--store-shards" && value == 0) {
         return fail("--store-shards must be >= 1");
       }
+      if (arg == "--nodes" && value < 2) {
+        return fail("--nodes must be >= 2");
+      }
+      if (arg == "--rounds" && value == 0) {
+        return fail("--rounds must be >= 1");
+      }
+      if ((arg == "--nodes" || arg == "--rounds") &&
+          value > std::numeric_limits<std::uint32_t>::max()) {
+        return fail(std::string{arg} + " does not fit in 32 bits");
+      }
       if (arg == "--points") {
         points_ = static_cast<std::size_t>(value);
         explicit_points_ = true;
@@ -109,6 +121,10 @@ ParseStatus Cli::parse(int argc, const char* const* argv) {
         explicit_seed_ = true;
       } else if (arg == "--store-shards") {
         store_shards_ = value;
+      } else if (arg == "--nodes") {
+        nodes_ = static_cast<std::uint32_t>(value);
+      } else if (arg == "--rounds") {
+        rounds_ = static_cast<std::uint32_t>(value);
       } else {
         threads_ = static_cast<std::size_t>(value);
       }
@@ -203,6 +219,10 @@ std::string Cli::usage() const {
   lines.emplace_back(
       "--threads N",
       "sweep worker threads (default 0 = LOTUS_SWEEP_THREADS or hardware)");
+  lines.emplace_back("--nodes N",
+                     "override gossip node count (default: bench scenario)");
+  lines.emplace_back("--rounds N",
+                     "override gossip round horizon (default: bench scenario)");
   lines.emplace_back("--csv PATH", "mirror every printed table into PATH as CSV");
   lines.emplace_back("--cache-dir DIR",
                      "on-disk trial store directory (default .lotus-cache)");

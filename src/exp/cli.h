@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "gossip/config.h"
+
 namespace lotus::exp {
 
 /// Per-bench defaults for the shared flags.
@@ -92,6 +94,18 @@ class Cli {
   }
   /// True after --quiet-cache: no cache/store stats on stderr.
   [[nodiscard]] bool quiet_cache() const noexcept { return quiet_cache_; }
+  /// --nodes override for the gossip benches; 0 = keep the bench default.
+  [[nodiscard]] std::uint32_t nodes() const noexcept { return nodes_; }
+  /// --rounds override for the gossip benches; 0 = keep the bench default.
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return rounds_; }
+  /// Applies --nodes/--rounds onto a gossip config (no-op when not given):
+  /// scale sweeps reuse the existing figure benches instead of bespoke
+  /// binaries. Note config_hash covers both fields, so overridden runs get
+  /// their own trial-store scopes.
+  void apply_scale(gossip::GossipConfig& config) const noexcept {
+    if (nodes_ != 0) config.nodes = nodes_;
+    if (rounds_ != 0) config.rounds = rounds_;
+  }
   /// Whether the user gave the flag explicitly (vs the spec's default) —
   /// what a driver forwards to per-bench CLIs, so bench defaults survive.
   [[nodiscard]] bool points_explicit() const noexcept {
@@ -134,6 +148,8 @@ class Cli {
   std::string csv_;
   std::string cache_dir_ = ".lotus-cache";
   std::uint64_t store_shards_ = 0;
+  std::uint32_t nodes_ = 0;
+  std::uint32_t rounds_ = 0;
   bool quick_ = false;
   bool cache_ = true;
   bool store_ = true;

@@ -67,6 +67,14 @@ struct GossipConfig {
   [[nodiscard]] std::uint64_t total_updates() const noexcept {
     return static_cast<std::uint64_t>(rounds) * updates_per_round;
   }
+
+  /// Ids that can be simultaneously live: the engine's per-node holdings
+  /// window. Capped by the horizon — when updates outlive the run, no slot
+  /// is ever recycled and the window is just every id released.
+  [[nodiscard]] std::uint64_t window_updates() const noexcept {
+    const std::uint64_t live = update_lifetime < rounds ? update_lifetime : rounds;
+    return live * updates_per_round;
+  }
 };
 
 /// The three attacks of Figure 1.

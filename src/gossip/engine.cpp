@@ -10,16 +10,16 @@ namespace {
 constexpr std::size_t kUncapped = std::numeric_limits<std::size_t>::max();
 }
 
-GossipEngine::GossipEngine(GossipConfig config, AttackPlan plan)
+GossipEngine::GossipEngine(GossipConfig config, AttackPlan plan,
+                           StateModel model)
     : config_(config),
       plan_(plan),
+      model_(model),
       clock_(config_),
       cast_(),
       schedule_(sim::derive_seed(config_.seed, 0x70617274ULL), config_.nodes),
       registry_(config_.nodes, sim::derive_seed(config_.seed, 0x6b657973ULL)),
-      rng_(config_.seed),
-      attacker_pool_(config_.total_updates()),
-      attacker_pool_lagged_(config_.total_updates()) {
+      rng_(config_.seed) {
   if (config_.nodes < 2) throw std::invalid_argument("need >= 2 nodes");
   if (config_.update_lifetime == 0) {
     throw std::invalid_argument("update lifetime must be >= 1");
@@ -29,20 +29,32 @@ GossipEngine::GossipEngine(GossipConfig config, AttackPlan plan)
   }
   sim::Rng cast_rng{sim::derive_seed(config_.seed, 0x63617374ULL)};
   cast_ = make_cast(config_, plan_, cast_rng);
-  holdings_.assign(config_.nodes,
-                   sim::DynamicBitset{config_.total_updates()});
-  evicted_.assign(config_.nodes, false);
-  oob_received_.assign(config_.nodes, 0);
+  const std::uint64_t window = model_ == StateModel::kWindowed
+                                   ? config_.window_updates()
+                                   : config_.total_updates();
+  state_.init(cast_, window);
+  attacker_pool_ = sim::WindowBitset{window};
+  attacker_pool_lagged_ = sim::WindowBitset{window};
   order_.resize(config_.nodes);
   for (std::uint32_t v = 0; v < config_.nodes; ++v) order_[v] = v;
   shuffle_draws_.resize(config_.nodes - 1);
-  satiate_set_ = cast_.satiate_set;
-  ever_satiated_ = cast_.satiate_set;
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
-    if (cast_.roles[v] == Role::kHonest) rotation_order_.push_back(v);
+    if (state_.roles[v] == Role::kHonest) rotation_order_.push_back(v);
   }
   sim::Rng rotation_rng{sim::derive_seed(config_.seed, 0x726f74ULL)};
   rotation_rng.shuffle(std::span<std::uint32_t>{rotation_order_});
+}
+
+std::size_t GossipEngine::state_bytes() const noexcept {
+  return state_.byte_size() + attacker_pool_.byte_size() +
+         attacker_pool_lagged_.byte_size() +
+         order_.capacity() * sizeof(std::uint32_t) +
+         shuffle_draws_.capacity() * sizeof(std::uint64_t) +
+         rotation_order_.capacity() * sizeof(std::uint32_t) +
+         pending_reports_.capacity() * sizeof(crypto::ExchangeRecord) +
+         cast_.roles.capacity() * sizeof(Role) +
+         (cast_.satiate_set.capacity() + cast_.obedient.capacity()) / 8 +
+         registry_.size() * sizeof(std::uint64_t);
 }
 
 void GossipEngine::rotate_satiate_set(Round round) {
@@ -57,11 +69,11 @@ void GossipEngine::rotate_satiate_set(Round round) {
   const auto target = static_cast<std::uint32_t>(
       std::clamp(plan_.satiate_fraction, 0.0, 1.0) *
       static_cast<double>(config_.nodes) + 0.5);
-  std::fill(satiate_set_.begin(), satiate_set_.end(), false);
+  std::fill(state_.satiated.begin(), state_.satiated.end(), std::uint8_t{0});
   std::uint32_t members = 0;
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
-    if (cast_.roles[v] == Role::kAttacker || cast_.roles[v] == Role::kCrash) {
-      satiate_set_[v] = true;
+    if (state_.roles[v] == Role::kAttacker || state_.roles[v] == Role::kCrash) {
+      state_.satiated[v] = 1;
       ++members;
     }
   }
@@ -73,17 +85,40 @@ void GossipEngine::rotate_satiate_set(Round round) {
                              fill % rotation_order_.size();
   for (std::uint32_t i = 0; i < fill; ++i) {
     const auto v = rotation_order_[(offset + i) % rotation_order_.size()];
-    satiate_set_[v] = true;
-    ever_satiated_[v] = true;
+    state_.satiated[v] = 1;
+    state_.ever_satiated[v] = 1;
   }
 }
 
+void GossipEngine::fold_expired_generation(Round round) {
+  // Generation g = round - lifetime was last writable during round - 1 and
+  // its ring slots are exactly the ones seed_updates is about to reuse for
+  // generation `round`: fold the delivery counts out now and clear them.
+  if (round < config_.update_lifetime) return;
+  const Round g = round - config_.update_lifetime;
+  const auto lo = static_cast<UpdateId>(g) * config_.updates_per_round;
+  const UpdateId hi = lo + config_.updates_per_round;
+  const IdRange measured = clock_.measured(config_.warmup_rounds);
+  const bool measured_gen = lo >= measured.lo && hi <= measured.hi;
+  const auto gen_size = static_cast<double>(config_.updates_per_round);
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    const std::size_t held = state_.holdings(v).take_count_and_clear(lo, hi);
+    if (!measured_gen || state_.roles[v] != Role::kHonest) continue;
+    state_.measured_held[v] += held;
+    if (static_cast<double>(held) / gen_size <= config_.usability_threshold) {
+      ++state_.unusable_generations[v];
+    }
+  }
+  const std::size_t pool_held = attacker_pool_.take_count_and_clear(lo, hi);
+  if (measured_gen) attacker_pool_held_ += pool_held;
+}
+
 bool GossipEngine::participates(std::uint32_t v) const noexcept {
-  return !evicted_[v] && cast_.roles[v] != Role::kCrash;
+  return state_.evicted[v] == 0 && state_.roles[v] != Role::kCrash;
 }
 
 bool GossipEngine::is_trade_attacker(std::uint32_t v) const noexcept {
-  return cast_.roles[v] == Role::kAttacker &&
+  return state_.roles[v] == Role::kAttacker &&
          plan_.kind == AttackKind::kTradeLotus;
 }
 
@@ -96,6 +131,7 @@ GossipResult GossipEngine::run() {
   stats_ = GossipResult{};
   for (Round round = 0; round < config_.rounds; ++round) {
     rotate_satiate_set(round);
+    if (model_ == StateModel::kWindowed) fold_expired_generation(round);
     attacker_pool_lagged_ = attacker_pool_;
     seed_updates(round);
     if (plan_.kind == AttackKind::kIdealLotus) ideal_multicast(round);
@@ -111,9 +147,9 @@ void GossipEngine::seed_updates(Round round) {
   for (UpdateId u = released.lo; u < released.hi; ++u) {
     for (const auto v : rng_.sample_without_replacement(config_.nodes,
                                                         config_.copies_seeded)) {
-      if (evicted_[v]) continue;  // evicted nodes are out of the membership
-      holdings_[v].set(u);
-      if (cast_.roles[v] == Role::kAttacker) attacker_pool_.set(u);
+      if (state_.evicted[v] != 0) continue;  // evicted nodes are out of the membership
+      state_.holdings(v).set(u);
+      if (state_.roles[v] == Role::kAttacker) attacker_pool_.set(u);
     }
   }
 }
@@ -126,7 +162,7 @@ void GossipEngine::ideal_multicast(Round round) {
   bool any_attacker = false;
   std::uint32_t reporter_target = 0;
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
-    if (cast_.roles[v] == Role::kAttacker && !evicted_[v]) {
+    if (state_.roles[v] == Role::kAttacker && state_.evicted[v] == 0) {
       any_attacker = true;
       reporter_target = v;
       break;
@@ -134,19 +170,20 @@ void GossipEngine::ideal_multicast(Round round) {
   }
   if (!any_attacker) return;
   const IdRange active = clock_.active(round);
+  const sim::ConstWindowBitsetView pool = attacker_pool_.view();
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
-    if (cast_.roles[v] != Role::kHonest || !satiate_set_[v]) continue;
-    const std::size_t given = holdings_[v].transfer_from(
-        attacker_pool_, active.lo, active.hi, kUncapped);
+    if (state_.roles[v] != Role::kHonest || state_.satiated[v] == 0) continue;
+    const std::size_t given = state_.holdings(v).transfer_from(
+        pool, active.lo, active.hi, kUncapped);
     stats_.attacker_dump_updates += given;
     // Unsolicited sends drip-feed below any single-message limit, so
     // obedient receivers account for them cumulatively; each report names
     // the sender of the excess (the next live attacker node) and resets
     // the tally.
-    oob_received_[v] += given;
-    if (oob_received_[v] > config_.service_limit) {
-      maybe_report(reporter_target, v, oob_received_[v], round);
-      oob_received_[v] = 0;
+    state_.oob_received[v] += given;
+    if (state_.oob_received[v] > config_.service_limit) {
+      maybe_report(reporter_target, v, state_.oob_received[v], round);
+      state_.oob_received[v] = 0;
     }
   }
 }
@@ -163,7 +200,7 @@ void GossipEngine::run_balanced_exchanges(Round round) {
   }
   for (const std::uint32_t i : order_) {
     if (!participates(i)) continue;
-    if (cast_.roles[i] == Role::kAttacker &&
+    if (state_.roles[i] == Role::kAttacker &&
         plan_.kind == AttackKind::kIdealLotus) {
       continue;  // ideal attacker never trades
     }
@@ -178,10 +215,10 @@ void GossipEngine::run_balanced_exchanges(Round round) {
       if (config_.trade_dump_on_response) {
         attacker_interaction(j, i, round, kUncapped);
       }
-    } else if (cast_.roles[j] == Role::kAttacker) {
+    } else if (state_.roles[j] == Role::kAttacker) {
       // ideal attacker as responder: never trades
-    } else if (cast_.roles[i] == Role::kHonest &&
-               cast_.roles[j] == Role::kHonest) {
+    } else if (state_.roles[i] == Role::kHonest &&
+               state_.roles[j] == Role::kHonest) {
       balanced_exchange(i, j, round);
     }
   }
@@ -201,12 +238,13 @@ void GossipEngine::run_optimistic_pushes(Round round) {
       }
       continue;
     }
-    if (cast_.roles[i] != Role::kHonest) continue;
+    if (state_.roles[i] != Role::kHonest) continue;
     // A node initiates a push only when it is missing soon-expiring updates
     // (a rational node has nothing to gain otherwise, and the protocol only
     // calls for pushes then).
     const std::size_t missing_old =
-        expiring.size() - holdings_[i].count_range(expiring.lo, expiring.hi);
+        expiring.size() -
+        state_.holdings(i).count_range(expiring.lo, expiring.hi);
     if (missing_old == 0) continue;
     const std::uint32_t j =
         schedule_.partner_of(round, i, crypto::PartnerPurpose::kOptimisticPush);
@@ -215,9 +253,9 @@ void GossipEngine::run_optimistic_pushes(Round round) {
       if (config_.trade_dump_on_response) {
         attacker_interaction(j, i, round, config_.push_size);
       }
-    } else if (cast_.roles[j] == Role::kAttacker) {
+    } else if (state_.roles[j] == Role::kAttacker) {
       // ideal attacker ignores pushes
-    } else if (cast_.roles[j] == Role::kHonest) {
+    } else if (state_.roles[j] == Role::kHonest) {
       optimistic_push(i, j, round);
     }
   }
@@ -226,10 +264,12 @@ void GossipEngine::run_optimistic_pushes(Round round) {
 void GossipEngine::balanced_exchange(std::uint32_t i, std::uint32_t j,
                                      Round round) {
   const IdRange active = clock_.active(round);
+  const sim::WindowBitsetView held_i = state_.holdings(i);
+  const sim::WindowBitsetView held_j = state_.holdings(j);
   const std::size_t i_can_give =
-      holdings_[i].count_and_not_range(holdings_[j], active.lo, active.hi);
+      held_i.count_and_not_range(held_j, active.lo, active.hi);
   const std::size_t j_can_give =
-      holdings_[j].count_and_not_range(holdings_[i], active.lo, active.hi);
+      held_j.count_and_not_range(held_i, active.lo, active.hi);
   const std::size_t m = std::min(i_can_give, j_can_give);
 
   std::size_t give_i = m;  // i -> j
@@ -237,17 +277,17 @@ void GossipEngine::balanced_exchange(std::uint32_t i, std::uint32_t j,
   if (config_.unbalanced_exchange && m >= 1) {
     // Figure 3 variant: an obedient node is willing to hand over one more
     // update than it receives, provided it receives at least one.
-    if (cast_.obedient[i]) give_i = std::min(m + 1, i_can_give);
-    if (cast_.obedient[j]) give_j = std::min(m + 1, j_can_give);
+    if (state_.obedient[i] != 0) give_i = std::min(m + 1, i_can_give);
+    if (state_.obedient[j] != 0) give_j = std::min(m + 1, j_can_give);
   }
   give_i = apply_service_cap(give_i);
   give_j = apply_service_cap(give_j);
   if (give_i == 0 && give_j == 0) return;
 
   const std::size_t moved_to_j =
-      holdings_[j].transfer_from(holdings_[i], active.lo, active.hi, give_i);
+      held_j.transfer_from(held_i, active.lo, active.hi, give_i);
   const std::size_t moved_to_i =
-      holdings_[i].transfer_from(holdings_[j], active.lo, active.hi, give_j);
+      held_i.transfer_from(held_j, active.lo, active.hi, give_j);
   if (moved_to_i + moved_to_j > 0) ++stats_.balanced_exchanges;
   stats_.exchange_updates += moved_to_i + moved_to_j;
   maybe_report(i, j, moved_to_j, round);
@@ -258,18 +298,20 @@ void GossipEngine::optimistic_push(std::uint32_t i, std::uint32_t j,
                                    Round round) {
   const IdRange recent = clock_.recent(round);
   const IdRange expiring = clock_.expiring_soon(round);
+  const sim::WindowBitsetView held_i = state_.holdings(i);
+  const sim::WindowBitsetView held_j = state_.holdings(j);
   // Responder j takes up to push_size recently released updates it lacks.
   const std::size_t offered =
-      holdings_[i].count_and_not_range(holdings_[j], recent.lo, recent.hi);
+      held_i.count_and_not_range(held_j, recent.lo, recent.hi);
   const std::size_t take =
       apply_service_cap(std::min<std::size_t>(offered, config_.push_size));
   if (take == 0) return;  // nothing in it for the responder: no exchange
   const std::size_t taken =
-      holdings_[j].transfer_from(holdings_[i], recent.lo, recent.hi, take);
+      held_j.transfer_from(held_i, recent.lo, recent.hi, take);
   // In exchange the responder returns the same number of items: requested
   // soon-expiring updates when it has them, junk data otherwise.
-  const std::size_t returned = holdings_[i].transfer_from(
-      holdings_[j], expiring.lo, expiring.hi, taken);
+  const std::size_t returned =
+      held_i.transfer_from(held_j, expiring.lo, expiring.hi, taken);
   const std::size_t junk = taken - returned;
   ++stats_.pushes;
   stats_.push_updates += returned;
@@ -280,9 +322,9 @@ void GossipEngine::optimistic_push(std::uint32_t i, std::uint32_t j,
 
 void GossipEngine::attacker_interaction(std::uint32_t a, std::uint32_t partner,
                                         Round round, std::size_t limit) {
-  if (evicted_[a] || evicted_[partner]) return;
-  if (cast_.roles[partner] != Role::kHonest) return;
-  if (!satiate_set_[partner]) return;  // isolated nodes get nothing
+  if (state_.evicted[a] != 0 || state_.evicted[partner] != 0) return;
+  if (state_.roles[partner] != Role::kHonest) return;
+  if (state_.satiated[partner] == 0) return;  // isolated nodes get nothing
   const IdRange active = clock_.active(round);
   // Dump: every update the attacker has ("every update he has", §2), up to
   // the protocol ceiling of this slot and the rate-limit defence. As in the
@@ -296,8 +338,8 @@ void GossipEngine::attacker_interaction(std::uint32_t a, std::uint32_t partner,
   if (config_.service_cap != 0) {
     cap = std::min<std::size_t>(cap, config_.service_cap);
   }
-  const std::size_t given = holdings_[partner].transfer_from(
-      attacker_pool_lagged_, active.lo, active.hi, cap);
+  const std::size_t given = state_.holdings(partner).transfer_from(
+      attacker_pool_lagged_.view(), active.lo, active.hi, cap);
   stats_.attacker_dump_updates += given;
   maybe_report(a, partner, given, round);
 }
@@ -306,7 +348,8 @@ void GossipEngine::maybe_report(std::uint32_t giver, std::uint32_t receiver,
                                 std::size_t updates_given, Round round) {
   if (!config_.reporting_enabled) return;
   if (updates_given <= config_.service_limit) return;
-  if (cast_.roles[receiver] != Role::kHonest || !cast_.obedient[receiver]) {
+  if (state_.roles[receiver] != Role::kHonest ||
+      state_.obedient[receiver] == 0) {
     return;  // rational nodes keep quiet about service they benefit from
   }
   pending_reports_.push_back(crypto::make_record(
@@ -320,10 +363,10 @@ void GossipEngine::process_reports(Round round) {
     const auto offender = crypto::check_excessive_service(
         registry_, record, config_.service_limit);
     if (!offender.has_value()) continue;
-    if (evicted_[*offender]) continue;
-    evicted_[*offender] = true;
-    if (cast_.roles[*offender] == Role::kAttacker ||
-        cast_.roles[*offender] == Role::kCrash) {
+    if (state_.evicted[*offender] != 0) continue;
+    state_.evicted[*offender] = 1;
+    if (state_.roles[*offender] == Role::kAttacker ||
+        state_.roles[*offender] == Role::kCrash) {
       ++stats_.attackers_evicted;
       if (stats_.attackers_evicted == cast_.attacker_count &&
           stats_.full_eviction_round == 0) {
@@ -343,6 +386,41 @@ GossipResult GossipEngine::collect_metrics() const {
         "no measured updates: increase rounds or reduce warmup");
   }
 
+  // Measured-window release generations (measured is generation-aligned).
+  const auto first_gen = static_cast<Round>(
+      measured.lo / config_.updates_per_round);
+  const auto end_gen = static_cast<Round>(
+      measured.hi / config_.updates_per_round);
+  const double gen_size = config_.updates_per_round;
+
+  // Per-node delivery over the measured window. Under kWindowed these were
+  // folded in as each generation expired; under kDense (reference model)
+  // compute them here by scanning the full-lifetime bitmaps, exactly as the
+  // pre-windowing engine did.
+  const std::uint64_t* held_by = state_.measured_held.data();
+  const std::uint32_t* unusable_by = state_.unusable_generations.data();
+  std::uint64_t pool_held = attacker_pool_held_;
+  std::vector<std::uint64_t> dense_held;
+  std::vector<std::uint32_t> dense_unusable;
+  if (model_ == StateModel::kDense) {
+    dense_held.resize(config_.nodes, 0);
+    dense_unusable.resize(config_.nodes, 0);
+    for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+      if (state_.roles[v] != Role::kHonest) continue;
+      dense_held[v] = state_.holdings(v).count_range(measured.lo, measured.hi);
+      for (Round g = first_gen; g < end_gen; ++g) {
+        const auto lo = static_cast<UpdateId>(g) * config_.updates_per_round;
+        const double got =
+            static_cast<double>(state_.holdings(v).count_range(
+                lo, lo + config_.updates_per_round)) / gen_size;
+        if (got <= config_.usability_threshold) ++dense_unusable[v];
+      }
+    }
+    pool_held = attacker_pool_.count_range(measured.lo, measured.hi);
+    held_by = dense_held.data();
+    unusable_by = dense_unusable.data();
+  }
+
   const bool lotus = plan_.kind == AttackKind::kIdealLotus ||
                      plan_.kind == AttackKind::kTradeLotus;
   double isolated_sum = 0.0;
@@ -354,16 +432,14 @@ GossipResult GossipEngine::collect_metrics() const {
   std::uint32_t below_n = 0;
   double worst = 1.0;
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
-    if (cast_.roles[v] != Role::kHonest) continue;
-    const double got =
-        static_cast<double>(holdings_[v].count_range(measured.lo, measured.hi)) /
-        total;
+    if (state_.roles[v] != Role::kHonest) continue;
+    const double got = static_cast<double>(held_by[v]) / total;
     ++honest_n;
     overall_sum += got;
     worst = std::min(worst, got);
     if (got <= config_.usability_threshold) ++below_n;
     // Under rotation a node counts as satiated if the attacker ever fed it.
-    if (lotus && ever_satiated_[v]) {
+    if (lotus && state_.ever_satiated[v] != 0) {
       ++satiated_n;
       satiated_sum += got;
     } else {
@@ -382,23 +458,11 @@ GossipResult GossipEngine::collect_metrics() const {
   result.worst_honest_delivery = honest_n ? worst : 1.0;
 
   // Time-resolved usability over release generations.
-  const auto first_gen = static_cast<Round>(
-      measured.lo / config_.updates_per_round);
-  const auto end_gen = static_cast<Round>(
-      measured.hi / config_.updates_per_round);
-  const double gen_size = config_.updates_per_round;
   std::uint64_t unusable_pairs = 0;
   std::uint32_t stretched_nodes = 0;
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
-    if (cast_.roles[v] != Role::kHonest) continue;
-    std::uint32_t unusable = 0;
-    for (Round g = first_gen; g < end_gen; ++g) {
-      const auto lo = static_cast<UpdateId>(g) * config_.updates_per_round;
-      const double got =
-          static_cast<double>(holdings_[v].count_range(
-              lo, lo + config_.updates_per_round)) / gen_size;
-      if (got <= config_.usability_threshold) ++unusable;
-    }
+    if (state_.roles[v] != Role::kHonest) continue;
+    const std::uint32_t unusable = unusable_by[v];
     unusable_pairs += unusable;
     if (unusable * 10 >= (end_gen - first_gen)) ++stretched_nodes;
   }
@@ -409,9 +473,7 @@ GossipResult GossipEngine::collect_metrics() const {
           : 0.0;
   result.nodes_with_unusable_stretch =
       honest_n ? static_cast<double>(stretched_nodes) / honest_n : 0.0;
-  result.attacker_coverage =
-      static_cast<double>(attacker_pool_.count_range(measured.lo, measured.hi)) /
-      total;
+  result.attacker_coverage = static_cast<double>(pool_held) / total;
   return result;
 }
 

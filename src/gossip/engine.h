@@ -12,6 +12,17 @@
 //
 // Protocol behaviours, attacker behaviours, and defences are all driven by
 // GossipConfig / AttackPlan; see config.h.
+//
+// Memory model: per-node state is a flat structure-of-arrays block
+// (gossip/node_state.h) and each node's "have" set is a windowed ring of
+// update_lifetime * updates_per_round bits addressed by absolute update id
+// (sim/window_bitset.h). When a release generation expires, its delivery
+// counts are folded into per-node accumulators and the ring slots are
+// recycled, so a run costs O(nodes * active-window) memory and the final
+// metrics pass is O(nodes) — independent of the horizon. StateModel::kDense
+// keeps the reference behaviour (full-lifetime window, end-of-run bitmap
+// scans) for parity tests and full-lifetime diagnostics; both models are
+// stream-identical (same RNG draws, same transfers) by construction.
 #pragma once
 
 #include <vector>
@@ -21,15 +32,27 @@
 #include "gossip/attack.h"
 #include "gossip/config.h"
 #include "gossip/metrics.h"
+#include "gossip/node_state.h"
 #include "gossip/update_store.h"
-#include "sim/bitset.h"
 #include "sim/rng.h"
+#include "sim/window_bitset.h"
 
 namespace lotus::gossip {
 
+/// Which holdings representation the engine runs on. kWindowed is the
+/// production model; kDense allocates the full-lifetime window and computes
+/// metrics by scanning it at the end — the pre-windowing reference
+/// behaviour, kept for parity tests and tools that want to inspect expired
+/// updates (tools/debug_baseline).
+enum class StateModel : std::uint8_t {
+  kWindowed,
+  kDense,
+};
+
 class GossipEngine {
  public:
-  GossipEngine(GossipConfig config, AttackPlan plan);
+  GossipEngine(GossipConfig config, AttackPlan plan,
+               StateModel model = StateModel::kWindowed);
 
   /// Runs the full horizon and returns the delivery metrics.
   [[nodiscard]] GossipResult run();
@@ -37,14 +60,24 @@ class GossipEngine {
   /// Read-only views for tests.
   [[nodiscard]] const Cast& cast() const noexcept { return cast_; }
   [[nodiscard]] const GossipConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const sim::DynamicBitset& holdings_of(std::uint32_t v) const {
-    return holdings_[v];
+  /// The node's holdings ring. Under kWindowed only the currently active id
+  /// window is meaningful; under kDense every update id is addressable.
+  [[nodiscard]] sim::ConstWindowBitsetView holdings_of(std::uint32_t v) const {
+    return state_.holdings(v);
   }
-  [[nodiscard]] bool evicted(std::uint32_t v) const { return evicted_[v]; }
+  [[nodiscard]] bool evicted(std::uint32_t v) const {
+    return state_.evicted[v] != 0;
+  }
+  /// Bytes of live engine state (node block + pools + scratch) — the
+  /// bytes-per-node budget the scale benches track.
+  [[nodiscard]] std::size_t state_bytes() const noexcept;
 
  private:
   // --- Round phases ------------------------------------------------------
   void rotate_satiate_set(Round round);
+  /// Windowed model only: folds the generation expiring at `round` into the
+  /// per-node accumulators and recycles its ring slots.
+  void fold_expired_generation(Round round);
   void seed_updates(Round round);
   void ideal_multicast(Round round);
   void run_balanced_exchanges(Round round);
@@ -73,34 +106,31 @@ class GossipEngine {
 
   GossipConfig config_;
   AttackPlan plan_;
+  StateModel model_;
   UpdateClock clock_;
   Cast cast_;
   crypto::PartnerSchedule schedule_;
   crypto::KeyRegistry registry_;
   sim::Rng rng_;
 
-  std::vector<sim::DynamicBitset> holdings_;  // per node, total_updates bits
-  sim::DynamicBitset attacker_pool_;          // union of attacker knowledge
+  /// All per-node state — scalars, windowed holdings rings, and the
+  /// fold-at-expiry accumulators — in one flat SoA block.
+  NodeState state_;
+  sim::WindowBitset attacker_pool_;  // union of attacker knowledge (windowed)
   /// The pool as of the end of the previous round. The ideal attack assumes
   /// instant coordination ("as soon as they receive them", §2) and uses
   /// attacker_pool_; the trade attack's colluding nodes synchronise with one
   /// round of lag and dump from this snapshot instead.
-  sim::DynamicBitset attacker_pool_lagged_;
-  std::vector<bool> evicted_;
+  sim::WindowBitset attacker_pool_lagged_;
+  /// Measured-window updates that entered the attacker pool, folded at
+  /// expiry (windowed model).
+  std::uint64_t attacker_pool_held_ = 0;
   std::vector<std::uint32_t> order_;  // per-round shuffled initiation order
   /// Scratch for the per-round batched Fisher-Yates over order_: the n-1
   /// variates drawn in one Rng::fill_below_descending pass (bounds n, n-1,
   /// ..., 2). Stream-compatible with rng_.shuffle(), so trajectories are
   /// unchanged; batching only amortises per-draw overhead.
   std::vector<std::uint64_t> shuffle_draws_;
-  /// Cumulative unsolicited (out-of-band) updates received per node since
-  /// its last report. The ideal attacker drip-feeds below any per-message
-  /// limit, so obedient nodes must account cumulatively to catch it.
-  std::vector<std::uint64_t> oob_received_;
-  /// The live satiated set (equals cast_.satiate_set unless the plan
-  /// rotates it) and which honest nodes were ever in it.
-  std::vector<bool> satiate_set_;
-  std::vector<bool> ever_satiated_;
   std::vector<std::uint32_t> rotation_order_;  // honest nodes, shuffled
 
   // Pending eviction reports (proofs verified at end of round).

@@ -8,9 +8,42 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace lotus::sim {
+
+namespace detail {
+
+/// Visits every 64-bit word overlapping the bit range [lo, hi) together
+/// with a mask of the bits of that word that fall inside the range. The
+/// range-mask arithmetic (partial first word, partial last word) lives here
+/// once; DynamicBitset and WindowBitset both iterate through it.
+///
+/// `fn(word_index, mask)` may return void (every word is visited) or bool
+/// (returning false stops the walk early — used by capped transfers).
+/// Returns false iff the walk was stopped early.
+template <typename Fn>
+inline bool for_each_masked_word(std::size_t lo, std::size_t hi, Fn&& fn) {
+  if (lo >= hi) return true;
+  const std::size_t wlo = lo >> 6;
+  const std::size_t whi = (hi + 63) >> 6;
+  for (std::size_t wi = wlo; wi < whi; ++wi) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (wi == wlo) mask &= ~std::uint64_t{0} << (lo & 63);
+    if (wi == whi - 1 && (hi & 63) != 0) {
+      mask &= ~std::uint64_t{0} >> (64 - (hi & 63));
+    }
+    if constexpr (std::is_same_v<decltype(fn(wi, mask)), bool>) {
+      if (!fn(wi, mask)) return false;
+    } else {
+      fn(wi, mask);
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
 
 class DynamicBitset {
  public:
@@ -146,14 +179,7 @@ class DynamicBitset {
                             std::size_t hi, std::size_t cap) noexcept {
     std::size_t moved = 0;
     if (cap == 0) return 0;
-    const std::size_t wlo = lo >> 6;
-    const std::size_t whi = (hi + 63) >> 6;
-    for (std::size_t wi = wlo; wi < whi && moved < cap; ++wi) {
-      std::uint64_t mask = ~std::uint64_t{0};
-      if (wi == wlo) mask &= ~std::uint64_t{0} << (lo & 63);
-      if (wi == whi - 1 && (hi & 63) != 0) {
-        mask &= ~std::uint64_t{0} >> (64 - (hi & 63));
-      }
+    detail::for_each_masked_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
       std::uint64_t candidates = src.words_[wi] & ~words_[wi] & mask;
       while (candidates != 0 && moved < cap) {
         const std::uint64_t bit = candidates & (~candidates + 1);
@@ -161,7 +187,8 @@ class DynamicBitset {
         candidates ^= bit;
         ++moved;
       }
-    }
+      return moved < cap;
+    });
     return moved;
   }
 
@@ -175,17 +202,7 @@ class DynamicBitset {
  private:
   template <typename Fn>
   void for_each_range_word(std::size_t lo, std::size_t hi, Fn&& fn) const noexcept {
-    if (lo >= hi) return;
-    const std::size_t wlo = lo >> 6;
-    const std::size_t whi = (hi + 63) >> 6;
-    for (std::size_t wi = wlo; wi < whi; ++wi) {
-      std::uint64_t mask = ~std::uint64_t{0};
-      if (wi == wlo) mask &= ~std::uint64_t{0} << (lo & 63);
-      if (wi == whi - 1 && (hi & 63) != 0) {
-        mask &= ~std::uint64_t{0} >> (64 - (hi & 63));
-      }
-      fn(wi, mask);
-    }
+    detail::for_each_masked_word(lo, hi, fn);
   }
 
   void trim() noexcept {

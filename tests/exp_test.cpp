@@ -114,6 +114,25 @@ TEST(ConfigHash, FieldHasherSeparatesTypesOrderAndVersion) {
   EXPECT_NE(v1.digest(), v2.digest());
 }
 
+TEST(ConfigHash, NodeAndRoundOverridesSeparateTrials) {
+  // --nodes/--rounds rescale the simulation; the trial store must never
+  // serve a 250-node trial to a 10^5-node sweep (or vice versa).
+  const gossip::GossipConfig base;
+  gossip::GossipConfig scaled = base;
+  scaled.nodes = 100000;
+  EXPECT_NE(exp::config_hash(scaled), exp::config_hash(base));
+
+  gossip::GossipConfig longer = base;
+  longer.rounds = 1000;
+  EXPECT_NE(exp::config_hash(longer), exp::config_hash(base));
+  EXPECT_NE(exp::config_hash(longer), exp::config_hash(scaled));
+
+  core::CriticalQuery small_query;
+  core::CriticalQuery big_query;
+  big_query.config.nodes = 100000;
+  EXPECT_NE(exp::trial_space_hash(big_query), exp::trial_space_hash(small_query));
+}
+
 TEST(ConfigHash, TrialSpaceHashIgnoresSearchShape) {
   core::CriticalQuery query;
   const auto base = exp::trial_space_hash(query);
@@ -1349,6 +1368,45 @@ TEST(Cli, RejectsMalformedValues) {
     exp::Cli cli{test_spec()};
     EXPECT_EQ(parse(cli, args), exp::ParseStatus::kError)
         << "accepted malformed arguments starting with " << args.front();
+    EXPECT_FALSE(cli.error().empty());
+  }
+}
+
+TEST(Cli, NodesAndRoundsOverridesParse) {
+  exp::Cli cli{test_spec()};
+  ASSERT_EQ(parse(cli, {"--nodes", "100000", "--rounds", "1000"}),
+            exp::ParseStatus::kOk);
+  EXPECT_EQ(cli.nodes(), 100000u);
+  EXPECT_EQ(cli.rounds(), 1000u);
+  EXPECT_NE(cli.usage().find("--nodes"), std::string::npos);
+  EXPECT_NE(cli.usage().find("--rounds"), std::string::npos);
+
+  gossip::GossipConfig config;
+  cli.apply_scale(config);
+  EXPECT_EQ(config.nodes, 100000u);
+  EXPECT_EQ(config.rounds, 1000u);
+
+  // Defaults: 0 = keep the bench scenario's scale.
+  exp::Cli defaulted{test_spec()};
+  ASSERT_EQ(parse(defaulted, {}), exp::ParseStatus::kOk);
+  EXPECT_EQ(defaulted.nodes(), 0u);
+  EXPECT_EQ(defaulted.rounds(), 0u);
+  gossip::GossipConfig untouched;
+  defaulted.apply_scale(untouched);
+  EXPECT_EQ(untouched.nodes, gossip::GossipConfig{}.nodes);
+  EXPECT_EQ(untouched.rounds, gossip::GossipConfig{}.rounds);
+}
+
+TEST(Cli, NodesAndRoundsRejectDegenerateValues) {
+  const std::vector<std::vector<const char*>> bad = {
+      {"--nodes", "0"},          {"--nodes", "1"},  // engine needs >= 2
+      {"--nodes", "5000000000"},                    // must fit 32 bits
+      {"--rounds", "0"},         {"--rounds", "5000000000"},
+  };
+  for (const auto& args : bad) {
+    exp::Cli cli{test_spec()};
+    EXPECT_EQ(parse(cli, args), exp::ParseStatus::kError)
+        << "accepted " << args.front() << " " << args.back();
     EXPECT_FALSE(cli.error().empty());
   }
 }

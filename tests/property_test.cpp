@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "gossip/engine.h"
 #include "net/topology.h"
@@ -95,6 +96,122 @@ TEST_P(GossipSeedSweep, DumpsOnlyReachTheSatiateSet) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GossipSeedSweep,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+// ---------------------------------------------------------------------------
+// Windowed engine parity: the production windowed/SoA state model must be
+// stream-identical to the dense full-horizon reference model.
+// ---------------------------------------------------------------------------
+
+/// Every GossipResult field, compared exactly — the two models share the RNG
+/// stream and integer counts, so even the doubles must match bit-for-bit.
+void expect_identical_results(const gossip::GossipResult& windowed,
+                              const gossip::GossipResult& dense,
+                              const char* what) {
+  EXPECT_EQ(windowed.isolated_delivery, dense.isolated_delivery) << what;
+  EXPECT_EQ(windowed.satiated_delivery, dense.satiated_delivery) << what;
+  EXPECT_EQ(windowed.overall_delivery, dense.overall_delivery) << what;
+  EXPECT_EQ(windowed.honest_below_usability, dense.honest_below_usability)
+      << what;
+  EXPECT_EQ(windowed.worst_honest_delivery, dense.worst_honest_delivery)
+      << what;
+  EXPECT_EQ(windowed.unusable_node_generations, dense.unusable_node_generations)
+      << what;
+  EXPECT_EQ(windowed.nodes_with_unusable_stretch,
+            dense.nodes_with_unusable_stretch)
+      << what;
+  EXPECT_EQ(windowed.attacker_coverage, dense.attacker_coverage) << what;
+  EXPECT_EQ(windowed.isolated_nodes, dense.isolated_nodes) << what;
+  EXPECT_EQ(windowed.satiated_honest_nodes, dense.satiated_honest_nodes)
+      << what;
+  EXPECT_EQ(windowed.attacker_nodes, dense.attacker_nodes) << what;
+  EXPECT_EQ(windowed.balanced_exchanges, dense.balanced_exchanges) << what;
+  EXPECT_EQ(windowed.exchange_updates, dense.exchange_updates) << what;
+  EXPECT_EQ(windowed.pushes, dense.pushes) << what;
+  EXPECT_EQ(windowed.push_updates, dense.push_updates) << what;
+  EXPECT_EQ(windowed.junk_updates, dense.junk_updates) << what;
+  EXPECT_EQ(windowed.attacker_dump_updates, dense.attacker_dump_updates)
+      << what;
+  EXPECT_EQ(windowed.reports_filed, dense.reports_filed) << what;
+  EXPECT_EQ(windowed.attackers_evicted, dense.attackers_evicted) << what;
+  EXPECT_EQ(windowed.full_eviction_round, dense.full_eviction_round) << what;
+}
+
+class WindowedParitySweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Paper scale: Table 1 defaults (250 nodes, 120 rounds), per-sweep seed.
+  gossip::GossipConfig config() const {
+    gossip::GossipConfig c;
+    c.seed = GetParam();
+    return c;
+  }
+
+  void run_both(const gossip::GossipConfig& c, const gossip::AttackPlan& plan,
+                const char* what) const {
+    gossip::GossipEngine windowed{c, plan, gossip::StateModel::kWindowed};
+    gossip::GossipEngine dense{c, plan, gossip::StateModel::kDense};
+    expect_identical_results(windowed.run(), dense.run(), what);
+    // Windowed state must be a strict subset of the dense footprint.
+    EXPECT_LT(windowed.state_bytes(), dense.state_bytes()) << what;
+  }
+};
+
+TEST_P(WindowedParitySweep, NoAttack) {
+  run_both(config(), gossip::AttackPlan{}, "no attack");
+}
+
+TEST_P(WindowedParitySweep, CrashAndIdealAndTrade) {
+  for (const auto kind :
+       {gossip::AttackKind::kCrash, gossip::AttackKind::kIdealLotus,
+        gossip::AttackKind::kTradeLotus}) {
+    gossip::AttackPlan plan;
+    plan.kind = kind;
+    plan.attacker_fraction = 0.2;
+    run_both(config(), plan, "attack kind sweep");
+  }
+}
+
+TEST_P(WindowedParitySweep, ReportingEvictionPath) {
+  auto c = config();
+  c.reporting_enabled = true;
+  c.service_limit = 25;
+  c.obedient_fraction = 0.5;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.25;
+  run_both(c, plan, "reporting + eviction");
+}
+
+TEST_P(WindowedParitySweep, RotatingSatiationAndUnbalanced) {
+  auto c = config();
+  c.unbalanced_exchange = true;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kIdealLotus;
+  plan.attacker_fraction = 0.1;
+  plan.rotation_period = 15;
+  run_both(c, plan, "rotation + unbalanced");
+}
+
+TEST_P(WindowedParitySweep, LifetimeAtLeastHorizonDegenerateWindow) {
+  // update_lifetime >= rounds: the window covers the whole horizon, no
+  // generation ever expires inside the loop, and the windowed model must
+  // still agree with the dense scan.
+  auto c = config();
+  c.nodes = 80;
+  c.rounds = 30;
+  c.update_lifetime = 30;
+  c.warmup_rounds = 5;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kIdealLotus;
+  plan.attacker_fraction = 0.2;
+  gossip::GossipEngine windowed{c, plan, gossip::StateModel::kWindowed};
+  gossip::GossipEngine dense{c, plan, gossip::StateModel::kDense};
+  // Both models agree that the measured window is empty.
+  EXPECT_THROW((void)windowed.run(), std::logic_error);
+  EXPECT_THROW((void)dense.run(), std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowedParitySweep,
+                         ::testing::Values(7u, 1977u, 2008u));
 
 // ---------------------------------------------------------------------------
 // Token model invariants across topologies.

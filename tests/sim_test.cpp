@@ -10,6 +10,7 @@
 
 #include "sim/bitset.h"
 #include "sim/parallel.h"
+#include "sim/window_bitset.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "sim/sweep.h"
@@ -417,6 +418,129 @@ TEST(Bitset, OrRange) {
   dst.or_range(src, 0, 64);
   EXPECT_TRUE(dst.test(10));
   EXPECT_FALSE(dst.test(100));
+}
+
+TEST(Bitset, TransferCrossWordRangeEdges) {
+  // Regression for the shared masked-word walk: lo and hi landing mid-word
+  // on different words must mask out everything outside [lo, hi) while the
+  // interior words transfer whole.
+  DynamicBitset src{256};
+  DynamicBitset dst{256};
+  for (std::size_t i = 0; i < 256; ++i) src.set(i);
+  const auto moved = dst.transfer_from(src, 61, 131, 256);
+  EXPECT_EQ(moved, 70u);
+  EXPECT_FALSE(dst.test(60));
+  EXPECT_TRUE(dst.test(61));
+  EXPECT_TRUE(dst.test(64));   // word boundary
+  EXPECT_TRUE(dst.test(127));  // word boundary
+  EXPECT_TRUE(dst.test(130));
+  EXPECT_FALSE(dst.test(131));
+
+  // A sub-word range: lo and hi inside the same word.
+  DynamicBitset narrow{256};
+  EXPECT_EQ(narrow.transfer_from(src, 70, 75, 256), 5u);
+  EXPECT_FALSE(narrow.test(69));
+  EXPECT_TRUE(narrow.test(70));
+  EXPECT_TRUE(narrow.test(74));
+  EXPECT_FALSE(narrow.test(75));
+
+  // Cap exhausted exactly at a word boundary: the walk must stop without
+  // touching the next word.
+  DynamicBitset capped{256};
+  EXPECT_EQ(capped.transfer_from(src, 61, 131, 3u), 3u);
+  EXPECT_TRUE(capped.test(61));
+  EXPECT_TRUE(capped.test(63));
+  EXPECT_FALSE(capped.test(64));
+}
+
+TEST(WindowBitset, AbsoluteIdsAliasModuloTheWindow) {
+  WindowBitset ring{100};
+  ring.set(250);
+  EXPECT_TRUE(ring.test(250));
+  // Ring geometry: id 150 shares slot 50. The engine never mixes live ids
+  // a window apart, but the aliasing is what makes recycling work.
+  EXPECT_TRUE(ring.test(150));
+  EXPECT_EQ(ring.count_range(240, 260), 1u);
+}
+
+TEST(WindowBitset, TransferAcrossSeamIsOldestFirst) {
+  // Window of 100 bits; live ids [150, 250) wrap the seam at id 200
+  // (ring position 0). A capped transfer must take the lowest absolute ids
+  // even though they live in the high ring positions.
+  WindowBitset src{100};
+  WindowBitset dst{100};
+  src.set(160);
+  src.set(240);
+  src.set(249);
+  const auto moved = dst.view().transfer_from(src.view(), 150, 250, 2);
+  EXPECT_EQ(moved, 2u);
+  EXPECT_TRUE(dst.test(160));
+  EXPECT_TRUE(dst.test(240));
+  EXPECT_FALSE(dst.test(249));
+}
+
+TEST(WindowBitset, TakeCountAndClearRecyclesSlots) {
+  WindowBitset ring{100};
+  for (std::uint64_t id = 130; id < 135; ++id) ring.set(id);
+  EXPECT_EQ(ring.take_count_and_clear(130, 140), 5u);
+  EXPECT_EQ(ring.count_range(130, 140), 0u);
+  // Slots freed: the next generation a window later starts clean.
+  ring.set(232);
+  EXPECT_TRUE(ring.test(232));
+  EXPECT_EQ(ring.count_range(230, 240), 1u);
+}
+
+TEST(WindowBitset, MatchesDenseBitsetOverSlidingWindow) {
+  // Drive a dense full-horizon bitset pair and a windowed pair through the
+  // same randomized set/transfer/count schedule that the engine performs:
+  // every count and every capped transfer must agree, and the windowed fold
+  // at expiry must equal the dense count of the expiring generation.
+  constexpr std::uint64_t kUpdates = 10;
+  constexpr std::uint64_t kLifetime = 7;
+  constexpr std::uint64_t kRounds = 40;
+  constexpr std::uint64_t kWindow = kLifetime * kUpdates;
+  Rng rng{2008};
+  DynamicBitset dense_a{kRounds * kUpdates};
+  DynamicBitset dense_b{kRounds * kUpdates};
+  WindowBitset ring_a{kWindow};
+  WindowBitset ring_b{kWindow};
+
+  for (std::uint64_t round = 0; round < kRounds; ++round) {
+    if (round >= kLifetime) {  // fold the expiring generation first
+      const auto lo = (round - kLifetime) * kUpdates;
+      const auto folded_a = ring_a.take_count_and_clear(lo, lo + kUpdates);
+      const auto folded_b = ring_b.take_count_and_clear(lo, lo + kUpdates);
+      EXPECT_EQ(folded_a, dense_a.count_range(lo, lo + kUpdates));
+      EXPECT_EQ(folded_b, dense_b.count_range(lo, lo + kUpdates));
+    }
+    for (std::uint64_t u = 0; u < kUpdates; ++u) {  // seed this generation
+      const auto id = round * kUpdates + u;
+      if (rng.next_below(2) == 0) {
+        dense_a.set(id);
+        ring_a.set(id);
+      }
+      if (rng.next_below(3) == 0) {
+        dense_b.set(id);
+        ring_b.set(id);
+      }
+    }
+    const std::uint64_t active_lo =
+        round + 1 >= kLifetime ? (round + 1 - kLifetime) * kUpdates : 0;
+    const std::uint64_t active_hi = (round + 1) * kUpdates;
+    const auto cap = rng.next_below(6);
+    const auto moved_dense =
+        dense_b.transfer_from(dense_a, active_lo, active_hi, cap);
+    const auto moved_ring = ring_b.view().transfer_from(
+        ring_a.view(), active_lo, active_hi, cap);
+    EXPECT_EQ(moved_dense, moved_ring) << "round " << round;
+    EXPECT_EQ(dense_a.count_range(active_lo, active_hi),
+              ring_a.count_range(active_lo, active_hi));
+    EXPECT_EQ(dense_b.count_range(active_lo, active_hi),
+              ring_b.count_range(active_lo, active_hi));
+    EXPECT_EQ(dense_b.count_and_not_range(dense_a, active_lo, active_hi),
+              ring_b.view().count_and_not_range(ring_a.view(), active_lo,
+                                                active_hi));
+  }
 }
 
 TEST(Linspace, EndpointsAndSpacing) {

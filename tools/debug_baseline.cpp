@@ -33,11 +33,15 @@ int main(int argc, char** argv) {
   if (const auto rc = cli.handle(argc, argv)) return *rc;
 
   config.seed = cli.seed();
+  cli.apply_scale(config);
   config.push_size = static_cast<std::uint32_t>(push_size);
   config.recent_window = static_cast<std::uint32_t>(recent_window);
   config.old_window = static_cast<std::uint32_t>(old_window);
 
-  gossip::GossipEngine engine{config, gossip::AttackPlan{}};
+  // Dense reference model: this tool inspects per-update delivery across the
+  // whole horizon, which the windowed production model folds away at expiry.
+  gossip::GossipEngine engine{config, gossip::AttackPlan{},
+                              gossip::StateModel::kDense};
   const auto result = engine.run();
   const gossip::UpdateClock clock{config};
   const auto measured = clock.measured(config.warmup_rounds);

@@ -95,6 +95,14 @@ std::vector<std::string> forwarded_args(const lotus::exp::Cli& cli) {
     args.emplace_back("--threads");
     args.emplace_back(std::to_string(cli.threads()));
   }
+  if (cli.nodes() != 0) {
+    args.emplace_back("--nodes");
+    args.emplace_back(std::to_string(cli.nodes()));
+  }
+  if (cli.rounds() != 0) {
+    args.emplace_back("--rounds");
+    args.emplace_back(std::to_string(cli.rounds()));
+  }
   if (!cli.cache_enabled()) args.emplace_back("--no-cache");
   return args;
 }

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <bit>
+#include <chrono>
 #include <filesystem>
 #include <map>
 #include <utility>
@@ -39,6 +40,37 @@ void BM_RngSampleWithoutReplacement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RngSampleWithoutReplacement);
+
+void BM_RngFillBelow(benchmark::State& state) {
+  // The batch draw behind the per-round partner assignment: block-reject
+  // Lemire sampling pre-generates one raw draw per element and sweeps the
+  // acceptance test over the block, versus n dependent next_below calls.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{8};
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    rng.fill_below(250, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RngFillBelow)->ArgName("n")->Arg(256)->Arg(4096);
+
+void BM_RngFillBelowDescending(benchmark::State& state) {
+  // The Fisher-Yates variate sequence (bounds n, n-1, ..., 2) the
+  // balanced-exchange shuffle consumes each round.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{9};
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    rng.fill_below_descending(n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RngFillBelowDescending)->ArgName("n")->Arg(256)->Arg(4096);
 
 void BM_BitsetTransfer(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));
@@ -246,8 +278,14 @@ void BM_GossipScale(benchmark::State& state) {
       static_cast<double>(config.rounds) *
           static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
-  state.counters["bytes_per_node"] =
+  const double bytes_per_node =
       static_cast<double>(state_bytes) / static_cast<double>(config.nodes);
+  state.counters["bytes_per_node"] = bytes_per_node;
+  // The windowed-state contract from BENCH_scale.json: blowing this budget
+  // means some per-node array stopped being O(active window).
+  if (bytes_per_node > 80.0) {
+    state.SkipWithError("bytes_per_node exceeds the 80-byte budget");
+  }
 }
 BENCHMARK(BM_GossipScale)
     ->ArgName("nodes")
@@ -255,6 +293,61 @@ BENCHMARK(BM_GossipScale)
     ->Arg(10000)
     ->Arg(100000)
     ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GossipScaleParallel(benchmark::State& state) {
+  // BM_GossipScale with the round loop spread over N engine workers.
+  // Timing is manual so speedup_vs_1t can be computed from the same
+  // measurements: run the threads=1 row first (registration order does)
+  // and later rows divide by its time. Results are bit-identical at any
+  // width — the golden scale smoke in CI checks exactly that — so this
+  // bench is purely about throughput.
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  gossip::GossipConfig config;  // Table 1 protocol parameters
+  config.nodes = static_cast<std::uint32_t>(state.range(0));
+  config.rounds = 1000;
+  config.warmup_rounds = 10;
+  config.seed = 2008;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kIdealLotus;
+  plan.attacker_fraction = 0.2;
+  static std::map<std::int64_t, double> serial_secs;
+  double secs = 0.0;
+  std::size_t state_bytes = 0;
+  for (auto _ : state) {
+    gossip::GossipEngine engine{config, plan, gossip::StateModel::kWindowed,
+                                threads};
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(engine.run());
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+    state.SetIterationTime(secs);
+    state_bytes = engine.state_bytes();
+  }
+  if (threads == 1) serial_secs[state.range(0)] = secs;
+  state.counters["rounds_per_sec"] =
+      static_cast<double>(config.rounds) / secs;
+  const auto baseline = serial_secs.find(state.range(0));
+  state.counters["speedup_vs_1t"] =
+      baseline != serial_secs.end() ? baseline->second / secs : 0.0;
+  const double bytes_per_node =
+      static_cast<double>(state_bytes) / static_cast<double>(config.nodes);
+  state.counters["bytes_per_node"] = bytes_per_node;
+  if (bytes_per_node > 80.0) {
+    state.SkipWithError("bytes_per_node exceeds the 80-byte budget");
+  }
+}
+BENCHMARK(BM_GossipScaleParallel)
+    ->ArgNames({"nodes", "threads"})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8})
+    ->Args({1000000, 1})
+    ->Args({1000000, 8})
+    ->Iterations(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -56,6 +56,7 @@ LOTUS_FIGS_DECLARE(fig3_obedient);
 LOTUS_FIGS_DECLARE(intermittent);
 LOTUS_FIGS_DECLARE(obedience_report);
 LOTUS_FIGS_DECLARE(rep_attack);
+LOTUS_FIGS_DECLARE(scale_crossover);
 LOTUS_FIGS_DECLARE(scrip_altruists);
 LOTUS_FIGS_DECLARE(scrip_defense);
 LOTUS_FIGS_DECLARE(table1_params);

@@ -8,10 +8,18 @@ namespace lotus::gossip {
 
 namespace {
 constexpr std::size_t kUncapped = std::numeric_limits<std::size_t>::max();
-}
+/// Fixed grain for the chunk-staged per-node passes. A function of nothing
+/// but the node count, so chunk boundaries — and therefore the replay order
+/// of staged side effects — are identical at every thread count.
+constexpr std::size_t kChunkGrain = 4096;
+/// Interaction-claim batch during wave execution: small enough that an
+/// uneven wave tail still balances, large enough to keep workers off the
+/// shared cursor's cache line.
+constexpr std::uint32_t kClaimBatch = 16;
+}  // namespace
 
 GossipEngine::GossipEngine(GossipConfig config, AttackPlan plan,
-                           StateModel model)
+                           StateModel model, std::size_t threads)
     : config_(config),
       plan_(plan),
       model_(model),
@@ -43,9 +51,22 @@ GossipEngine::GossipEngine(GossipConfig config, AttackPlan plan,
   }
   sim::Rng rotation_rng{sim::derive_seed(config_.seed, 0x726f74ULL)};
   rotation_rng.shuffle(std::span<std::uint32_t>{rotation_order_});
+
+  threads_ = threads > 0 ? threads : sim::engine_threads();
+  if (threads_ > 1) {
+    pool_ = std::make_unique<sim::ThreadPool>(threads_);
+    barrier_ = std::make_unique<sim::Barrier>(pool_->size());
+    const std::size_t chunks =
+        (static_cast<std::size_t>(config_.nodes) + kChunkGrain - 1) /
+        kChunkGrain;
+    state_.init_parallel_scratch(pool_->size(), chunks);
+  }
 }
 
 std::size_t GossipEngine::state_bytes() const noexcept {
+  // state_.byte_size() already covers the parallel scratch it owns (the
+  // interaction/wave arrays and the per-worker/per-chunk staging); the wave
+  // scheduler's per-resource array is accounted here.
   return state_.byte_size() + attacker_pool_.byte_size() +
          attacker_pool_lagged_.byte_size() +
          order_.capacity() * sizeof(std::uint32_t) +
@@ -54,7 +75,7 @@ std::size_t GossipEngine::state_bytes() const noexcept {
          pending_reports_.capacity() * sizeof(crypto::ExchangeRecord) +
          cast_.roles.capacity() * sizeof(Role) +
          (cast_.satiate_set.capacity() + cast_.obedient.capacity()) / 8 +
-         registry_.size() * sizeof(std::uint64_t);
+         registry_.size() * sizeof(std::uint64_t) + waves_.byte_size();
 }
 
 void GossipEngine::rotate_satiate_set(Round round) {
@@ -101,13 +122,27 @@ void GossipEngine::fold_expired_generation(Round round) {
   const IdRange measured = clock_.measured(config_.warmup_rounds);
   const bool measured_gen = lo >= measured.lo && hi <= measured.hi;
   const auto gen_size = static_cast<double>(config_.updates_per_round);
-  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+  const auto fold_node = [&](std::uint32_t v) {
     const std::size_t held = state_.holdings(v).take_count_and_clear(lo, hi);
-    if (!measured_gen || state_.roles[v] != Role::kHonest) continue;
+    if (!measured_gen || state_.roles[v] != Role::kHonest) return;
     state_.measured_held[v] += held;
     if (static_cast<double>(held) / gen_size <= config_.usability_threshold) {
       ++state_.unusable_generations[v];
     }
+  };
+  if (threads_ > 1) {
+    // Every write is node-owned (ring words, per-node accumulators) and the
+    // per-node float compare involves no cross-node accumulation, so the
+    // pass parallelises without any reduction-order concern.
+    pool_->parallel_chunks(
+        config_.nodes, kChunkGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t v = begin; v < end; ++v) {
+            fold_node(static_cast<std::uint32_t>(v));
+          }
+        });
+  } else {
+    for (std::uint32_t v = 0; v < config_.nodes; ++v) fold_node(v);
   }
   const std::size_t pool_held = attacker_pool_.take_count_and_clear(lo, hi);
   if (measured_gen) attacker_pool_held_ += pool_held;
@@ -171,6 +206,46 @@ void GossipEngine::ideal_multicast(Round round) {
   if (!any_attacker) return;
   const IdRange active = clock_.active(round);
   const sim::ConstWindowBitsetView pool = attacker_pool_.view();
+  if (threads_ > 1) {
+    // Receiver state is node-owned, so the scan parallelises over fixed
+    // chunks; the dump tally and any excess-service reports are staged per
+    // chunk and replayed in chunk (= node) order below, reproducing the
+    // serial accumulation and report sequence exactly.
+    pool_->parallel_chunks(
+        config_.nodes, kChunkGrain,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+          auto& stage = state_.chunks[c];
+          stage.dumped = 0;
+          stage.reports.clear();
+          for (std::size_t n = begin; n < end; ++n) {
+            const auto v = static_cast<std::uint32_t>(n);
+            if (state_.roles[v] != Role::kHonest || state_.satiated[v] == 0) {
+              continue;
+            }
+            const std::size_t given = state_.holdings(v).transfer_from(
+                pool, active.lo, active.hi, kUncapped);
+            stage.dumped += given;
+            state_.oob_received[v] += given;
+            if (state_.oob_received[v] > config_.service_limit) {
+              if (would_report(v, state_.oob_received[v])) {
+                stage.reports.push_back(
+                    {v, reporter_target, v, state_.oob_received[v]});
+              }
+              state_.oob_received[v] = 0;
+            }
+          }
+        });
+    for (auto& stage : state_.chunks) {
+      stats_.attacker_dump_updates += stage.dumped;
+      for (const auto& r : stage.reports) {
+        pending_reports_.push_back(crypto::make_record(
+            registry_, round, r.giver, r.receiver,
+            static_cast<std::uint32_t>(r.given)));
+        ++stats_.reports_filed;
+      }
+    }
+    return;
+  }
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
     if (state_.roles[v] != Role::kHonest || state_.satiated[v] == 0) continue;
     const std::size_t given = state_.holdings(v).transfer_from(
@@ -197,6 +272,10 @@ void GossipEngine::run_balanced_exchanges(Round round) {
   for (std::size_t k = 0; k < shuffle_draws_.size(); ++k) {
     const std::size_t i = order_.size() - k;
     std::swap(order_[i - 1], order_[static_cast<std::size_t>(shuffle_draws_[k])]);
+  }
+  if (threads_ > 1) {
+    run_interactions_parallel(round, /*push_phase=*/false);
+    return;
   }
   for (const std::uint32_t i : order_) {
     if (!participates(i)) continue;
@@ -225,7 +304,10 @@ void GossipEngine::run_balanced_exchanges(Round round) {
 }
 
 void GossipEngine::run_optimistic_pushes(Round round) {
-  const IdRange expiring = clock_.expiring_soon(round);
+  if (threads_ > 1) {
+    run_interactions_parallel(round, /*push_phase=*/true);
+    return;
+  }
   for (const std::uint32_t i : order_) {
     if (!participates(i)) continue;
     if (is_trade_attacker(i)) {
@@ -242,10 +324,7 @@ void GossipEngine::run_optimistic_pushes(Round round) {
     // A node initiates a push only when it is missing soon-expiring updates
     // (a rational node has nothing to gain otherwise, and the protocol only
     // calls for pushes then).
-    const std::size_t missing_old =
-        expiring.size() -
-        state_.holdings(i).count_range(expiring.lo, expiring.hi);
-    if (missing_old == 0) continue;
+    if (!missing_expiring(i, round)) continue;
     const std::uint32_t j =
         schedule_.partner_of(round, i, crypto::PartnerPurpose::kOptimisticPush);
     if (!participates(j)) continue;
@@ -261,8 +340,8 @@ void GossipEngine::run_optimistic_pushes(Round round) {
   }
 }
 
-void GossipEngine::balanced_exchange(std::uint32_t i, std::uint32_t j,
-                                     Round round) {
+GossipEngine::TransferOutcome GossipEngine::do_balanced_exchange(
+    std::uint32_t i, std::uint32_t j, Round round) {
   const IdRange active = clock_.active(round);
   const sim::WindowBitsetView held_i = state_.holdings(i);
   const sim::WindowBitsetView held_j = state_.holdings(j);
@@ -282,20 +361,26 @@ void GossipEngine::balanced_exchange(std::uint32_t i, std::uint32_t j,
   }
   give_i = apply_service_cap(give_i);
   give_j = apply_service_cap(give_j);
-  if (give_i == 0 && give_j == 0) return;
+  if (give_i == 0 && give_j == 0) return {};
 
   const std::size_t moved_to_j =
       held_j.transfer_from(held_i, active.lo, active.hi, give_i);
   const std::size_t moved_to_i =
       held_i.transfer_from(held_j, active.lo, active.hi, give_j);
-  if (moved_to_i + moved_to_j > 0) ++stats_.balanced_exchanges;
-  stats_.exchange_updates += moved_to_i + moved_to_j;
-  maybe_report(i, j, moved_to_j, round);
-  maybe_report(j, i, moved_to_i, round);
+  return {moved_to_j, moved_to_i};
 }
 
-void GossipEngine::optimistic_push(std::uint32_t i, std::uint32_t j,
-                                   Round round) {
+void GossipEngine::balanced_exchange(std::uint32_t i, std::uint32_t j,
+                                     Round round) {
+  const auto [to_j, to_i] = do_balanced_exchange(i, j, round);
+  if (to_i + to_j > 0) ++stats_.balanced_exchanges;
+  stats_.exchange_updates += to_i + to_j;
+  maybe_report(i, j, to_j, round);
+  maybe_report(j, i, to_i, round);
+}
+
+GossipEngine::TransferOutcome GossipEngine::do_optimistic_push(
+    std::uint32_t i, std::uint32_t j, Round round) {
   const IdRange recent = clock_.recent(round);
   const IdRange expiring = clock_.expiring_soon(round);
   const sim::WindowBitsetView held_i = state_.holdings(i);
@@ -305,26 +390,33 @@ void GossipEngine::optimistic_push(std::uint32_t i, std::uint32_t j,
       held_i.count_and_not_range(held_j, recent.lo, recent.hi);
   const std::size_t take =
       apply_service_cap(std::min<std::size_t>(offered, config_.push_size));
-  if (take == 0) return;  // nothing in it for the responder: no exchange
+  if (take == 0) return {};  // nothing in it for the responder: no exchange
   const std::size_t taken =
       held_j.transfer_from(held_i, recent.lo, recent.hi, take);
   // In exchange the responder returns the same number of items: requested
   // soon-expiring updates when it has them, junk data otherwise.
   const std::size_t returned =
       held_i.transfer_from(held_j, expiring.lo, expiring.hi, taken);
-  const std::size_t junk = taken - returned;
+  return {taken, returned};
+}
+
+void GossipEngine::optimistic_push(std::uint32_t i, std::uint32_t j,
+                                   Round round) {
+  const auto [taken, returned] = do_optimistic_push(i, j, round);
+  if (taken == 0) return;
   ++stats_.pushes;
   stats_.push_updates += returned;
-  stats_.junk_updates += junk;
+  stats_.junk_updates += taken - returned;
   maybe_report(i, j, taken, round);
   maybe_report(j, i, returned, round);
 }
 
-void GossipEngine::attacker_interaction(std::uint32_t a, std::uint32_t partner,
-                                        Round round, std::size_t limit) {
-  if (state_.evicted[a] != 0 || state_.evicted[partner] != 0) return;
-  if (state_.roles[partner] != Role::kHonest) return;
-  if (state_.satiated[partner] == 0) return;  // isolated nodes get nothing
+std::size_t GossipEngine::do_attacker_dump(std::uint32_t a,
+                                           std::uint32_t partner, Round round,
+                                           std::size_t limit) {
+  if (state_.evicted[a] != 0 || state_.evicted[partner] != 0) return 0;
+  if (state_.roles[partner] != Role::kHonest) return 0;
+  if (state_.satiated[partner] == 0) return 0;  // isolated nodes get nothing
   const IdRange active = clock_.active(round);
   // Dump: every update the attacker has ("every update he has", §2), up to
   // the protocol ceiling of this slot and the rate-limit defence. As in the
@@ -338,20 +430,230 @@ void GossipEngine::attacker_interaction(std::uint32_t a, std::uint32_t partner,
   if (config_.service_cap != 0) {
     cap = std::min<std::size_t>(cap, config_.service_cap);
   }
-  const std::size_t given = state_.holdings(partner).transfer_from(
+  return state_.holdings(partner).transfer_from(
       attacker_pool_lagged_.view(), active.lo, active.hi, cap);
+}
+
+void GossipEngine::attacker_interaction(std::uint32_t a, std::uint32_t partner,
+                                        Round round, std::size_t limit) {
+  const std::size_t given = do_attacker_dump(a, partner, round, limit);
   stats_.attacker_dump_updates += given;
   maybe_report(a, partner, given, round);
 }
 
+bool GossipEngine::missing_expiring(std::uint32_t i, Round round) const {
+  const IdRange expiring = clock_.expiring_soon(round);
+  return expiring.size() >
+         state_.holdings(i).count_range(expiring.lo, expiring.hi);
+}
+
+GossipEngine::SlotKind GossipEngine::classify_slot(Round round, std::uint32_t i,
+                                                   bool push_phase,
+                                                   std::uint32_t& j) const {
+  // Mirrors the serial loop's branch structure exactly, reading only state
+  // that is constant across the phase: roles and obedience never change
+  // mid-run, rotation happens at round start, and evictions apply at round
+  // end (process_reports), so participates()/satiated are fixed while the
+  // phase runs. Holdings — the only state interactions mutate — never enter
+  // the decision here; the two holdings-dependent guards (the honest push
+  // trigger and the zero-transfer no-ops) are evaluated at execution time,
+  // where wavefront ordering guarantees the node has seen exactly the
+  // earlier-order interactions the serial loop would have applied.
+  if (!participates(i)) return SlotKind::kNone;
+  if (!push_phase) {
+    if (state_.roles[i] == Role::kAttacker &&
+        plan_.kind == AttackKind::kIdealLotus) {
+      return SlotKind::kNone;  // ideal attacker never trades
+    }
+    j = schedule_.partner_of(round, i,
+                             crypto::PartnerPurpose::kBalancedExchange);
+    if (!participates(j)) return SlotKind::kNone;
+    if (is_trade_attacker(i)) return SlotKind::kAttackerTrade;
+    if (is_trade_attacker(j)) {
+      return config_.trade_dump_on_response ? SlotKind::kAttackerTradeResp
+                                            : SlotKind::kNone;
+    }
+    if (state_.roles[j] == Role::kAttacker) return SlotKind::kNone;
+    if (state_.roles[i] == Role::kHonest && state_.roles[j] == Role::kHonest) {
+      return SlotKind::kExchange;
+    }
+    return SlotKind::kNone;
+  }
+  if (is_trade_attacker(i)) {
+    j = schedule_.partner_of(round, i, crypto::PartnerPurpose::kOptimisticPush);
+    return participates(j) ? SlotKind::kAttackerPush : SlotKind::kNone;
+  }
+  if (state_.roles[i] != Role::kHonest) return SlotKind::kNone;
+  // The serial loop checks the push trigger before looking the partner up,
+  // but partner_of is a pure hash — looking it up here consumes nothing, so
+  // deferring the trigger to execution time leaves the trajectory unchanged.
+  j = schedule_.partner_of(round, i, crypto::PartnerPurpose::kOptimisticPush);
+  if (!participates(j)) return SlotKind::kNone;
+  if (is_trade_attacker(j)) {
+    return config_.trade_dump_on_response ? SlotKind::kAttackerPushResp
+                                          : SlotKind::kNone;
+  }
+  if (state_.roles[j] == Role::kAttacker) return SlotKind::kNone;
+  return SlotKind::kPush;
+}
+
+void GossipEngine::exec_slot(std::uint32_t p, Round round, bool push_phase,
+                             WorkerScratch& fx) {
+  const std::uint32_t i = order_[p];
+  std::uint32_t j = i;
+  const SlotKind kind = classify_slot(round, i, push_phase, j);
+  const auto stage = [&](std::uint8_t seq, std::uint32_t giver,
+                         std::uint32_t receiver, std::size_t given) {
+    if (would_report(receiver, given)) {
+      fx.reports.push_back({(static_cast<std::uint64_t>(p) << 1) | seq, giver,
+                            receiver, static_cast<std::uint64_t>(given)});
+    }
+  };
+  switch (kind) {
+    case SlotKind::kNone:
+      return;
+    case SlotKind::kExchange: {
+      const auto [to_j, to_i] = do_balanced_exchange(i, j, round);
+      if (to_i + to_j > 0) ++fx.balanced_exchanges;
+      fx.exchange_updates += to_i + to_j;
+      stage(0, i, j, to_j);
+      stage(1, j, i, to_i);
+      return;
+    }
+    case SlotKind::kPush: {
+      if (!missing_expiring(i, round)) return;
+      const auto [taken, returned] = do_optimistic_push(i, j, round);
+      if (taken > 0) {
+        ++fx.pushes;
+        fx.push_updates += returned;
+        fx.junk_updates += taken - returned;
+      }
+      stage(0, i, j, taken);
+      stage(1, j, i, returned);
+      return;
+    }
+    case SlotKind::kAttackerTrade:
+    case SlotKind::kAttackerTradeResp:
+    case SlotKind::kAttackerPush:
+    case SlotKind::kAttackerPushResp: {
+      const bool responder_dump = kind == SlotKind::kAttackerTradeResp ||
+                                  kind == SlotKind::kAttackerPushResp;
+      if (kind == SlotKind::kAttackerPushResp && !missing_expiring(i, round)) {
+        return;  // honest i never initiated, so j never got a response slot
+      }
+      const std::uint32_t attacker = responder_dump ? j : i;
+      const std::uint32_t partner = responder_dump ? i : j;
+      const std::size_t limit = (kind == SlotKind::kAttackerTrade ||
+                                 kind == SlotKind::kAttackerTradeResp)
+                                    ? kUncapped
+                                    : config_.push_size;
+      const std::size_t given = do_attacker_dump(attacker, partner, round, limit);
+      fx.dump_updates += given;
+      stage(0, attacker, partner, given);
+      return;
+    }
+  }
+}
+
+void GossipEngine::run_interactions_parallel(Round round, bool push_phase) {
+  const std::size_t n = order_.size();
+  auto& slot = state_.wave_slot;
+  // Plan: resolve every initiation slot's partner in parallel (pure reads of
+  // round-constant state + the keyed-hash schedule). A slot that produces no
+  // interaction stores the initiator itself — partner_of never returns the
+  // initiator, so i is a safe sentinel.
+  pool_->parallel_chunks(
+      n, kChunkGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          const std::uint32_t i = order_[p];
+          std::uint32_t j = i;
+          slot[p] = classify_slot(round, i, push_phase, j) == SlotKind::kNone
+                        ? i
+                        : j;
+        }
+      });
+  // Wave assignment: one sequential O(n) scan (the only serial part of the
+  // phase), then a counting-sort scatter of slots into wave order.
+  waves_.begin(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint32_t i = order_[p];
+    const std::uint32_t j = slot[p];
+    slot[p] = j == i ? 0 : waves_.add(i, j);
+  }
+  waves_.seal();
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint32_t w = slot[p];
+    if (w == 0) continue;
+    state_.wave_order[waves_.place(w)] = static_cast<std::uint32_t>(p);
+  }
+  if (waves_.items() == 0) return;
+  // Execute: all workers sweep the waves in lockstep, claiming interaction
+  // slots in small batches off a shared cursor. The cursor is monotone
+  // across the whole phase (wave ranges are contiguous in wave_order) and
+  // CAS-clamped so it never crosses the current wave's end before the
+  // barrier; the barrier orders wave w's writes before wave w+1's reads.
+  exec_cursor_.store(0, std::memory_order_relaxed);
+  const std::uint32_t wave_count = waves_.waves();
+  pool_->run_on_workers([&](std::size_t worker) {
+    auto& fx = state_.workers[worker];
+    fx.reset();
+    for (std::uint32_t w = 1; w <= wave_count; ++w) {
+      const std::uint32_t end = waves_.wave_end(w);
+      std::uint32_t cur = exec_cursor_.load(std::memory_order_relaxed);
+      while (cur < end) {
+        const std::uint32_t next = std::min(end, cur + kClaimBatch);
+        if (exec_cursor_.compare_exchange_weak(cur, next,
+                                               std::memory_order_relaxed)) {
+          for (std::uint32_t k = cur; k < next; ++k) {
+            exec_slot(state_.wave_order[k], round, push_phase, fx);
+          }
+          cur = exec_cursor_.load(std::memory_order_relaxed);
+        }
+      }
+      barrier_->arrive_and_wait();
+    }
+  });
+  replay_worker_effects(round);
+}
+
+void GossipEngine::replay_worker_effects(Round round) {
+  auto& staged = state_.staged_reports;
+  staged.clear();
+  for (auto& fx : state_.workers) {
+    stats_.balanced_exchanges += fx.balanced_exchanges;
+    stats_.exchange_updates += fx.exchange_updates;
+    stats_.pushes += fx.pushes;
+    stats_.push_updates += fx.push_updates;
+    stats_.junk_updates += fx.junk_updates;
+    stats_.attacker_dump_updates += fx.dump_updates;
+    staged.insert(staged.end(), fx.reports.begin(), fx.reports.end());
+  }
+  // Keys are (initiation slot, report sequence) — the serial emission order —
+  // and unique, so the sort restores exactly the order maybe_report would
+  // have filed these in, and with it the eviction timing in process_reports.
+  std::sort(staged.begin(), staged.end(),
+            [](const StagedReport& a, const StagedReport& b) {
+              return a.key < b.key;
+            });
+  for (const auto& r : staged) {
+    pending_reports_.push_back(crypto::make_record(
+        registry_, round, r.giver, r.receiver,
+        static_cast<std::uint32_t>(r.given)));
+    ++stats_.reports_filed;
+  }
+}
+
+bool GossipEngine::would_report(std::uint32_t receiver,
+                                std::size_t updates_given) const noexcept {
+  return config_.reporting_enabled &&
+         updates_given > config_.service_limit &&
+         state_.roles[receiver] == Role::kHonest &&
+         state_.obedient[receiver] != 0;
+}
+
 void GossipEngine::maybe_report(std::uint32_t giver, std::uint32_t receiver,
                                 std::size_t updates_given, Round round) {
-  if (!config_.reporting_enabled) return;
-  if (updates_given <= config_.service_limit) return;
-  if (state_.roles[receiver] != Role::kHonest ||
-      state_.obedient[receiver] == 0) {
-    return;  // rational nodes keep quiet about service they benefit from
-  }
+  if (!would_report(receiver, updates_given)) return;
   pending_reports_.push_back(crypto::make_record(
       registry_, round, giver, receiver,
       static_cast<std::uint32_t>(updates_given)));
@@ -405,8 +707,8 @@ GossipResult GossipEngine::collect_metrics() const {
   if (model_ == StateModel::kDense) {
     dense_held.resize(config_.nodes, 0);
     dense_unusable.resize(config_.nodes, 0);
-    for (std::uint32_t v = 0; v < config_.nodes; ++v) {
-      if (state_.roles[v] != Role::kHonest) continue;
+    const auto scan_node = [&](std::uint32_t v) {
+      if (state_.roles[v] != Role::kHonest) return;
       dense_held[v] = state_.holdings(v).count_range(measured.lo, measured.hi);
       for (Round g = first_gen; g < end_gen; ++g) {
         const auto lo = static_cast<UpdateId>(g) * config_.updates_per_round;
@@ -415,6 +717,21 @@ GossipResult GossipEngine::collect_metrics() const {
                 lo, lo + config_.updates_per_round)) / gen_size;
         if (got <= config_.usability_threshold) ++dense_unusable[v];
       }
+    };
+    if (threads_ > 1) {
+      // Per-node integer writes only; the floating-point work is a per-node
+      // compare with no accumulation, so the scan parallelises without
+      // touching the result's rounding. (The delivery averages below stay
+      // serial: their summation order is part of the golden contract.)
+      pool_->parallel_chunks(
+          config_.nodes, kChunkGrain,
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t v = begin; v < end; ++v) {
+              scan_node(static_cast<std::uint32_t>(v));
+            }
+          });
+    } else {
+      for (std::uint32_t v = 0; v < config_.nodes; ++v) scan_node(v);
     }
     pool_held = attacker_pool_.count_range(measured.lo, measured.hi);
     held_by = dense_held.data();
@@ -477,8 +794,9 @@ GossipResult GossipEngine::collect_metrics() const {
   return result;
 }
 
-GossipResult run_gossip(const GossipConfig& config, const AttackPlan& plan) {
-  GossipEngine engine{config, plan};
+GossipResult run_gossip(const GossipConfig& config, const AttackPlan& plan,
+                        std::size_t threads) {
+  GossipEngine engine{config, plan, StateModel::kWindowed, threads};
   return engine.run();
 }
 

@@ -23,8 +23,24 @@
 // keeps the reference behaviour (full-lifetime window, end-of-run bitmap
 // scans) for parity tests and full-lifetime diagnostics; both models are
 // stream-identical (same RNG draws, same transfers) by construction.
+// Parallel execution: a GossipEngine constructed with threads > 1 runs the
+// per-round hot loops on a private sim::ThreadPool, bit-identical to the
+// serial engine at any thread count. The per-node passes (generation fold,
+// ideal multicast, dense metrics scan) parallelise trivially — side effects
+// are staged per fixed-size chunk and replayed in node order. The
+// interaction loops are plan/execute split: the round's interaction list is
+// materialised from order_ and the pure keyed-hash partner schedule (the RNG
+// stream is untouched — the batched Fisher-Yates already drew everything up
+// front), greedily wavefront-scheduled (sim::WaveSchedule: an interaction
+// runs only after every earlier-order interaction sharing a node), and the
+// waves executed with a barrier between them. Traffic counters accumulate
+// per worker (integer sums commute); eviction reports are staged with their
+// serial emission rank and replayed in that order, so pending_reports_ —
+// and therefore eviction timing — is reproduced exactly.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
 #include "crypto/partner.h"
@@ -34,6 +50,7 @@
 #include "gossip/metrics.h"
 #include "gossip/node_state.h"
 #include "gossip/update_store.h"
+#include "sim/parallel.h"
 #include "sim/rng.h"
 #include "sim/window_bitset.h"
 
@@ -51,11 +68,20 @@ enum class StateModel : std::uint8_t {
 
 class GossipEngine {
  public:
+  /// `threads` is the round-loop worker count: 1 runs the reference serial
+  /// loops, >1 the wavefront-parallel path (results are bit-identical either
+  /// way), and 0 defers to sim::engine_threads() (env LOTUS_ENGINE_THREADS,
+  /// default serial). Deliberately excluded from exp::config_hash — the same
+  /// trial hashes the same at any width.
   GossipEngine(GossipConfig config, AttackPlan plan,
-               StateModel model = StateModel::kWindowed);
+               StateModel model = StateModel::kWindowed,
+               std::size_t threads = 0);
 
   /// Runs the full horizon and returns the delivery metrics.
   [[nodiscard]] GossipResult run();
+
+  /// Round-loop worker count this engine resolved to (>= 1).
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
   /// Read-only views for tests.
   [[nodiscard]] const Cast& cast() const noexcept { return cast_; }
@@ -85,6 +111,20 @@ class GossipEngine {
   void process_reports(Round round);
 
   // --- Interactions --------------------------------------------------------
+  /// State-transfer cores, shared by the serial wrappers and the wavefront
+  /// executor so both paths are the same code by construction. They move
+  /// window bits and nothing else; the callers account stats and reports.
+  struct TransferOutcome {
+    std::size_t forward = 0;  // updates moved initiator -> responder
+    std::size_t back = 0;     // updates moved responder -> initiator
+  };
+  TransferOutcome do_balanced_exchange(std::uint32_t i, std::uint32_t j,
+                                       Round round);
+  TransferOutcome do_optimistic_push(std::uint32_t i, std::uint32_t j,
+                                     Round round);
+  std::size_t do_attacker_dump(std::uint32_t a, std::uint32_t partner,
+                               Round round, std::size_t limit);
+
   /// Protocol-abiding balanced exchange between two honest nodes.
   void balanced_exchange(std::uint32_t i, std::uint32_t j, Round round);
   /// Protocol-abiding optimistic push initiated by `i` toward `j`.
@@ -95,6 +135,36 @@ class GossipEngine {
   /// a balanced exchange the attacker initiates, push_size for a push.
   void attacker_interaction(std::uint32_t a, std::uint32_t partner, Round round,
                             std::size_t limit);
+
+  // --- Wavefront-parallel interaction phases ------------------------------
+  /// What one initiation slot of a phase resolves to, derived from
+  /// round-constant state only (roles, eviction, config — never holdings),
+  /// so the planner and the executor reach the same decision the serial
+  /// loop would.
+  enum class SlotKind : std::uint8_t {
+    kNone,
+    kExchange,           // honest i <-> honest j balanced exchange
+    kAttackerTrade,      // trade attacker i dumps into responder j (uncapped)
+    kAttackerTradeResp,  // trade attacker j dumps into initiator i (uncapped)
+    kPush,               // honest i pushes to honest j (runtime missing check)
+    kAttackerPush,       // trade attacker i dumps into j (push_size ceiling)
+    kAttackerPushResp,   // trade attacker j dumps into i (push_size ceiling)
+  };
+  SlotKind classify_slot(Round round, std::uint32_t i, bool push_phase,
+                         std::uint32_t& j) const;
+  /// Plan + wavefront-execute one interaction phase on the pool.
+  void run_interactions_parallel(Round round, bool push_phase);
+  /// Executes the interaction of initiation slot p (if any) into fx.
+  void exec_slot(std::uint32_t p, Round round, bool push_phase,
+                 WorkerScratch& fx);
+  /// True when i is missing soon-expiring updates (the push trigger).
+  [[nodiscard]] bool missing_expiring(std::uint32_t i, Round round) const;
+  /// The serial maybe_report predicate, shared with the staging paths.
+  [[nodiscard]] bool would_report(std::uint32_t receiver,
+                                  std::size_t updates_given) const noexcept;
+  /// Merges per-worker staged reports in serial emission order into
+  /// pending_reports_ and folds the worker counters into stats_.
+  void replay_worker_effects(Round round);
 
   [[nodiscard]] bool participates(std::uint32_t v) const noexcept;
   [[nodiscard]] bool is_trade_attacker(std::uint32_t v) const noexcept;
@@ -137,11 +207,23 @@ class GossipEngine {
   std::vector<crypto::ExchangeRecord> pending_reports_;
 
   GossipResult stats_;  // traffic counters accumulated during run()
+
+  // --- Parallel execution (threads_ > 1 only) -----------------------------
+  std::size_t threads_ = 1;
+  std::unique_ptr<sim::ThreadPool> pool_;
+  std::unique_ptr<sim::Barrier> barrier_;
+  sim::WaveSchedule waves_;
+  /// Shared claim cursor over state_.wave_order during wave execution.
+  /// Monotone across a phase (wave ranges are contiguous), advanced by CAS
+  /// so it never overshoots a wave boundary.
+  std::atomic<std::uint32_t> exec_cursor_{0};
 };
 
 /// Convenience wrapper used by benches and sweeps: run one configuration
-/// with one attack and return the metrics.
+/// with one attack and return the metrics. `threads` as in GossipEngine
+/// (0 = env default); results are thread-count invariant.
 [[nodiscard]] GossipResult run_gossip(const GossipConfig& config,
-                                      const AttackPlan& plan);
+                                      const AttackPlan& plan,
+                                      std::size_t threads = 0);
 
 }  // namespace lotus::gossip

@@ -24,6 +24,51 @@
 
 namespace lotus::gossip {
 
+/// One eviction report captured during a parallel phase, deferred so the
+/// engine can replay reports in the exact order the serial loop would have
+/// filed them. `key` is the serial emission rank: for interaction phases
+/// (initiation slot << 1) | report sequence within the interaction; for the
+/// multicast pass, the receiving node id (reports are staged per chunk and
+/// chunks replay in node order, so the key is only kept for debugging there).
+struct StagedReport {
+  std::uint64_t key = 0;
+  std::uint32_t giver = 0;
+  std::uint32_t receiver = 0;
+  std::uint64_t given = 0;
+};
+
+/// Per-worker effect accumulators for the wavefront interaction executor:
+/// integer traffic counters (summed into GossipResult in worker order —
+/// integer addition commutes, so the totals are thread-count invariant) and
+/// the worker's staged reports (merged and key-sorted before replay).
+struct WorkerScratch {
+  std::uint64_t balanced_exchanges = 0;
+  std::uint64_t exchange_updates = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t push_updates = 0;
+  std::uint64_t junk_updates = 0;
+  std::uint64_t dump_updates = 0;
+  std::vector<StagedReport> reports;
+
+  void reset() noexcept {
+    balanced_exchanges = 0;
+    exchange_updates = 0;
+    pushes = 0;
+    push_updates = 0;
+    junk_updates = 0;
+    dump_updates = 0;
+    reports.clear();
+  }
+};
+
+/// Per-chunk effect staging for the parallel ideal-multicast pass. Chunk
+/// boundaries are fixed by (nodes, grain) alone, so replaying chunks in
+/// index order reproduces the serial node-order side effects exactly.
+struct ChunkScratch {
+  std::uint64_t dumped = 0;
+  std::vector<StagedReport> reports;
+};
+
 struct NodeState {
   std::uint32_t nodes = 0;
   std::uint64_t window_bits = 1;
@@ -52,6 +97,21 @@ struct NodeState {
   /// Measured generations delivered at or below the usability threshold.
   std::vector<std::uint32_t> unusable_generations;
 
+  // --- Parallel-engine scratch (allocated by init_parallel_scratch only
+  // when the engine runs multi-threaded; empty and costless otherwise) -----
+  /// Per initiation slot: during planning, the slot's partner (or the
+  /// initiator itself when the slot produces no interaction); after wave
+  /// assignment, the slot's 1-based wave number (0 = no interaction).
+  std::vector<std::uint32_t> wave_slot;
+  /// Initiation-slot indexes bucketed by wave (the executor's work list).
+  std::vector<std::uint32_t> wave_order;
+  /// One accumulator set per pool worker.
+  std::vector<WorkerScratch> workers;
+  /// One staging slot per fixed multicast chunk.
+  std::vector<ChunkScratch> chunks;
+  /// Merge buffer for the per-worker staged reports (key-sorted for replay).
+  std::vector<StagedReport> staged_reports;
+
   void init(const Cast& cast, std::uint64_t window) {
     nodes = static_cast<std::uint32_t>(cast.roles.size());
     window_bits = window == 0 ? 1 : window;
@@ -72,6 +132,16 @@ struct NodeState {
     unusable_generations.assign(nodes, 0);
   }
 
+  /// Sizes the multi-threaded engine's scratch: the interaction/wave arrays
+  /// (one u32 each per node), `worker_count` effect accumulators, and
+  /// `chunk_count` multicast staging slots.
+  void init_parallel_scratch(std::size_t worker_count, std::size_t chunk_count) {
+    wave_slot.assign(nodes, 0);
+    wave_order.assign(nodes, 0);
+    workers.assign(worker_count, WorkerScratch{});
+    chunks.assign(chunk_count, ChunkScratch{});
+  }
+
   [[nodiscard]] sim::WindowBitsetView holdings(std::uint32_t v) noexcept {
     return {holdings_words.data() + static_cast<std::size_t>(v) * words_per_node,
             window_bits};
@@ -84,12 +154,21 @@ struct NodeState {
   /// Bytes held by the per-node state block (the bench/micro bytes-per-node
   /// counter).
   [[nodiscard]] std::size_t byte_size() const noexcept {
+    std::size_t staging = staged_reports.capacity() * sizeof(StagedReport);
+    for (const auto& w : workers) {
+      staging += sizeof(WorkerScratch) + w.reports.capacity() * sizeof(StagedReport);
+    }
+    for (const auto& c : chunks) {
+      staging += sizeof(ChunkScratch) + c.reports.capacity() * sizeof(StagedReport);
+    }
     return roles.capacity() * sizeof(Role) + obedient.capacity() +
            evicted.capacity() + satiated.capacity() + ever_satiated.capacity() +
            oob_received.capacity() * sizeof(std::uint64_t) +
            holdings_words.capacity() * sizeof(std::uint64_t) +
            measured_held.capacity() * sizeof(std::uint64_t) +
-           unusable_generations.capacity() * sizeof(std::uint32_t);
+           unusable_generations.capacity() * sizeof(std::uint32_t) +
+           (wave_slot.capacity() + wave_order.capacity()) * sizeof(std::uint32_t) +
+           staging;
   }
 };
 

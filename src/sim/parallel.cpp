@@ -29,6 +29,17 @@ std::size_t sweep_threads() noexcept {
   return hw > 0 ? hw : 1;
 }
 
+std::size_t engine_threads() noexcept {
+  if (const char* env = std::getenv("LOTUS_ENGINE_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return std::min(static_cast<std::size_t>(parsed), kMaxSweepThreads);
+    }
+  }
+  return 1;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   size_ = std::min(threads > 0 ? threads : sweep_threads(), kMaxSweepThreads);
   if (size_ == 1) return;  // inline mode: no workers, no locking
@@ -134,6 +145,34 @@ void ThreadPool::parallel_for(std::size_t n,
   wait();
 }
 
+void ThreadPool::parallel_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  parallel_for(chunks, [n, grain, &body](std::size_t c) {
+    const std::size_t begin = c * grain;
+    body(c, begin, std::min(n, begin + grain));
+  });
+}
+
+void ThreadPool::run_on_workers(const std::function<void(std::size_t)>& body) {
+  if (workers_.empty()) {
+    try {
+      body(0);
+    } catch (...) {
+      record_error();
+    }
+    wait();
+    return;
+  }
+  for (std::size_t w = 0; w < size_; ++w) {
+    submit([w, &body] { body(w); });
+  }
+  wait();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
@@ -155,6 +194,49 @@ void ThreadPool::worker_loop() {
       if (pending_ == 0) all_done_.notify_all();
     }
   }
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock lock(mu_);
+  const std::uint64_t generation = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    released_.notify_all();
+    return;
+  }
+  released_.wait(lock, [this, generation] { return generation_ != generation; });
+}
+
+void WaveSchedule::begin(std::size_t resources) {
+  last_wave_.assign(resources, 0);
+  counts_.clear();
+  begins_.clear();
+  cursor_.clear();
+  items_ = 0;
+}
+
+std::uint32_t WaveSchedule::add(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t w = std::max(last_wave_[a], last_wave_[b]) + 1;
+  last_wave_[a] = w;
+  last_wave_[b] = w;
+  // Wave numbers never jump: w <= waves()+1, so counts_ grows by at most one.
+  if (w > counts_.size()) counts_.push_back(0);
+  ++counts_[w - 1];
+  ++items_;
+  return w;
+}
+
+void WaveSchedule::seal() {
+  begins_.resize(counts_.size() + 1);
+  cursor_.resize(counts_.size());
+  std::uint32_t acc = 0;
+  for (std::size_t w = 0; w < counts_.size(); ++w) {
+    begins_[w] = acc;
+    cursor_[w] = acc;
+    acc += counts_[w];
+  }
+  begins_[counts_.size()] = acc;
 }
 
 }  // namespace lotus::sim

@@ -56,20 +56,108 @@ std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
   return draw_below(*this, bound);
 }
 
+namespace {
+/// Block size for the batch rejection fills below: big enough to amortise
+/// per-draw call structure, small enough to live in a stack buffer.
+constexpr std::size_t kFillBlock = 128;
+}  // namespace
+
 void Rng::fill_below(std::uint64_t bound, std::span<std::uint64_t> out) noexcept {
   if (bound == 0) {
     // next_below(0) returns 0 without consuming the stream; match it.
     std::fill(out.begin(), out.end(), std::uint64_t{0});
     return;
   }
-  for (auto& slot : out) slot = draw_below(*this, bound);
+  // Block-reject Lemire: pre-generate exactly one raw draw per element (the
+  // accept path consumes exactly one), then sweep accept/reject across the
+  // block. A rejected element re-draws from the remaining buffered raws — or
+  // directly from the generator once the block is spent — so raw draws are
+  // consumed in generation order and the output is byte-identical to
+  // sequential next_below(bound) calls. The win is the tight branch-free
+  // generation loop; rejection (probability < bound / 2^64) stays rare.
+  std::uint64_t raw[kFillBlock];
+  std::uint64_t threshold = 0;  // 2^64 mod bound, computed on first rejection
+  bool have_threshold = false;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t count = std::min(kFillBlock, out.size() - done);
+    for (std::size_t k = 0; k < count; ++k) raw[k] = (*this)();
+    // Fast sweep: while no draw has been rejected, element k's draw is
+    // raw[k] exactly, so the loop is a pure multiply-shift with one
+    // well-predicted branch. Leave at the first *potential* rejection.
+    std::size_t k = 0;
+    while (k < count) {
+      const __uint128_t m = static_cast<__uint128_t>(raw[k]) * bound;
+      if (static_cast<std::uint64_t>(m) < bound) [[unlikely]] break;
+      out[done + k] = static_cast<std::uint64_t>(m >> 64);
+      ++k;
+    }
+    // Careful tail: rejections consume later buffered raws (in generation
+    // order) and fall through to direct draws once the block is spent.
+    std::size_t cursor = k;
+    for (; k < count; ++k) {
+      std::uint64_t x = cursor < count ? raw[cursor++] : (*this)();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      auto low = static_cast<std::uint64_t>(m);
+      if (low < bound) [[unlikely]] {
+        if (!have_threshold) {
+          threshold = -bound % bound;
+          have_threshold = true;
+        }
+        while (low < threshold) {
+          x = cursor < count ? raw[cursor++] : (*this)();
+          m = static_cast<__uint128_t>(x) * bound;
+          low = static_cast<std::uint64_t>(m);
+        }
+      }
+      out[done + k] = static_cast<std::uint64_t>(m >> 64);
+    }
+    done += count;
+  }
 }
 
 void Rng::fill_below_descending(std::uint64_t first_bound,
                                 std::span<std::uint64_t> out) noexcept {
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    const std::uint64_t bound = first_bound > k ? first_bound - k : 0;
-    out[k] = bound > 0 ? draw_below(*this, bound) : 0;
+  // Elements at k >= first_bound have bound 0: output 0, no stream use.
+  const std::size_t draws =
+      first_bound < out.size() ? static_cast<std::size_t>(first_bound)
+                               : out.size();
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(draws), out.end(),
+            std::uint64_t{0});
+  // Same block-reject scheme as fill_below; the per-element bound varies so
+  // the rejection threshold is recomputed per rejection, exactly like the
+  // scalar draw_below.
+  std::uint64_t raw[kFillBlock];
+  std::size_t done = 0;
+  while (done < draws) {
+    const std::size_t count = std::min(kFillBlock, draws - done);
+    for (std::size_t k = 0; k < count; ++k) raw[k] = (*this)();
+    // Fast sweep until the first potential rejection (see fill_below).
+    std::size_t k = 0;
+    while (k < count) {
+      const std::uint64_t bound = first_bound - (done + k);
+      const __uint128_t m = static_cast<__uint128_t>(raw[k]) * bound;
+      if (static_cast<std::uint64_t>(m) < bound) [[unlikely]] break;
+      out[done + k] = static_cast<std::uint64_t>(m >> 64);
+      ++k;
+    }
+    std::size_t cursor = k;
+    for (; k < count; ++k) {
+      const std::uint64_t bound = first_bound - (done + k);
+      std::uint64_t x = cursor < count ? raw[cursor++] : (*this)();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      auto low = static_cast<std::uint64_t>(m);
+      if (low < bound) [[unlikely]] {
+        const std::uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+          x = cursor < count ? raw[cursor++] : (*this)();
+          m = static_cast<__uint128_t>(x) * bound;
+          low = static_cast<std::uint64_t>(m);
+        }
+      }
+      out[done + k] = static_cast<std::uint64_t>(m >> 64);
+    }
+    done += count;
   }
 }
 

@@ -214,6 +214,85 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WindowedParitySweep,
                          ::testing::Values(7u, 1977u, 2008u));
 
 // ---------------------------------------------------------------------------
+// Parallel engine parity: the wavefront-scheduled round loops must return a
+// GossipResult bit-identical to the serial reference at every worker count,
+// under both state models. This is the contract that lets --engine-threads
+// stay outside config hashing and the stdout goldens.
+// ---------------------------------------------------------------------------
+
+class ParallelEngineParitySweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  gossip::GossipConfig config() const {
+    gossip::GossipConfig c;
+    c.nodes = 120;
+    c.rounds = 60;
+    c.seed = GetParam();
+    return c;
+  }
+
+  /// Serial run once per model, then every parallel width against it.
+  void expect_parallel_parity(const gossip::GossipConfig& c,
+                              const gossip::AttackPlan& plan,
+                              const char* what) const {
+    for (const auto model :
+         {gossip::StateModel::kWindowed, gossip::StateModel::kDense}) {
+      gossip::GossipEngine serial{c, plan, model, 1};
+      ASSERT_EQ(serial.threads(), 1u);
+      const auto reference = serial.run();
+      for (const auto threads : {std::size_t{2}, std::size_t{5},
+                                 std::size_t{8}}) {
+        gossip::GossipEngine parallel{c, plan, model, threads};
+        ASSERT_EQ(parallel.threads(), threads) << what;
+        expect_identical_results(parallel.run(), reference, what);
+      }
+    }
+  }
+};
+
+TEST_P(ParallelEngineParitySweep, EveryAttackKind) {
+  for (const auto kind :
+       {gossip::AttackKind::kNone, gossip::AttackKind::kCrash,
+        gossip::AttackKind::kIdealLotus, gossip::AttackKind::kTradeLotus}) {
+    gossip::AttackPlan plan;
+    plan.kind = kind;
+    plan.attacker_fraction = kind == gossip::AttackKind::kNone ? 0.0 : 0.25;
+    expect_parallel_parity(config(), plan, "attack kind sweep");
+  }
+}
+
+TEST_P(ParallelEngineParitySweep, ReportingAndRotation) {
+  // Reports are filed from parallel workers (staged, then replayed in the
+  // serial emission order), and rotation re-draws the satiated set
+  // mid-run; evictions change who participates in later waves.
+  auto c = config();
+  c.reporting_enabled = true;
+  c.service_limit = 10;
+  c.obedient_fraction = 0.6;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.25;
+  plan.rotation_period = 7;
+  expect_parallel_parity(c, plan, "reporting + rotation");
+}
+
+TEST_P(ParallelEngineParitySweep, DumpOnResponseUnbalancedAndCaps) {
+  // The widest interaction surface: attacker dumps on responses too, the
+  // obedient give an extra update, and the service cap clips transfers.
+  auto c = config();
+  c.trade_dump_on_response = true;
+  c.unbalanced_exchange = true;
+  c.service_cap = 6;
+  c.push_size = 3;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.3;
+  expect_parallel_parity(c, plan, "dump-on-response + unbalanced + caps");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEngineParitySweep,
+                         ::testing::Values(1u, 1977u));
+
+// ---------------------------------------------------------------------------
 // Token model invariants across topologies.
 // ---------------------------------------------------------------------------
 

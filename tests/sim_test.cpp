@@ -142,6 +142,20 @@ TEST(Rng, FillBelowDescendingMatchesScalarPath) {
   EXPECT_EQ(batch(), scalar());
 }
 
+TEST(Rng, FillBelowHighRejectionMatchesScalarPath) {
+  // bound = 2^63 + 1 makes Lemire reject roughly half of all raw draws, so
+  // the block path exhausts its pre-generated raws and falls through to
+  // direct draws; stream consumption must still match the scalar loop
+  // exactly.
+  const std::uint64_t bound = (std::uint64_t{1} << 63) + 1;
+  Rng scalar{321};
+  Rng batch{321};
+  std::vector<std::uint64_t> out(300);
+  batch.fill_below(bound, std::span<std::uint64_t>{out});
+  for (const auto v : out) EXPECT_EQ(v, scalar.next_below(bound));
+  EXPECT_EQ(batch(), scalar());
+}
+
 TEST(Rng, BatchedFisherYatesMatchesShuffle) {
   // The gossip engine draws its per-round shuffle variates through
   // fill_below_descending; the resulting permutation must equal
@@ -675,6 +689,133 @@ TEST(Parallel, AbandonsRemainingIterationsAfterThrow) {
                         }),
       std::runtime_error);
   EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(Parallel, EngineThreadsReadsEnvAndDefaultsSerial) {
+  // Unlike sweep_threads(), the unset default is 1: engines usually run
+  // inside sweep trials that already own the cores.
+  unset_env("LOTUS_ENGINE_THREADS");
+  EXPECT_EQ(engine_threads(), 1u);
+  set_env("LOTUS_ENGINE_THREADS", "5");
+  EXPECT_EQ(engine_threads(), 5u);
+  set_env("LOTUS_ENGINE_THREADS", "bogus");
+  EXPECT_EQ(engine_threads(), 1u);
+  set_env("LOTUS_ENGINE_THREADS", "999999999999999999999");
+  EXPECT_LE(engine_threads(), 1024u);
+  unset_env("LOTUS_ENGINE_THREADS");
+}
+
+TEST(Parallel, ParallelChunksCoversGridWithFixedBoundaries) {
+  // Chunk extents are a pure function of (n, grain): every index covered
+  // exactly once, chunk ids dense, boundaries independent of pool width.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool{threads};
+    std::vector<std::atomic<int>> hits(1000);
+    std::vector<std::atomic<int>> chunk_sizes(8);
+    pool.parallel_chunks(hits.size(), 128,
+                         [&](std::size_t chunk, std::size_t begin,
+                             std::size_t end) {
+                           ASSERT_EQ(begin, chunk * 128);
+                           ASSERT_EQ(end, std::min<std::size_t>(
+                                              1000, (chunk + 1) * 128));
+                           chunk_sizes[chunk].fetch_add(
+                               static_cast<int>(end - begin));
+                           for (std::size_t i = begin; i < end; ++i) {
+                             hits[i].fetch_add(1);
+                           }
+                         });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    for (std::size_t c = 0; c < chunk_sizes.size(); ++c) {
+      EXPECT_EQ(chunk_sizes[c].load(), c + 1 < chunk_sizes.size() ? 128 : 104);
+    }
+  }
+}
+
+TEST(Parallel, RunOnWorkersGivesEachWorkerOneSlot) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    ThreadPool pool{threads};
+    std::vector<std::atomic<int>> calls(pool.size());
+    pool.run_on_workers(
+        [&calls](std::size_t w) { calls[w].fetch_add(1); });
+    for (const auto& c : calls) EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(Parallel, RunOnWorkersBodiesRunConcurrentlyThroughBarrier) {
+  // The engine's wave loop depends on this: with an empty queue the
+  // bodies are 1:1 with workers, so a Barrier of size() parties inside
+  // them must rendezvous (twice, to prove the barrier resets).
+  ThreadPool pool{4};
+  Barrier barrier{pool.size()};
+  std::atomic<int> before{0};
+  std::atomic<int> between{0};
+  pool.run_on_workers([&](std::size_t) {
+    before.fetch_add(1);
+    barrier.arrive_and_wait();
+    EXPECT_EQ(before.load(), 4);
+    between.fetch_add(1);
+    barrier.arrive_and_wait();
+    EXPECT_EQ(between.load(), 4);
+  });
+  EXPECT_EQ(between.load(), 4);
+}
+
+TEST(WaveSchedule, DisjointInteractionsShareWaveOne) {
+  WaveSchedule schedule;
+  schedule.begin(8);
+  EXPECT_EQ(schedule.add(0, 1), 1u);
+  EXPECT_EQ(schedule.add(2, 3), 1u);
+  EXPECT_EQ(schedule.add(4, 5), 1u);
+  schedule.seal();
+  EXPECT_EQ(schedule.waves(), 1u);
+  EXPECT_EQ(schedule.items(), 3u);
+  EXPECT_EQ(schedule.wave_begin(1), 0u);
+  EXPECT_EQ(schedule.wave_end(1), 3u);
+}
+
+TEST(WaveSchedule, SharedResourceSerialisesInOrder) {
+  // A chain through node 1 must run one interaction per wave, while an
+  // independent pair drops into the earliest wave its endpoints allow.
+  WaveSchedule schedule;
+  schedule.begin(8);
+  EXPECT_EQ(schedule.add(0, 1), 1u);  // touches 1
+  EXPECT_EQ(schedule.add(1, 2), 2u);  // waits for (0,1)
+  EXPECT_EQ(schedule.add(2, 3), 3u);  // waits for (1,2)
+  EXPECT_EQ(schedule.add(4, 5), 1u);  // disjoint: wave 1
+  EXPECT_EQ(schedule.add(5, 0), 2u);  // max(wave(5)=1, wave(0)=1) + 1
+  schedule.seal();
+  EXPECT_EQ(schedule.waves(), 3u);
+  EXPECT_EQ(schedule.items(), 5u);
+  // Wave extents partition [0, items) in ascending wave order.
+  EXPECT_EQ(schedule.wave_begin(1), 0u);
+  EXPECT_EQ(schedule.wave_end(1), 2u);
+  EXPECT_EQ(schedule.wave_begin(2), 2u);
+  EXPECT_EQ(schedule.wave_end(2), 4u);
+  EXPECT_EQ(schedule.wave_begin(3), 4u);
+  EXPECT_EQ(schedule.wave_end(3), 5u);
+  // place() hands out slots within each wave in add() order.
+  EXPECT_EQ(schedule.place(1), 0u);
+  EXPECT_EQ(schedule.place(2), 2u);
+  EXPECT_EQ(schedule.place(3), 4u);
+  EXPECT_EQ(schedule.place(1), 1u);
+  EXPECT_EQ(schedule.place(2), 3u);
+}
+
+TEST(WaveSchedule, BeginResetsForReuse) {
+  WaveSchedule schedule;
+  schedule.begin(4);
+  (void)schedule.add(0, 1);
+  (void)schedule.add(1, 2);
+  schedule.seal();
+  EXPECT_EQ(schedule.waves(), 2u);
+  // A fresh round over the same buffers: no history may leak.
+  schedule.begin(4);
+  EXPECT_EQ(schedule.add(1, 2), 1u);
+  schedule.seal();
+  EXPECT_EQ(schedule.waves(), 1u);
+  EXPECT_EQ(schedule.items(), 1u);
+  EXPECT_EQ(schedule.wave_end(1), 1u);
 }
 
 // A trial with enough RNG state that any change to seed derivation or

@@ -15,6 +15,8 @@
 #include "coding/rlnc.h"
 #include "crypto/partner.h"
 #include "exp/trial_store.h"
+#include "fleet/protocol.h"
+#include "fleet/queue.h"
 #include "gossip/config.h"
 #include "gossip/engine.h"
 #include "rep/eigentrust.h"
@@ -349,6 +351,97 @@ BENCHMARK(BM_GossipScaleParallel)
     ->Iterations(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
+
+void BM_QueueClaimComplete(benchmark::State& state) {
+  // One fleet work-queue transition pair: claim the next unit, complete it.
+  // Both take the exclusive flock and the claim scans the slot array, so
+  // the cost grows with queue size as a drain progresses — iterating a full
+  // drain (recreating the queue when empty) prices the whole-campaign
+  // average a worker actually pays, not just the first claim.
+  const auto units_n = static_cast<std::size_t>(state.range(0));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lotus_micro_queue").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/queue.bin";
+  std::vector<fleet::WorkUnit> units(units_n);
+  for (std::size_t i = 0; i < units_n; ++i) {
+    units[i].bench = "unit_" + std::to_string(i);
+  }
+  auto recreate = [&] {
+    if (!fleet::WorkQueue::create(path, units, 60'000)) {
+      state.SkipWithError("queue create failed");
+    }
+  };
+  recreate();
+  fleet::WorkQueue queue{path};
+  std::size_t remaining = units_n;
+  for (auto _ : state) {
+    if (remaining == 0) {
+      state.PauseTiming();
+      recreate();
+      remaining = units_n;
+      state.ResumeTiming();
+    }
+    fleet::ClaimTicket ticket;
+    if (queue.claim(1, ticket) != fleet::WorkQueue::ClaimStatus::kClaimed ||
+        queue.complete(ticket) !=
+            fleet::WorkQueue::CompleteStatus::kCompleted) {
+      state.SkipWithError("claim/complete transition failed");
+      break;
+    }
+    --remaining;
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_QueueClaimComplete)
+    ->ArgNames({"units"})
+    ->Args({64})
+    ->Args({1024})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ProtocolEncodeDecode(benchmark::State& state) {
+  // A daemon round trip on the wire layer alone: encode the frames one
+  // lookup exchange produces (request, hit, miss, stats, ping) and drain
+  // them back through the strict FrameDecoder. This is the per-frame
+  // overhead the query daemon adds on top of the store probe itself.
+  const fleet::LookupKey key{0x1111u, std::bit_cast<std::uint64_t>(0.25), 7};
+  fleet::WireStats stats_payload{};
+  stats_payload.frames = 42;
+  const std::vector<std::uint8_t> ping(16, 0xab);
+  std::vector<std::uint8_t> wire;
+  std::size_t frames = 0;
+  for (auto _ : state) {
+    wire.clear();
+    fleet::append_lookup_request(wire, key);
+    fleet::append_lookup_hit(wire, key, 0.125);
+    fleet::append_lookup_miss(wire, key);
+    fleet::append_stats_request(wire);
+    fleet::append_stats_reply(wire, stats_payload);
+    fleet::append_frame(wire, fleet::FrameType::kPing, ping);
+    fleet::FrameDecoder decoder;
+    if (!decoder.feed(wire)) {
+      state.SkipWithError("decoder rejected a well-formed stream");
+      break;
+    }
+    fleet::Frame frame;
+    frames = 0;
+    while (decoder.next(frame) == fleet::FrameDecoder::Status::kFrame) {
+      benchmark::DoNotOptimize(frame.payload.data());
+      ++frames;
+    }
+    if (frames != 6) {
+      state.SkipWithError("decoder dropped a frame");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frames));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_ProtocolEncodeDecode);
 
 }  // namespace
 

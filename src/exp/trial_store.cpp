@@ -898,8 +898,9 @@ LoadStatus TrialStore::Shard::load(std::vector<Record>& out,
   return read_committed_prefix(file, expect_version, out, header);
 }
 
-bool TrialStore::Shard::append(std::span<const Record> records,
-                               bool heal) const {
+bool TrialStore::Shard::append(std::span<const Record> records, bool heal,
+                               bool dedup, std::size_t* dropped) const {
+  if (dropped != nullptr) *dropped = 0;
   if (records.empty()) return true;
   const LockedFile file{path_, O_RDWR | O_CREAT, LOCK_EX};
   if (!file.ok()) return false;
@@ -949,28 +950,99 @@ bool TrialStore::Shard::append(std::span<const Record> records,
   const std::uint64_t old_count = count;
   const std::uint64_t old_checksum = checksum;
 
+  // Read the sidecar once under the lock: the dedup probe and the
+  // post-append index update both want it.
+  std::optional<Index> existing = read_index();
+
+  // The duplicate probe. Runs under the same exclusive flock that orders
+  // this append against every other writer, so whatever it finds committed
+  // IS the complete committed set at append time — the race window where
+  // two processes both miss a record and both append it does not exist.
+  std::vector<Record> fresh;
+  std::span<const Record> to_write = records;
+  if (dedup) {
+    std::unordered_set<TrialKey, TrialKeyHash> committed_keys;
+    if (old_count > 0) {
+      // Fast path: an index bound to the exact committed prefix. One bloom
+      // probe per distinct incoming key, and only the runs of keys the
+      // bloom cannot rule out are read — an append of a brand-new trial
+      // space over a large shard touches no record bytes at all.
+      bool probed_ok = existing && existing->covered_count == old_count &&
+                       existing->covered_checksum == old_checksum;
+      if (probed_ok) {
+        std::unordered_set<std::uint64_t> probed;
+        std::vector<std::uint64_t> words;
+        for (const auto& record : records) {
+          if (!probed.insert(record.key_hash).second) continue;
+          if (!existing->may_contain(record.key_hash)) continue;
+          for (const auto& run : existing->runs_for(record.key_hash)) {
+            words.resize(static_cast<std::size_t>(run.count) * 4);
+            if (!file.read_at(kHeaderBytes + run.first * kRecordBytes,
+                              words.data(), words.size() * sizeof(words[0]))) {
+              probed_ok = false;
+              break;
+            }
+            for (std::uint64_t i = 0; i < run.count; ++i) {
+              const Record rec =
+                  decode_record(&words[static_cast<std::size_t>(i) * 4]);
+              committed_keys.insert({rec.key_hash, rec.x_bits, rec.seed});
+            }
+          }
+          if (!probed_ok) break;
+        }
+      }
+      if (!probed_ok) {
+        // No binding index (or a probe read failed): one prefix read. A
+        // prefix that does not validate is left to the heal machinery —
+        // dedup quietly degrades to "history unknown" rather than guessing.
+        committed_keys.clear();
+        std::vector<Record> committed;
+        Header full{};
+        if (read_committed_prefix(file, kFormatVersion, committed, full) ==
+            LoadStatus::kLoaded) {
+          committed_keys.reserve(committed.size());
+          for (const auto& rec : committed) {
+            committed_keys.insert({rec.key_hash, rec.x_bits, rec.seed});
+          }
+        }
+      }
+    }
+    fresh.reserve(records.size());
+    for (const auto& record : records) {
+      // In-batch duplicates fold into committed_keys as they are accepted,
+      // so a batch carrying the same trial twice also commits it once.
+      if (committed_keys.insert({record.key_hash, record.x_bits, record.seed})
+              .second) {
+        fresh.push_back(record);
+      }
+    }
+    if (dropped != nullptr) *dropped = records.size() - fresh.size();
+    if (fresh.empty()) return true;  // everything already committed
+    to_write = fresh;
+  }
+
   // Records first, at the end of the committed prefix (clobbering any torn
   // tail a previous crash left behind)...
-  const std::vector<char> bytes = encode_records(records, checksum);
+  const std::vector<char> bytes = encode_records(to_write, checksum);
   if (!file.write_at(kHeaderBytes + count * kRecordBytes, bytes.data(),
                      bytes.size())) {
     return false;
   }
   // ...then the header that makes them part of the valid prefix. A crash
   // in between leaves the previous prefix intact.
-  if (!write_header(file, count + records.size(), checksum)) return false;
+  if (!write_header(file, count + to_write.size(), checksum)) return false;
 
   // Bring the sidecar index up to date while we still hold the exclusive
   // flock. Best-effort: a failure leaves a stale index behind, which the
   // next reader detects (binding checksum) and scans around.
-  update_index_after_append(file, index_path(), read_index(), old_count,
-                            old_checksum, records, count + records.size(),
-                            checksum);
+  update_index_after_append(file, index_path(), std::move(existing),
+                            old_count, old_checksum, to_write,
+                            count + to_write.size(), checksum);
   return true;
 }
 
-std::optional<TrialStore::Shard::CompactStats> TrialStore::Shard::compact()
-    const {
+std::optional<TrialStore::Shard::CompactStats> TrialStore::Shard::compact(
+    bool canonical) const {
   const LockedFile file{path_, O_RDWR, LOCK_EX};
   if (!file.ok()) {
     if (file.error() == ENOENT) return CompactStats{};  // absent: no-op
@@ -993,6 +1065,18 @@ std::optional<TrialStore::Shard::CompactStats> TrialStore::Shard::compact()
     if (seen.insert({record.key_hash, record.x_bits, record.seed}).second) {
       unique.push_back(record);
     }
+  }
+  if (canonical) {
+    // Sort the (now duplicate-free) records so the rewritten file is a pure
+    // function of the record set: equal sets — however their appends were
+    // interleaved — become byte-identical shard and index files. Values are
+    // untouched and keys are exact, so no lookup can tell.
+    std::sort(unique.begin(), unique.end(),
+              [](const Record& a, const Record& b) {
+                if (a.key_hash != b.key_hash) return a.key_hash < b.key_hash;
+                if (a.x_bits != b.x_bits) return a.x_bits < b.x_bits;
+                return a.seed < b.seed;
+              });
   }
 
   // Rewrite into a temp file and atomically rename it over the shard while
@@ -1219,10 +1303,12 @@ void TrialStore::flush() {
     const bool heal = (state.load_attempted || state.map_attempted) &&
                       (state.status == LoadStatus::kDiscardedCorrupt ||
                        state.status == LoadStatus::kDiscardedVersion);
-    if (!state.shard.append(state.pending, heal)) {
+    std::size_t dropped = 0;
+    if (!state.shard.append(state.pending, heal, append_dedup_, &dropped)) {
       disable();
       return;
     }
+    dedup_dropped_ += dropped;
     if (heal) {
       // The shard on disk is valid again (reset, or already repaired by
       // another process): later flushes take the cheap fast path instead

@@ -285,9 +285,20 @@ class TrialStore {
     /// discarded, and the re-check under the lock means a shard another
     /// process already repaired (or validly extended) is never wiped.
     ///
+    /// `dedup` drops records whose (key, x, seed) is already committed —
+    /// probed under the SAME exclusive flock that orders the append, so two
+    /// processes racing on the same trials commit each record exactly once
+    /// no matter how their flushes interleave (the fleet's store-equivalence
+    /// guarantee; trial values are deterministic, so dropping a duplicate
+    /// never loses information). When the sidecar index binds to the
+    /// committed prefix the probe is one bloom test per distinct key plus
+    /// reads of only that key's runs; otherwise it degrades to one prefix
+    /// read. `dropped` (when given) reports how many records were elided.
+    ///
     /// Returns false on I/O failure.
     [[nodiscard]] bool append(std::span<const Record> records,
-                              bool heal = false) const;
+                              bool heal = false, bool dedup = false,
+                              std::size_t* dropped = nullptr) const;
 
     struct CompactStats {
       std::size_t before = 0;
@@ -303,7 +314,15 @@ class TrialStore {
     /// the flock re-validates the inode and appends to the compacted file,
     /// and a crash mid-compact leaves the original shard untouched.
     /// std::nullopt on I/O failure or a corrupt shard.
-    [[nodiscard]] std::optional<CompactStats> compact() const;
+    ///
+    /// `canonical` additionally sorts the surviving records by (key hash,
+    /// x bits, seed). Lookups cannot tell (the record SET is unchanged and
+    /// keys are exact), but the file becomes a pure function of its record
+    /// set: two stores holding the same trials — e.g. a fleet run and a
+    /// single-process run — canonically compact to byte-identical shard
+    /// and index files, which is how CI cmp-checks fleet equivalence.
+    [[nodiscard]] std::optional<CompactStats> compact(
+        bool canonical = false) const;
 
    private:
     std::string path_;
@@ -400,6 +419,17 @@ class TrialStore {
   /// cache calls it under its lock (TrialCache::store).
   void append(const Record& record);
 
+  /// Whether flush() passes dedup to Shard::append (default on): records
+  /// already committed — by us or any concurrent writer — are elided under
+  /// the shard lock instead of re-appended. Turn off only to deliberately
+  /// seed duplicates (compaction tests).
+  void set_append_dedup(bool on) noexcept { append_dedup_ = on; }
+  [[nodiscard]] bool append_dedup() const noexcept { return append_dedup_; }
+  /// Records elided by append-time dedup across this store's flushes.
+  [[nodiscard]] std::size_t dedup_dropped() const noexcept {
+    return dedup_dropped_;
+  }
+
   /// Commits pending records shard by shard under each shard's exclusive
   /// flock (see Shard::append); each touched shard's sidecar index is
   /// brought up to date under the same lock. Disables the store on I/O
@@ -437,6 +467,8 @@ class TrialStore {
   std::size_t migrated_ = 0;
   std::size_t healed_ = 0;  ///< corrupt shards reset by a heal append
   std::size_t index_fallbacks_ = 0;
+  bool append_dedup_ = true;
+  std::size_t dedup_dropped_ = 0;
 };
 
 /// The store's file locations inside a cache directory.

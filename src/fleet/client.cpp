@@ -1,0 +1,154 @@
+#include "fleet/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lotus::fleet {
+
+namespace {
+
+bool set_timeout(int fd, int which, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace
+
+std::unique_ptr<StoreClient> StoreClient::connect(
+    const std::string& socket_path, int timeout_ms) {
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return nullptr;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (!set_timeout(fd, SO_RCVTIMEO, timeout_ms) ||
+      !set_timeout(fd, SO_SNDTIMEO, timeout_ms) ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<StoreClient>(new StoreClient(fd));
+}
+
+StoreClient::~StoreClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void StoreClient::poison(std::string why) {
+  poisoned_ = true;
+  error_ = std::move(why);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool StoreClient::roundtrip(const std::vector<std::uint8_t>& request,
+                            Frame& reply) {
+  if (poisoned_) return false;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ::ssize_t put = ::send(fd_, request.data() + sent,
+                                 request.size() - sent, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      poison(std::string{"send: "} + std::strerror(errno));
+      return false;
+    }
+    sent += static_cast<std::size_t>(put);
+  }
+  for (;;) {
+    const auto status = decoder_.next(reply);
+    if (status == FrameDecoder::Status::kFrame) return true;
+    if (status == FrameDecoder::Status::kError) {
+      poison("malformed frame from daemon");
+      return false;
+    }
+    std::uint8_t chunk[1024];
+    const ::ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      poison(std::string{"recv: "} + std::strerror(errno));
+      return false;
+    }
+    if (got == 0) {
+      poison("daemon closed the connection");
+      return false;
+    }
+    if (!decoder_.feed({chunk, static_cast<std::size_t>(got)})) {
+      poison("malformed frame from daemon");
+      return false;
+    }
+  }
+}
+
+bool StoreClient::lookup(std::uint64_t config_hash, std::uint64_t x_bits,
+                         std::uint64_t seed, double& value) {
+  const LookupKey key{config_hash, x_bits, seed};
+  std::vector<std::uint8_t> request;
+  append_lookup_request(request, key);
+  Frame reply;
+  if (!roundtrip(request, reply)) return false;
+  if (reply.type != FrameType::kLookupHit &&
+      reply.type != FrameType::kLookupMiss) {
+    poison("unexpected reply type to lookup");
+    return false;
+  }
+  // The reply echoes the request key; a mismatch means the daemon answered
+  // a different question than asked (a protocol bug) — never surface its
+  // value as ours.
+  if (decode_lookup_key(reply.payload) != key) {
+    poison("daemon replied for a different key");
+    return false;
+  }
+  if (reply.type == FrameType::kLookupMiss) {
+    ++misses_;
+    return false;
+  }
+  value = decode_lookup_value(reply.payload);
+  ++hits_;
+  return true;
+}
+
+bool StoreClient::ping(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> request;
+  append_frame(request, FrameType::kPing, payload);
+  Frame reply;
+  if (!roundtrip(request, reply)) return false;
+  if (reply.type != FrameType::kPong ||
+      !std::equal(reply.payload.begin(), reply.payload.end(),
+                  payload.begin(), payload.end())) {
+    poison("bad pong");
+    return false;
+  }
+  return true;
+}
+
+bool StoreClient::stats(WireStats& out) {
+  std::vector<std::uint8_t> request;
+  append_stats_request(request);
+  Frame reply;
+  if (!roundtrip(request, reply)) return false;
+  if (reply.type != FrameType::kStatsReply) {
+    poison("unexpected reply type to stats");
+    return false;
+  }
+  out = decode_stats(reply.payload);
+  return true;
+}
+
+}  // namespace lotus::fleet

@@ -1,0 +1,77 @@
+// Client side of the query-daemon protocol: a blocking, single-connection
+// Unix-socket client that plugs into exp::TrialCache as its remote trial
+// source (see exp::RemoteTrialSource), plus the ping/stats helpers the
+// lotus_fleet `query` subcommand uses.
+//
+// Failure model: any transport error, protocol error, timeout, or wrong-key
+// reply poisons the client — every later call fails fast without touching
+// the socket. A fleet worker therefore degrades from "warm via daemon" to
+// "compute locally" at the first sign of trouble instead of stalling a
+// sweep on a sick daemon, and a reply for a different key than asked is
+// treated as a daemon bug, never returned as a value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "exp/trial_cache.h"
+#include "fleet/protocol.h"
+
+namespace lotus::fleet {
+
+class StoreClient final : public exp::RemoteTrialSource {
+ public:
+  /// Connects to the daemon at `socket_path`; both directions time out
+  /// after `timeout_ms` so a hung daemon cannot hang the client. Null on
+  /// failure (no daemon is a normal condition for a worker — callers log
+  /// and continue cold).
+  [[nodiscard]] static std::unique_ptr<StoreClient> connect(
+      const std::string& socket_path, int timeout_ms = 5000);
+
+  ~StoreClient() override;
+  StoreClient(const StoreClient&) = delete;
+  StoreClient& operator=(const StoreClient&) = delete;
+
+  /// exp::RemoteTrialSource: one request/reply round trip. False on a
+  /// daemon miss AND on any failure (the distinction is visible in
+  /// hits()/misses() vs poisoned()).
+  bool lookup(std::uint64_t config_hash, std::uint64_t x_bits,
+              std::uint64_t seed, double& value) override;
+
+  /// Round-trips a kPing carrying `payload`; true iff the echoed kPong
+  /// matches byte for byte.
+  [[nodiscard]] bool ping(std::span<const std::uint8_t> payload = {});
+
+  /// Fetches the daemon's aggregate counters.
+  [[nodiscard]] bool stats(WireStats& out);
+
+  /// Set after the first failure; the client is unusable once poisoned.
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return error_;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  explicit StoreClient(int fd) : fd_(fd) {}
+
+  /// Sends `request` whole, then reads until one frame decodes (or fails).
+  /// The returned frame's payload lives in the decoder buffer until the
+  /// next round trip.
+  [[nodiscard]] bool roundtrip(const std::vector<std::uint8_t>& request,
+                               Frame& reply);
+  void poison(std::string why);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  bool poisoned_ = false;
+  std::string error_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace lotus::fleet

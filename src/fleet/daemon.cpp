@@ -1,0 +1,333 @@
+#include "fleet/daemon.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "exp/trial_store.h"
+
+namespace lotus::fleet {
+
+namespace {
+
+// Process-global stop flag shared by every daemon loop; SIGTERM/SIGINT only
+// set it (async-signal-safe), and each loop polls it every tick.
+volatile sig_atomic_t g_signal_stop = 0;
+
+void on_stop_signal(int) { g_signal_stop = 1; }
+
+constexpr std::size_t kReadChunk = 4096;
+constexpr std::size_t kServiceSampleCap = 1 << 16;
+constexpr std::size_t kClosedRetained = 64;
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// p-th percentile of an unsorted copy (nearest-rank); 0 when empty.
+std::uint64_t percentile(std::vector<std::uint64_t> samples, double p) {
+  if (samples.empty()) return 0;
+  const std::size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+struct QueryDaemon::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> outbuf;
+  std::size_t out_sent = 0;
+  bool close_after_flush = false;
+  WireStats stats;
+};
+
+QueryDaemon::QueryDaemon(DaemonOptions options)
+    : options_(std::move(options)) {}
+
+QueryDaemon::~QueryDaemon() {
+  for (auto& conn : connections_) {
+    if (conn && conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void QueryDaemon::install_signal_handlers() {
+  struct sigaction action{};
+  action.sa_handler = on_stop_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: poll() must return EINTR so the flag is seen promptly.
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+bool QueryDaemon::bind() {
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    error_ = "socket path empty or too long for sockaddr_un";
+    return false;
+  }
+  store_ = std::make_unique<exp::TrialStore>(options_.cache_dir,
+                                             options_.store_shards);
+  if (!store_->enabled()) {
+    error_ = "cannot open trial store at " + options_.cache_dir;
+    return false;
+  }
+  cache_.attach_store(*store_);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                        0);
+  if (listen_fd_ < 0) {
+    error_ = std::string{"socket: "} + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  // A previous daemon that crashed leaves its socket file behind; binding
+  // over it needs the unlink (a live daemon would have the path locked only
+  // by convention — last binder wins, as for any Unix socket).
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    error_ = std::string{"bind/listen "} + options_.socket_path + ": " +
+             std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void QueryDaemon::record_service_ns(std::uint64_t ns) {
+  ++service_count_;
+  if (service_ns_.size() < kServiceSampleCap) {
+    service_ns_.push_back(ns);
+  } else {
+    // Deterministic overwrite keeps the sample bounded while still turning
+    // over under sustained load; good enough for a p50/p99 dump.
+    service_ns_[static_cast<std::size_t>(service_count_ %
+                                         kServiceSampleCap)] = ns;
+  }
+}
+
+void QueryDaemon::handle_frame(Connection& conn, const Frame& frame) {
+  const std::uint64_t started = steady_ns();
+  ++conn.stats.frames;
+  ++aggregate_.frames;
+  switch (frame.type) {
+    case FrameType::kLookupRequest: {
+      const LookupKey key = decode_lookup_key(frame.payload);
+      ++conn.stats.lookups;
+      ++aggregate_.lookups;
+      double value = 0.0;
+      if (cache_.lookup(key.key_hash, std::bit_cast<double>(key.x_bits),
+                        key.seed, value)) {
+        ++conn.stats.hits;
+        ++aggregate_.hits;
+        append_lookup_hit(conn.outbuf, key, value);
+      } else {
+        ++conn.stats.misses;
+        ++aggregate_.misses;
+        append_lookup_miss(conn.outbuf, key);
+      }
+      break;
+    }
+    case FrameType::kStatsRequest: {
+      WireStats snapshot = aggregate_;
+      snapshot.connections = next_connection_id_ - 1;
+      append_stats_reply(conn.outbuf, snapshot);
+      break;
+    }
+    case FrameType::kPing:
+      append_frame(conn.outbuf, FrameType::kPong, frame.payload);
+      break;
+    default:
+      // Well-formed but not a request (a client echoing replies at us):
+      // reject and drop the connection — same handling as a malformed
+      // stream, because the conversation is out of sync either way.
+      ++conn.stats.errors;
+      ++aggregate_.errors;
+      append_error(conn.outbuf, WireError::kBadRequest);
+      conn.close_after_flush = true;
+      break;
+  }
+  record_service_ns(steady_ns() - started);
+}
+
+void QueryDaemon::close_connection(std::size_t index) {
+  Connection& conn = *connections_[index];
+  if (conn.fd >= 0) ::close(conn.fd);
+  if (closed_.size() == kClosedRetained) {
+    closed_.erase(closed_.begin());
+  }
+  closed_.push_back({conn.id, conn.stats, false});
+  connections_.erase(connections_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+}
+
+int QueryDaemon::run(std::ostream* metrics_out) {
+  std::ostream& dump_to = metrics_out != nullptr ? *metrics_out : std::cerr;
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_relaxed) && g_signal_stop == 0) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : connections_) {
+      short events = POLLIN;
+      if (conn->out_sent < conn->outbuf.size()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the flags
+      error_ = std::string{"poll: "} + std::strerror(errno);
+      break;
+    }
+    if (ready == 0) continue;
+
+    // Accept first so fds indexes below still line up with connections_.
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_CLOEXEC | SOCK_NONBLOCK);
+        if (fd < 0) break;
+        if (connections_.size() >= options_.max_connections) {
+          ::close(fd);  // over capacity: refuse, never queue unbounded fds
+          continue;
+        }
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conn->id = next_connection_id_++;
+        ++aggregate_.connections;
+        connections_.push_back(std::move(conn));
+      }
+    }
+
+    // Walk backwards so close_connection's erase cannot skip a peer.
+    for (std::size_t i = std::min(fds.size() - 1, connections_.size());
+         i-- > 0;) {
+      Connection& conn = *connections_[i];
+      const short revents = fds[i + 1].revents;
+      bool drop = (revents & (POLLERR | POLLNVAL)) != 0;
+
+      if (!drop && (revents & (POLLIN | POLLHUP)) != 0) {
+        for (;;) {
+          std::uint8_t chunk[kReadChunk];
+          const ::ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+          if (got < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            drop = true;
+            break;
+          }
+          if (got == 0) {  // orderly EOF: flush what we owe, then close
+            conn.close_after_flush = true;
+            break;
+          }
+          conn.stats.bytes_in += static_cast<std::uint64_t>(got);
+          aggregate_.bytes_in += static_cast<std::uint64_t>(got);
+          (void)conn.decoder.feed({chunk, static_cast<std::size_t>(got)});
+          Frame frame;
+          for (;;) {
+            const auto status = conn.decoder.next(frame);
+            if (status == FrameDecoder::Status::kFrame) {
+              handle_frame(conn, frame);
+              continue;
+            }
+            if (status == FrameDecoder::Status::kError &&
+                !conn.close_after_flush) {
+              // Poisoned stream: tell the client why, then hang up. The
+              // decoder latches, so no further bytes are interpreted.
+              ++conn.stats.errors;
+              ++aggregate_.errors;
+              append_error(conn.outbuf, conn.decoder.error());
+              conn.close_after_flush = true;
+            }
+            break;
+          }
+          if (static_cast<std::size_t>(got) < sizeof(chunk)) break;
+        }
+      }
+
+      if (!drop && conn.out_sent < conn.outbuf.size()) {
+        for (;;) {
+          const std::size_t pending = conn.outbuf.size() - conn.out_sent;
+          if (pending == 0) break;
+          const ::ssize_t put =
+              ::send(conn.fd, conn.outbuf.data() + conn.out_sent, pending,
+                     MSG_NOSIGNAL);
+          if (put < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            drop = true;
+            break;
+          }
+          conn.stats.bytes_out += static_cast<std::uint64_t>(put);
+          aggregate_.bytes_out += static_cast<std::uint64_t>(put);
+          conn.out_sent += static_cast<std::size_t>(put);
+        }
+        if (conn.out_sent == conn.outbuf.size()) {
+          conn.outbuf.clear();
+          conn.out_sent = 0;
+        }
+      }
+
+      if (drop ||
+          (conn.close_after_flush && conn.out_sent == conn.outbuf.size())) {
+        close_connection(i);
+      }
+    }
+  }
+
+  for (std::size_t i = connections_.size(); i-- > 0;) close_connection(i);
+  dump_metrics(dump_to);
+  return 0;
+}
+
+void QueryDaemon::dump_metrics(std::ostream& os) const {
+  os << "[lotus_fleet daemon] " << options_.socket_path << ": "
+     << aggregate_.connections << " connections, " << aggregate_.frames
+     << " frames, " << aggregate_.lookups << " lookups (" << aggregate_.hits
+     << " hits, " << aggregate_.misses << " misses), " << aggregate_.errors
+     << " protocol errors, " << aggregate_.bytes_in << " bytes in, "
+     << aggregate_.bytes_out << " bytes out\n";
+  os << "[lotus_fleet daemon] service time: p50 "
+     << percentile(service_ns_, 0.50) << " ns, p99 "
+     << percentile(service_ns_, 0.99) << " ns over "
+     << service_count_ << " frames\n";
+  const auto line = [&os](const ConnectionMetrics& m) {
+    os << "[lotus_fleet daemon]   conn " << m.id << (m.open ? " (open)" : "")
+       << ": " << m.stats.frames << " frames, " << m.stats.hits << " hits, "
+       << m.stats.misses << " misses, " << m.stats.errors << " errors, "
+       << m.stats.bytes_in << " in, " << m.stats.bytes_out << " out\n";
+  };
+  for (const auto& m : closed_) line(m);
+  for (const auto& conn : connections_) line({conn->id, conn->stats, true});
+}
+
+}  // namespace lotus::fleet

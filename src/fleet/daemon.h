@@ -1,0 +1,125 @@
+// The trial-store query daemon: "store as a service".
+//
+// A long-lived process maps the sharded trial store once and serves warm
+// (key, x, seed) lookups to any number of local clients over a Unix-domain
+// socket, speaking the framed protocol in fleet/protocol.h. The store's
+// read path makes this viable as a hot service: an unknown key is a ~10ns
+// bloom probe and a cold scope load is ~40µs of mmap'd index walks, so one
+// daemon front-ends the store for a whole fleet of sweep workers instead of
+// every worker re-opening and re-merging shards.
+//
+// Design points:
+//   - single-threaded poll(2) event loop (the lokinet libabyss/ev idiom):
+//     accept + N connections, per-connection read buffer -> FrameDecoder ->
+//     handler -> write buffer, with POLLOUT-driven flushes so a slow client
+//     cannot stall the loop;
+//   - strictly bounded: at most `max_connections` live connections (excess
+//     accepts are closed immediately), at most ~one frame buffered per
+//     connection (FrameDecoder contract), responses queued per connection;
+//   - a malformed frame poisons only its own connection: the daemon replies
+//     kError, flushes, and closes that fd — it never crashes, never leaks
+//     the fd, and keeps serving everyone else (the protocol fuzz tests pin
+//     exactly this);
+//   - lookups answer from an exp::TrialCache backed by the store mapped at
+//     startup — a snapshot: records flushed by writers after the daemon
+//     mapped a shard appear after a restart (or a future remap), and the
+//     metrics' miss counter shows when that matters;
+//   - metrics: aggregate and per-connection {frames, lookups, hits, misses,
+//     bytes in/out} plus p50/p99 service time, dumped to the metrics stream
+//     on SIGTERM/SIGINT (install_signal_handlers) or stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/trial_cache.h"
+#include "fleet/protocol.h"
+
+namespace lotus::exp {
+class TrialStore;
+}
+
+namespace lotus::fleet {
+
+struct DaemonOptions {
+  std::string socket_path;
+  std::string cache_dir;
+  /// Shard count if the daemon has to create a fresh (empty) store; an
+  /// existing manifest always wins.
+  std::uint64_t store_shards = 0;
+  std::size_t max_connections = 64;
+  /// Poll timeout: the stop flag (and SIGTERM) is observed at this latency.
+  int poll_interval_ms = 100;
+};
+
+class QueryDaemon {
+ public:
+  /// One connection's life so far (live ones at dump time, plus the tail of
+  /// closed ones kept for the dump).
+  struct ConnectionMetrics {
+    std::uint64_t id = 0;
+    WireStats stats;  ///< connections field unused; the rest per-connection
+    bool open = false;
+  };
+
+  explicit QueryDaemon(DaemonOptions options);
+  ~QueryDaemon();
+  QueryDaemon(const QueryDaemon&) = delete;
+  QueryDaemon& operator=(const QueryDaemon&) = delete;
+
+  /// Opens the store, binds the socket (replacing a stale socket file), and
+  /// starts listening. False on failure, with the reason in last_error().
+  [[nodiscard]] bool bind();
+
+  /// Serves until stop() is called or an installed signal fires, then
+  /// flushes, closes every connection, and dumps metrics to `metrics_out`
+  /// (stderr by default). Returns 0 on a clean shutdown.
+  int run(std::ostream* metrics_out = nullptr);
+
+  /// Thread-safe, async-signal-unsafe (use install_signal_handlers for
+  /// signals): makes run() return at the next poll tick.
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  /// SIGTERM/SIGINT set a process-global flag every running daemon's loop
+  /// honours — the metrics-dump-on-SIGTERM contract.
+  static void install_signal_handlers();
+
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return error_;
+  }
+  /// Aggregate counters so far (valid during and after run()).
+  [[nodiscard]] WireStats stats() const noexcept { return aggregate_; }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+
+  void dump_metrics(std::ostream& os) const;
+
+ private:
+  struct Connection;
+
+  void handle_frame(Connection& conn, const Frame& frame);
+  void close_connection(std::size_t index);
+  void record_service_ns(std::uint64_t ns);
+
+  DaemonOptions options_;
+  std::string error_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  exp::TrialCache cache_;
+  std::unique_ptr<exp::TrialStore> store_;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  WireStats aggregate_;
+  std::uint64_t next_connection_id_ = 1;
+  std::vector<ConnectionMetrics> closed_;  ///< tail kept for the dump
+  std::vector<std::uint64_t> service_ns_;  ///< bounded sample of latencies
+  std::uint64_t service_count_ = 0;
+};
+
+}  // namespace lotus::fleet

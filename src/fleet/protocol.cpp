@@ -1,0 +1,201 @@
+#include "fleet/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace lotus::fleet {
+
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t word) {
+  std::uint8_t bytes[4];
+  std::memcpy(bytes, &word, sizeof(word));
+  out.insert(out.end(), bytes, bytes + sizeof(bytes));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t word) {
+  std::uint8_t bytes[8];
+  std::memcpy(bytes, &word, sizeof(word));
+  out.insert(out.end(), bytes, bytes + sizeof(bytes));
+}
+
+std::uint64_t read_u64(const std::uint8_t* at) {
+  std::uint64_t word;
+  std::memcpy(&word, at, sizeof(word));
+  return word;
+}
+
+}  // namespace
+
+std::size_t expected_payload_bytes(FrameType type) {
+  switch (type) {
+    case FrameType::kLookupRequest:
+    case FrameType::kLookupMiss:
+      return 3 * sizeof(std::uint64_t);
+    case FrameType::kLookupHit:
+      return 4 * sizeof(std::uint64_t);
+    case FrameType::kStatsRequest:
+      return 0;
+    case FrameType::kStatsReply:
+      return kWireStatsWords * sizeof(std::uint64_t);
+    case FrameType::kError:
+      return sizeof(std::uint64_t);
+    case FrameType::kPing:
+    case FrameType::kPong:
+      return SIZE_MAX;
+  }
+  return SIZE_MAX;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload) {
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append_u32(out, static_cast<std::uint32_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_lookup_request(std::vector<std::uint8_t>& out,
+                           const LookupKey& key) {
+  append_u32(out, 3 * sizeof(std::uint64_t));
+  append_u32(out, static_cast<std::uint32_t>(FrameType::kLookupRequest));
+  append_u64(out, key.key_hash);
+  append_u64(out, key.x_bits);
+  append_u64(out, key.seed);
+}
+
+void append_lookup_hit(std::vector<std::uint8_t>& out, const LookupKey& key,
+                       double value) {
+  append_u32(out, 4 * sizeof(std::uint64_t));
+  append_u32(out, static_cast<std::uint32_t>(FrameType::kLookupHit));
+  append_u64(out, key.key_hash);
+  append_u64(out, key.x_bits);
+  append_u64(out, key.seed);
+  append_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void append_lookup_miss(std::vector<std::uint8_t>& out,
+                        const LookupKey& key) {
+  append_u32(out, 3 * sizeof(std::uint64_t));
+  append_u32(out, static_cast<std::uint32_t>(FrameType::kLookupMiss));
+  append_u64(out, key.key_hash);
+  append_u64(out, key.x_bits);
+  append_u64(out, key.seed);
+}
+
+void append_stats_request(std::vector<std::uint8_t>& out) {
+  append_u32(out, 0);
+  append_u32(out, static_cast<std::uint32_t>(FrameType::kStatsRequest));
+}
+
+void append_stats_reply(std::vector<std::uint8_t>& out,
+                        const WireStats& stats) {
+  append_u32(out, kWireStatsWords * sizeof(std::uint64_t));
+  append_u32(out, static_cast<std::uint32_t>(FrameType::kStatsReply));
+  append_u64(out, stats.connections);
+  append_u64(out, stats.frames);
+  append_u64(out, stats.lookups);
+  append_u64(out, stats.hits);
+  append_u64(out, stats.misses);
+  append_u64(out, stats.errors);
+  append_u64(out, stats.bytes_in);
+  append_u64(out, stats.bytes_out);
+}
+
+void append_error(std::vector<std::uint8_t>& out, WireError code) {
+  append_u32(out, sizeof(std::uint64_t));
+  append_u32(out, static_cast<std::uint32_t>(FrameType::kError));
+  append_u64(out, static_cast<std::uint64_t>(code));
+}
+
+LookupKey decode_lookup_key(std::span<const std::uint8_t> payload) {
+  return {read_u64(payload.data()), read_u64(payload.data() + 8),
+          read_u64(payload.data() + 16)};
+}
+
+double decode_lookup_value(std::span<const std::uint8_t> payload) {
+  return std::bit_cast<double>(read_u64(payload.data() + 24));
+}
+
+WireStats decode_stats(std::span<const std::uint8_t> payload) {
+  WireStats stats;
+  stats.connections = read_u64(payload.data());
+  stats.frames = read_u64(payload.data() + 8);
+  stats.lookups = read_u64(payload.data() + 16);
+  stats.hits = read_u64(payload.data() + 24);
+  stats.misses = read_u64(payload.data() + 32);
+  stats.errors = read_u64(payload.data() + 40);
+  stats.bytes_in = read_u64(payload.data() + 48);
+  stats.bytes_out = read_u64(payload.data() + 56);
+  return stats;
+}
+
+WireError decode_error(std::span<const std::uint8_t> payload) {
+  return static_cast<WireError>(read_u64(payload.data()));
+}
+
+// --- FrameDecoder ---------------------------------------------------------
+
+bool FrameDecoder::header_ok(std::uint32_t& payload_len, FrameType& type) {
+  std::uint32_t words[2];
+  std::memcpy(words, buffer_.data() + consumed_, sizeof(words));
+  payload_len = words[0];
+  if (payload_len > kMaxPayload) {
+    error_ = WireError::kOversized;
+    return false;
+  }
+  if (words[1] < static_cast<std::uint32_t>(FrameType::kLookupRequest) ||
+      words[1] > static_cast<std::uint32_t>(FrameType::kError)) {
+    error_ = WireError::kBadType;
+    return false;
+  }
+  type = static_cast<FrameType>(words[1]);
+  const std::size_t expected = expected_payload_bytes(type);
+  if (expected != SIZE_MAX && payload_len != expected) {
+    error_ = WireError::kBadLength;
+    return false;
+  }
+  return true;
+}
+
+void FrameDecoder::compact() {
+  // Drop consumed bytes once they dominate the buffer, so a long-lived
+  // connection's memory stays bounded by ~one frame, not its history.
+  if (consumed_ > 0 &&
+      (consumed_ == buffer_.size() || consumed_ >= kMaxPayload)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+bool FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned()) return false;
+  compact();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Validate the header eagerly so a hostile length prefix is rejected as
+  // soon as it arrives, not only when the caller next drains frames.
+  if (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+    std::uint32_t payload_len = 0;
+    FrameType type{};
+    if (!header_ok(payload_len, type)) return false;
+  }
+  return true;
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& frame) {
+  if (poisoned()) return Status::kError;
+  compact();
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Status::kNeedMore;
+  std::uint32_t payload_len = 0;
+  FrameType type{};
+  if (!header_ok(payload_len, type)) return Status::kError;
+  if (available < kFrameHeaderBytes + payload_len) return Status::kNeedMore;
+  frame.type = type;
+  frame.payload = {buffer_.data() + consumed_ + kFrameHeaderBytes,
+                   payload_len};
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return Status::kFrame;
+}
+
+}  // namespace lotus::fleet

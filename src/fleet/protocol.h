@@ -1,0 +1,151 @@
+// The query daemon's wire protocol: length-prefixed frames over a local
+// Unix-domain socket.
+//
+// A frame is an 8-byte header {payload_len u32, type u32} followed by
+// payload_len payload bytes, host byte order (the socket never leaves the
+// machine — same rationale as the trial store's on-disk format). Payload
+// sizes are fixed per type, so the decoder rejects a frame whose length
+// disagrees with its type before a single payload byte is interpreted:
+//
+//   kLookupRequest  {key_hash, x_bits, seed}            client -> daemon
+//   kLookupHit      {key_hash, x_bits, seed, value}     daemon -> client
+//   kLookupMiss     {key_hash, x_bits, seed}            daemon -> client
+//   kStatsRequest   {}                                  client -> daemon
+//   kStatsReply     {requests, hits, misses, ...}       daemon -> client
+//   kPing / kPong   up to kMaxPayload opaque bytes, echoed verbatim
+//   kError          {code}                              daemon -> client
+//
+// Lookup replies echo the full request key, so a client can verify it was
+// answered for the trial it asked about — a daemon bug (or a torn frame
+// that somehow decoded) can never silently hand back a wrong-key value.
+//
+// FrameDecoder is strict and total: fed ANY byte stream it either yields
+// well-formed frames or flags a protocol error, never crashes, and never
+// buffers more than one frame (bounded memory per connection). After an
+// error the decoder latches: the connection is poisoned and must be closed
+// — resynchronising inside a corrupt length-prefixed stream is guesswork.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lotus::fleet {
+
+enum class FrameType : std::uint32_t {
+  kLookupRequest = 1,
+  kLookupHit = 2,
+  kLookupMiss = 3,
+  kStatsRequest = 4,
+  kStatsReply = 5,
+  kPing = 6,
+  kPong = 7,
+  kError = 8,
+};
+
+enum class WireError : std::uint64_t {
+  kNone = 0,
+  kBadType = 1,      ///< type word outside the enum
+  kOversized = 2,    ///< payload_len > kMaxPayload
+  kBadLength = 3,    ///< payload_len disagrees with the type's fixed size
+  kBadRequest = 4,   ///< daemon: well-formed frame that is not a request
+};
+
+constexpr std::size_t kFrameHeaderBytes = 8;
+/// Hard cap on payload bytes; an advertised length beyond this is a
+/// protocol error, so a hostile length prefix cannot drive an allocation.
+constexpr std::size_t kMaxPayload = 4096;
+
+struct LookupKey {
+  std::uint64_t key_hash = 0;
+  std::uint64_t x_bits = 0;
+  std::uint64_t seed = 0;
+  bool operator==(const LookupKey&) const = default;
+};
+
+/// The daemon's counter snapshot as carried by kStatsReply.
+struct WireStats {
+  std::uint64_t connections = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  bool operator==(const WireStats&) const = default;
+};
+constexpr std::size_t kWireStatsWords = 8;
+
+/// One decoded frame. `payload` points into the decoder's buffer and is
+/// valid until the next feed()/next() call.
+struct Frame {
+  FrameType type;
+  std::span<const std::uint8_t> payload;
+};
+
+// --- Encoders (append to `out`, never fail) -------------------------------
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload);
+void append_lookup_request(std::vector<std::uint8_t>& out,
+                           const LookupKey& key);
+void append_lookup_hit(std::vector<std::uint8_t>& out, const LookupKey& key,
+                       double value);
+void append_lookup_miss(std::vector<std::uint8_t>& out, const LookupKey& key);
+void append_stats_request(std::vector<std::uint8_t>& out);
+void append_stats_reply(std::vector<std::uint8_t>& out,
+                        const WireStats& stats);
+void append_error(std::vector<std::uint8_t>& out, WireError code);
+
+// --- Payload decoders (strict: exact length already enforced) -------------
+
+[[nodiscard]] LookupKey decode_lookup_key(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] double decode_lookup_value(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] WireStats decode_stats(std::span<const std::uint8_t> payload);
+[[nodiscard]] WireError decode_error(std::span<const std::uint8_t> payload);
+
+/// The fixed payload size for `type`, or SIZE_MAX for the variable-length
+/// types (kPing/kPong, bounded by kMaxPayload alone).
+[[nodiscard]] std::size_t expected_payload_bytes(FrameType type);
+
+/// Incremental strict decoder; see the file comment for the contract.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< `frame` filled; call next() again for more
+    kError,     ///< stream poisoned; error() says why; close the connection
+  };
+
+  /// Appends raw bytes from the socket. Returns false (and latches the
+  /// error) when the bytes already establish a malformed frame header —
+  /// callers may keep calling next() to drain previously decoded frames.
+  bool feed(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] Status next(Frame& frame);
+
+  [[nodiscard]] WireError error() const noexcept { return error_; }
+  [[nodiscard]] bool poisoned() const noexcept {
+    return error_ != WireError::kNone;
+  }
+  /// Bytes currently buffered (tests pin the bounded-memory guarantee).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  /// Validates the header at the buffer head; returns false on a malformed
+  /// one (sets error_).
+  bool header_ok(std::uint32_t& payload_len, FrameType& type);
+  void compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  WireError error_ = WireError::kNone;
+};
+
+}  // namespace lotus::fleet

@@ -1,0 +1,415 @@
+#include "fleet/queue.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "sim/rng.h"
+
+namespace lotus::fleet {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = WorkQueue::kHeaderBytes;
+constexpr std::size_t kIdentityBytes = WorkQueue::kIdentityBytes;
+constexpr std::size_t kMutableBytes = WorkQueue::kMutableBytes;
+constexpr std::size_t kSlotBytes = WorkQueue::kSlotBytes;
+
+/// One SplitMix mix of a single word (pure form of sim::split_mix64).
+std::uint64_t mix64(std::uint64_t word) {
+  std::uint64_t state = word;
+  return sim::split_mix64(state);
+}
+
+std::uint64_t fold_words(std::uint64_t state, const std::uint64_t* words,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) state = mix64(state ^ words[i]);
+  return state;
+}
+
+struct Header {
+  std::uint64_t magic;
+  std::uint64_t version;
+  std::uint64_t units;
+  std::uint64_t lease_ms;
+  std::uint64_t check;
+};
+static_assert(sizeof(Header) == kHeaderBytes);
+
+std::uint64_t header_check(const Header& header) {
+  const std::uint64_t words[3] = {header.version, header.units,
+                                  header.lease_ms};
+  return fold_words(WorkQueue::kMagic, words, 3);
+}
+
+/// The once-written identity block: bench name bytes fold into the checksum
+/// too, so a torn create (which cannot happen post-rename, but a stray
+/// write can) never yields a plausible unit.
+struct IdentityBlock {
+  char bench[WorkUnit::kBenchBytes];
+  std::uint64_t x_bits;
+  std::uint64_t seed;
+  std::uint64_t check;
+};
+static_assert(sizeof(IdentityBlock) == kIdentityBytes);
+
+std::uint64_t identity_check(const IdentityBlock& block) {
+  std::uint64_t words[WorkUnit::kBenchBytes / 8 + 2];
+  std::memcpy(words, block.bench, WorkUnit::kBenchBytes);
+  words[WorkUnit::kBenchBytes / 8] = block.x_bits;
+  words[WorkUnit::kBenchBytes / 8 + 1] = block.seed;
+  return fold_words(WorkQueue::kMagic ^ 0x1d, words,
+                    WorkUnit::kBenchBytes / 8 + 2);
+}
+
+/// The mutable block a transition rewrites in one pwrite. The checksum is
+/// the torn-write detector: a SIGKILL mid-pwrite leaves a block that fails
+/// it, which claim() treats as immediately reclaimable.
+struct MutableBlock {
+  std::uint64_t state;
+  std::uint64_t owner;
+  std::uint64_t lease_expiry_ms;
+  std::uint64_t claims;
+  std::uint64_t check;
+};
+static_assert(sizeof(MutableBlock) == kMutableBytes);
+
+std::uint64_t mutable_check(const MutableBlock& block) {
+  const std::uint64_t words[4] = {block.state, block.owner,
+                                  block.lease_expiry_ms, block.claims};
+  return fold_words(WorkQueue::kMagic ^ 0x2e, words, 4);
+}
+
+std::uint64_t slot_offset(std::size_t slot) {
+  return kHeaderBytes + slot * kSlotBytes;
+}
+std::uint64_t mutable_offset(std::size_t slot) {
+  return slot_offset(slot) + kIdentityBytes;
+}
+
+/// flock'd fd over the queue file; every public operation opens, locks,
+/// works off the on-disk bytes, and closes — no in-memory queue state, so
+/// any number of processes interleave safely.
+class LockedQueue {
+ public:
+  LockedQueue(const std::string& path, int open_flags, int lock_op) {
+    fd_ = ::open(path.c_str(), open_flags | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    while (::flock(fd_, lock_op) != 0) {
+      if (errno != EINTR) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+      }
+    }
+  }
+  ~LockedQueue() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LockedQueue(const LockedQueue&) = delete;
+  LockedQueue& operator=(const LockedQueue&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+
+  [[nodiscard]] bool read_at(std::uint64_t offset, void* buffer,
+                             std::size_t bytes) const {
+    auto* out = static_cast<char*>(buffer);
+    while (bytes > 0) {
+      const ::ssize_t got =
+          ::pread(fd_, out, bytes, static_cast<::off_t>(offset));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (got == 0) return false;
+      out += got;
+      offset += static_cast<std::uint64_t>(got);
+      bytes -= static_cast<std::size_t>(got);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool write_at(std::uint64_t offset, const void* buffer,
+                              std::size_t bytes) const {
+    const auto* in = static_cast<const char*>(buffer);
+    while (bytes > 0) {
+      const ::ssize_t put =
+          ::pwrite(fd_, in, bytes, static_cast<::off_t>(offset));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      in += put;
+      offset += static_cast<std::uint64_t>(put);
+      bytes -= static_cast<std::size_t>(put);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool truncate(std::uint64_t bytes) const {
+    while (::ftruncate(fd_, static_cast<::off_t>(bytes)) != 0) {
+      if (errno != EINTR) return false;
+    }
+    return true;
+  }
+
+  /// Header whose magic/version/checksum hold; nullopt otherwise.
+  [[nodiscard]] std::optional<Header> header() const {
+    Header header{};
+    if (!read_at(0, &header, sizeof(header))) return std::nullopt;
+    if (header.magic != WorkQueue::kMagic ||
+        header.version != WorkQueue::kFormatVersion ||
+        header.units == 0 || header.units > WorkQueue::kMaxUnits ||
+        header.check != header_check(header)) {
+      return std::nullopt;
+    }
+    return header;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+bool read_identity(const LockedQueue& file, std::size_t slot, WorkUnit& out) {
+  IdentityBlock block{};
+  if (!file.read_at(slot_offset(slot), &block, sizeof(block))) return false;
+  if (block.check != identity_check(block)) return false;
+  // The create() path guarantees a NUL inside the buffer; a corrupt block
+  // already failed the checksum above.
+  block.bench[WorkUnit::kBenchBytes - 1] = '\0';
+  out.bench = block.bench;
+  out.x_bits = block.x_bits;
+  out.seed = block.seed;
+  return true;
+}
+
+/// A mutable block read: checksum failure reports torn=true with a
+/// synthesized "pending, reclaim me" view (claims carried as 0 — the true
+/// ordinal was lost with the torn write, so the reclaim restarts it).
+MutableBlock read_mutable(const LockedQueue& file, std::size_t slot,
+                          bool& torn, bool& io_error) {
+  MutableBlock block{};
+  torn = false;
+  io_error = false;
+  if (!file.read_at(mutable_offset(slot), &block, sizeof(block))) {
+    io_error = true;
+    return block;
+  }
+  if (block.check != mutable_check(block)) {
+    torn = true;
+    block = MutableBlock{};
+    block.state = static_cast<std::uint64_t>(WorkQueue::SlotState::kPending);
+  }
+  return block;
+}
+
+bool write_mutable(const LockedQueue& file, std::size_t slot,
+                   MutableBlock block) {
+  block.check = mutable_check(block);
+  return file.write_at(mutable_offset(slot), &block, sizeof(block));
+}
+
+}  // namespace
+
+std::uint64_t WorkQueue::now_ms() {
+  struct timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+bool WorkQueue::create(const std::string& path,
+                       const std::vector<WorkUnit>& units,
+                       std::uint64_t lease_ms) {
+  if (units.empty() || units.size() > kMaxUnits || lease_ms == 0) {
+    return false;
+  }
+  for (const auto& unit : units) {
+    if (unit.bench.size() >= WorkUnit::kBenchBytes) return false;
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    const LockedQueue file{tmp, O_RDWR | O_CREAT, LOCK_EX};
+    // A stale tmp left by a crashed create may be longer than this queue;
+    // truncate only once the exclusive flock is held.
+    if (!file.ok() || !file.truncate(0)) return false;
+    Header header{kMagic, kFormatVersion, units.size(), lease_ms, 0};
+    header.check = header_check(header);
+    if (!file.write_at(0, &header, sizeof(header))) return false;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      IdentityBlock identity{};
+      std::memset(identity.bench, 0, sizeof(identity.bench));
+      std::memcpy(identity.bench, units[i].bench.data(),
+                  units[i].bench.size());
+      identity.x_bits = units[i].x_bits;
+      identity.seed = units[i].seed;
+      identity.check = identity_check(identity);
+      MutableBlock state{};
+      state.state = static_cast<std::uint64_t>(SlotState::kPending);
+      state.check = mutable_check(state);
+      if (!file.write_at(slot_offset(i), &identity, sizeof(identity)) ||
+          !file.write_at(mutable_offset(i), &state, sizeof(state))) {
+        return false;
+      }
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+WorkQueue::ClaimStatus WorkQueue::claim(std::uint64_t owner,
+                                        ClaimTicket& ticket) {
+  const LockedQueue file{path_, O_RDWR, LOCK_EX};
+  if (!file.ok()) return ClaimStatus::kIoError;
+  const auto header = file.header();
+  if (!header) return ClaimStatus::kIoError;
+
+  const std::uint64_t now = now_ms();
+  bool any_live = false;
+  for (std::size_t slot = 0; slot < header->units; ++slot) {
+    bool torn = false;
+    bool io_error = false;
+    MutableBlock block = read_mutable(file, slot, torn, io_error);
+    if (io_error) return ClaimStatus::kIoError;
+    const auto state = static_cast<SlotState>(block.state);
+    if (state == SlotState::kDone) continue;
+    const bool expired =
+        state == SlotState::kClaimed && block.lease_expiry_ms <= now;
+    if (state == SlotState::kClaimed && !expired && !torn) {
+      any_live = true;
+      continue;
+    }
+    // Pending, expired, or torn: issue (or re-issue) it to this claimant.
+    WorkUnit unit;
+    if (!read_identity(file, slot, unit)) {
+      // Identity blocks are written once at create and never touched
+      // again, so a bad one is real corruption: skip the slot rather than
+      // dispatch garbage. (It still counts as not-done in stats.)
+      continue;
+    }
+    MutableBlock next{};
+    next.state = static_cast<std::uint64_t>(SlotState::kClaimed);
+    next.owner = owner;
+    next.lease_expiry_ms = now + header->lease_ms;
+    next.claims = block.claims + 1;
+    if (!write_mutable(file, slot, next)) return ClaimStatus::kIoError;
+    ticket.slot = slot;
+    ticket.unit = std::move(unit);
+    ticket.owner = owner;
+    ticket.claims = next.claims;
+    return ClaimStatus::kClaimed;
+  }
+  return any_live ? ClaimStatus::kBusy : ClaimStatus::kDrained;
+}
+
+bool WorkQueue::renew(const ClaimTicket& ticket) {
+  const LockedQueue file{path_, O_RDWR, LOCK_EX};
+  if (!file.ok()) return false;
+  const auto header = file.header();
+  if (!header || ticket.slot >= header->units) return false;
+  bool torn = false;
+  bool io_error = false;
+  MutableBlock block = read_mutable(file, ticket.slot, torn, io_error);
+  if (io_error || torn) return false;
+  if (static_cast<SlotState>(block.state) != SlotState::kClaimed ||
+      block.owner != ticket.owner || block.claims != ticket.claims) {
+    return false;  // reclaimed or completed by someone else
+  }
+  block.lease_expiry_ms = now_ms() + header->lease_ms;
+  return write_mutable(file, ticket.slot, block);
+}
+
+WorkQueue::CompleteStatus WorkQueue::complete(const ClaimTicket& ticket) {
+  const LockedQueue file{path_, O_RDWR, LOCK_EX};
+  if (!file.ok()) return CompleteStatus::kIoError;
+  const auto header = file.header();
+  if (!header || ticket.slot >= header->units) {
+    return CompleteStatus::kIoError;
+  }
+  bool torn = false;
+  bool io_error = false;
+  MutableBlock block = read_mutable(file, ticket.slot, torn, io_error);
+  if (io_error) return CompleteStatus::kIoError;
+  if (!torn && static_cast<SlotState>(block.state) == SlotState::kDone) {
+    return CompleteStatus::kAlreadyDone;
+  }
+  // A stale ticket (lease expired and reclaimed, or torn block) still marks
+  // done: the holder finished the unit, the trial results are deterministic
+  // and idempotent in the store, and leaving the slot claimed would only
+  // make a third worker redo it.
+  const bool stale = torn || block.owner != ticket.owner ||
+                     block.claims != ticket.claims ||
+                     static_cast<SlotState>(block.state) !=
+                         SlotState::kClaimed;
+  MutableBlock next = block;
+  next.state = static_cast<std::uint64_t>(SlotState::kDone);
+  next.owner = ticket.owner;
+  next.lease_expiry_ms = 0;
+  if (torn) next.claims = ticket.claims;
+  if (!write_mutable(file, ticket.slot, next)) {
+    return CompleteStatus::kIoError;
+  }
+  return stale ? CompleteStatus::kSuperseded : CompleteStatus::kCompleted;
+}
+
+std::optional<WorkQueue::Stats> WorkQueue::stats() const {
+  const LockedQueue file{path_, O_RDONLY, LOCK_SH};
+  if (!file.ok()) return std::nullopt;
+  const auto header = file.header();
+  if (!header) return std::nullopt;
+  Stats stats;
+  stats.units = static_cast<std::size_t>(header->units);
+  for (std::size_t slot = 0; slot < header->units; ++slot) {
+    bool torn = false;
+    bool io_error = false;
+    const MutableBlock block = read_mutable(file, slot, torn, io_error);
+    if (io_error) return std::nullopt;
+    if (torn) {
+      ++stats.torn;
+      ++stats.pending;  // a torn block reads as reclaimable-now
+      continue;
+    }
+    switch (static_cast<SlotState>(block.state)) {
+      case SlotState::kPending:
+        ++stats.pending;
+        break;
+      case SlotState::kClaimed:
+        ++stats.claimed;
+        break;
+      case SlotState::kDone:
+        ++stats.done;
+        break;
+    }
+    if (block.claims > 1) stats.reclaims += block.claims - 1;
+  }
+  return stats;
+}
+
+std::optional<std::vector<WorkUnit>> WorkQueue::units() const {
+  const LockedQueue file{path_, O_RDONLY, LOCK_SH};
+  if (!file.ok()) return std::nullopt;
+  const auto header = file.header();
+  if (!header) return std::nullopt;
+  std::vector<WorkUnit> units;
+  units.reserve(static_cast<std::size_t>(header->units));
+  for (std::size_t slot = 0; slot < header->units; ++slot) {
+    WorkUnit unit;
+    if (!read_identity(file, slot, unit)) return std::nullopt;
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+}  // namespace lotus::fleet

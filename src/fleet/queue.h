@@ -1,0 +1,154 @@
+// Crash-safe multi-process work queue for the sweep fleet.
+//
+// One claim file holds a fixed set of work units — (bench, x, seed) triples
+// enqueued once at creation — and N worker processes drain it concurrently.
+// Every state transition (claim, renew, complete) happens under an exclusive
+// flock(2) on the queue file, so the queue needs no daemon and survives any
+// worker dying at any instruction:
+//
+//   - a unit is CLAIMED with a lease deadline (CLOCK_MONOTONIC, so NTP
+//     steps cannot revoke or immortalise a lease); a worker that holds a
+//     unit past ~1/3 of the lease renews it (fleet::Worker runs a renewal
+//     thread), and a worker that dies simply stops renewing — once the
+//     lease expires the unit is RECLAIMED and re-issued to the next
+//     claimant, so no unit is ever lost to a crash;
+//   - each slot is two parts: the unit identity (bench, x, seed), written
+//     once at create() and never rewritten, and a checksummed mutable block
+//     (state, owner, lease, claim count) rewritten by transitions in a
+//     single pwrite. A worker SIGKILLed mid-transition can therefore tear
+//     only the mutable block, and a torn block fails its checksum and reads
+//     as "reclaimable now" — the unit is re-issued, never lost and never
+//     half-claimed;
+//   - completion is keyed to the claim ticket (owner pid + claim ordinal),
+//     and kDone is absorbing: exactly one complete() transitions a slot to
+//     done. A worker whose lease expired mid-run may race its replacement;
+//     both run the (deterministic) unit and the store's append-time dedup
+//     keeps the results single-counted, while the queue reports the late
+//     completion as kAlreadyDone / kSuperseded rather than double-counting.
+//
+// The file layout is {header, slot 0, slot 1, ...} with fixed-size slots, so
+// every transition is one 40-byte pwrite at a fixed offset — claim scans are
+// one sequential read of the slot array under the lock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lotus::fleet {
+
+/// One unit of sweep work. `bench` names a figure-bench registry entry; the
+/// x/seed fields narrow the unit to a sub-sweep when the enqueuer wants
+/// finer grain than a whole bench (kWholeSweep / kBenchSeed leave the
+/// bench's own grid and seed untouched — the fleet driver enqueues whole
+/// benches so a fleet store matches a single-process run trial for trial).
+struct WorkUnit {
+  static constexpr std::size_t kBenchBytes = 24;  ///< incl. NUL terminator
+  static constexpr std::uint64_t kWholeSweep = ~std::uint64_t{0};
+  static constexpr std::uint64_t kBenchSeed = ~std::uint64_t{0};
+
+  std::string bench;                    ///< at most kBenchBytes - 1 chars
+  std::uint64_t x_bits = kWholeSweep;   ///< bit pattern of x, or kWholeSweep
+  std::uint64_t seed = kBenchSeed;      ///< seed override, or kBenchSeed
+
+  bool operator==(const WorkUnit&) const = default;
+};
+
+/// Proof of a claim: completes and renewals must present the ticket the
+/// claim handed out, so a reclaimed unit's original owner cannot revoke its
+/// replacement's lease.
+struct ClaimTicket {
+  std::size_t slot = 0;
+  WorkUnit unit;
+  std::uint64_t owner = 0;   ///< claimant pid
+  std::uint64_t claims = 0;  ///< claim ordinal: 1 first issue, 2 first reclaim…
+};
+
+class WorkQueue {
+ public:
+  // "LOTUSWQ1": claim-file magic.
+  static constexpr std::uint64_t kMagic = 0x4c4f545553575131ULL;
+  static constexpr std::uint64_t kFormatVersion = 1;
+  static constexpr std::size_t kHeaderBytes = 5 * sizeof(std::uint64_t);
+  /// Identity (bench + x + seed + check) then the mutable block.
+  static constexpr std::size_t kIdentityBytes =
+      WorkUnit::kBenchBytes + 3 * sizeof(std::uint64_t);
+  static constexpr std::size_t kMutableBytes = 5 * sizeof(std::uint64_t);
+  static constexpr std::size_t kSlotBytes = kIdentityBytes + kMutableBytes;
+  static constexpr std::size_t kMaxUnits = 1u << 20;
+
+  enum class SlotState : std::uint64_t {
+    kPending = 0,
+    kClaimed = 1,
+    kDone = 2,
+  };
+
+  enum class ClaimStatus {
+    kClaimed,   ///< ticket filled; run the unit
+    kBusy,      ///< nothing claimable now, but live leases remain: retry later
+    kDrained,   ///< every unit is done
+    kIoError,
+  };
+
+  enum class CompleteStatus {
+    kCompleted,    ///< this call transitioned the slot to done
+    kAlreadyDone,  ///< someone (possibly a reclaimant) beat us to it
+    kSuperseded,   ///< the lease was reclaimed; the unit still became done
+    kIoError,
+  };
+
+  /// Everything stats() can read without interpreting leases, plus the
+  /// reclaim tally (claims past the first issue).
+  struct Stats {
+    std::size_t units = 0;
+    std::size_t pending = 0;
+    std::size_t claimed = 0;
+    std::size_t done = 0;
+    std::size_t reclaims = 0;
+    std::size_t torn = 0;  ///< mutable blocks failing their checksum
+  };
+
+  /// Creates a fresh claim file holding `units` (atomically: written to a
+  /// temp file and renamed into place, so a concurrent open sees the old
+  /// queue or the new one, never a partial one). `lease_ms` is the default
+  /// lease granted by claims. Fails (false) on I/O error, an empty unit
+  /// list, too many units, or a bench name that does not fit a slot.
+  [[nodiscard]] static bool create(const std::string& path,
+                                   const std::vector<WorkUnit>& units,
+                                   std::uint64_t lease_ms);
+
+  explicit WorkQueue(std::string path) : path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Claims the first pending unit — or the first claimed unit whose lease
+  /// expired or whose mutable block is torn (both mean "the owner is not
+  /// coming back for it"). `owner` is recorded for stats/debugging; pass
+  /// getpid(). kBusy when all remaining units are under live leases.
+  [[nodiscard]] ClaimStatus claim(std::uint64_t owner, ClaimTicket& ticket);
+
+  /// Extends the ticket's lease by the queue's lease duration. False when
+  /// the ticket no longer owns the slot (reclaimed or completed) — the
+  /// worker should finish anyway (results are idempotent) but must expect
+  /// kSuperseded/kAlreadyDone at completion.
+  [[nodiscard]] bool renew(const ClaimTicket& ticket);
+
+  [[nodiscard]] CompleteStatus complete(const ClaimTicket& ticket);
+
+  [[nodiscard]] std::optional<Stats> stats() const;
+
+  /// The units the queue was created with, in slot order (identity blocks
+  /// only; no lease interpretation). std::nullopt on I/O error or a file
+  /// that is not a valid queue.
+  [[nodiscard]] std::optional<std::vector<WorkUnit>> units() const;
+
+  /// Milliseconds on the lease clock (CLOCK_MONOTONIC) — exposed so tests
+  /// can reason about expiry without sleeping real lease lengths.
+  [[nodiscard]] static std::uint64_t now_ms();
+
+ private:
+  std::string path_;
+};
+
+}  // namespace lotus::fleet

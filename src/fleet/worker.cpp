@@ -1,0 +1,97 @@
+#include "fleet/worker.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace lotus::fleet {
+
+Worker::Worker(WorkerOptions options, UnitRunner runner)
+    : options_(std::move(options)), runner_(std::move(runner)) {}
+
+Worker::Summary Worker::run() {
+  Summary summary;
+  WorkQueue queue(options_.queue_path);
+  const std::uint64_t owner =
+      options_.owner != 0 ? options_.owner
+                          : static_cast<std::uint64_t>(::getpid());
+  const std::uint64_t renew_ms =
+      options_.renew_interval_ms != 0
+          ? options_.renew_interval_ms
+          : std::max<std::uint64_t>(1, options_.lease_ms / 3);
+
+  for (;;) {
+    ClaimTicket ticket;
+    const auto status = queue.claim(owner, ticket);
+    if (status == WorkQueue::ClaimStatus::kDrained) break;
+    if (status == WorkQueue::ClaimStatus::kIoError) {
+      summary.io_error = true;
+      break;
+    }
+    if (status == WorkQueue::ClaimStatus::kBusy) {
+      // Someone else holds everything that is left; their leases will
+      // either complete or expire into our next claim scan.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.busy_backoff_ms));
+      continue;
+    }
+
+    // Keep the lease alive while the unit runs, from a side thread so a
+    // unit slower than the lease is not reclaimed out from under a live
+    // worker. A renew that fails means we were reclaimed anyway (e.g. the
+    // machine slept past the lease); we still finish — results are
+    // idempotent — and learn the truth from complete().
+    std::mutex mu;
+    std::condition_variable cv;
+    bool finished = false;
+    std::thread renewer([&] {
+      std::unique_lock lock(mu);
+      while (!finished) {
+        if (cv.wait_for(lock, std::chrono::milliseconds(renew_ms),
+                        [&] { return finished; })) {
+          break;
+        }
+        lock.unlock();
+        (void)queue.renew(ticket);
+        lock.lock();
+      }
+    });
+
+    const bool ok = runner_(ticket.unit);
+
+    {
+      std::lock_guard lock(mu);
+      finished = true;
+    }
+    cv.notify_all();
+    renewer.join();
+
+    if (!ok) {
+      // Leave the slot claimed: the lease expires and the unit is re-issued
+      // (possibly to us). A unit that fails deterministically will cycle —
+      // the driver's per-worker tally makes that visible.
+      ++summary.failed;
+      continue;
+    }
+    switch (queue.complete(ticket)) {
+      case WorkQueue::CompleteStatus::kCompleted:
+        ++summary.completed;
+        break;
+      case WorkQueue::CompleteStatus::kAlreadyDone:
+      case WorkQueue::CompleteStatus::kSuperseded:
+        ++summary.superseded;
+        break;
+      case WorkQueue::CompleteStatus::kIoError:
+        summary.io_error = true;
+        return summary;
+    }
+  }
+  return summary;
+}
+
+}  // namespace lotus::fleet

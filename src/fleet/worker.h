@@ -1,0 +1,63 @@
+// A fleet worker: the claim / run / complete loop around fleet::WorkQueue.
+//
+// The worker owns the queue discipline — claim under the file lock, keep the
+// lease alive from a renewal thread while the unit runs, complete (or learn
+// it was superseded) — and delegates the actual work to a runner callback,
+// so src/fleet never links the figure-bench registry (tools/lotus_fleet
+// supplies a runner that invokes it; tests supply synthetic runners). One
+// worker is one process in the fleet, but nothing here forks: the fleet
+// driver forks N processes that each run one Worker to completion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fleet/queue.h"
+
+namespace lotus::fleet {
+
+struct WorkerOptions {
+  std::string queue_path;
+  /// Recorded in claimed slots; pass getpid() (the default 0 means "ask the
+  /// OS" at run()).
+  std::uint64_t owner = 0;
+  /// Renewal cadence; 0 picks lease/3 from the queue... in practice the
+  /// fleet driver leaves this 0 and the worker renews at a third of the
+  /// configured lease it was told about.
+  std::uint64_t renew_interval_ms = 0;
+  /// The lease length claims were created with (create()'s lease_ms);
+  /// needed to derive the default renewal cadence.
+  std::uint64_t lease_ms = 30'000;
+  /// Sleep between claim attempts while the queue reports kBusy.
+  std::uint64_t busy_backoff_ms = 50;
+};
+
+class Worker {
+ public:
+  /// Runs one work unit; false marks the unit failed. MUST be idempotent
+  /// and deterministic: a reclaimed unit is re-run by another worker, and
+  /// the store's append-time dedup is what keeps re-runs single-counted.
+  using UnitRunner = std::function<bool(const WorkUnit&)>;
+
+  /// Everything one worker did, for the driver's summary line.
+  struct Summary {
+    std::size_t completed = 0;   ///< units this worker transitioned to done
+    std::size_t superseded = 0;  ///< ran fine but a reclaimant finished first
+    std::size_t failed = 0;      ///< runner returned false (unit left claimed)
+    bool io_error = false;
+  };
+
+  Worker(WorkerOptions options, UnitRunner runner);
+
+  /// Claims and runs units until the queue drains (or an I/O error).
+  /// Returns the tally; `io_error` set means the queue file went bad, not
+  /// that any unit failed.
+  [[nodiscard]] Summary run();
+
+ private:
+  WorkerOptions options_;
+  UnitRunner runner_;
+};
+
+}  // namespace lotus::fleet

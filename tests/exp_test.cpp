@@ -679,8 +679,10 @@ TEST(TrialStore, CompactDropsDuplicatesWithoutChangingLookups) {
   }
   {
     // A second handle does not see the first's records, so its append
-    // duplicates them — exactly the concurrent-writer aftermath.
+    // duplicates them — the concurrent-writer aftermath before append-time
+    // dedup existed (disabled here to seed compaction's input).
     exp::TrialStore store{dir, kTestShards};
+    store.set_append_dedup(false);
     store.append(duplicate);
     store.flush();
   }
@@ -705,6 +707,81 @@ TEST(TrialStore, CompactDropsDuplicatesWithoutChangingLookups) {
   EXPECT_EQ(again->before, 2u);
   EXPECT_EQ(again->after, 2u);
 }
+
+TEST(TrialStore, AppendDedupElidesRecordsAnotherHandleAlreadyCommitted) {
+  const auto dir = fresh_store_dir("dedup_handles");
+  const exp::TrialStore::Record record{
+      0x1111, std::bit_cast<std::uint64_t>(0.25), 7, 0.125};
+  {
+    exp::TrialStore first{dir, kTestShards};
+    first.append(record);
+    first.flush();
+    EXPECT_EQ(first.dedup_dropped(), 0u);
+  }
+  {
+    // The default append path probes the committed prefix under the shard
+    // flock, so a second handle re-appending the same trial is a no-op —
+    // the fix for the duplicate-append gap concurrent writers used to hit.
+    exp::TrialStore second{dir, kTestShards};
+    ASSERT_TRUE(second.append_dedup());
+    second.append(record);
+    second.append(record);  // in-batch duplicate folds into the same probe
+    second.flush();
+    ASSERT_TRUE(second.enabled());
+    EXPECT_EQ(second.dedup_dropped(), 2u);
+  }
+  exp::TrialStore reloaded{dir, kTestShards};
+  const auto& records = reloaded.records_for(0x1111);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], record);
+}
+
+#ifdef __unix__
+TEST(TrialStore, RacingAppendersCommitEachRecordExactlyOnce) {
+  // The fleet regression test for the duplicate-append gap: two processes
+  // flush the SAME batch of records in interleaved small flushes. The
+  // bloom-probe-before-spill under the shard's exclusive flock must commit
+  // each (key, x, seed) exactly once no matter how the flushes interleave.
+  const auto dir = fresh_store_dir("dedup_race");
+  constexpr int kRecords = 64;
+  {
+    exp::TrialStore init{dir, kTestShards};
+    ASSERT_TRUE(init.enabled());
+  }
+  const auto racer = [&dir]() {
+    exp::TrialStore store{dir, kTestShards};
+    if (!store.enabled()) _exit(3);
+    for (int i = 0; i < kRecords; ++i) {
+      store.append({static_cast<std::uint64_t>(i % 7),
+                    std::bit_cast<std::uint64_t>(static_cast<double>(i)),
+                    4242, 0.5 * static_cast<double>(i)});
+      if (i % 4 == 0) store.flush();
+    }
+    store.flush();
+    _exit(store.enabled() ? 0 : 4);
+  };
+  pid_t pids[2] = {-1, -1};
+  for (auto& pid : pids) {
+    pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) racer();
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "racer exit status " << status;
+  }
+  const auto all = load_all_records(dir);
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kRecords));
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (const auto& record : all) {
+    EXPECT_TRUE(seen.insert({record.key_hash, record.x_bits}).second)
+        << "record (" << record.key_hash << ", " << record.x_bits
+        << ") was committed twice";
+  }
+}
+#endif  // __unix__
 
 /// Writes a v1 flat log (single file, format version 1) the way PR 3's
 /// TrialStore did, so migration can be tested against the real layout.
@@ -1097,6 +1174,7 @@ TEST(TrialStore, IndexCoveringMoreThanTheShardIsRejected) {
   }
   {
     exp::TrialStore b{dir, kTestShards};  // separate handle: re-appends
+    b.set_append_dedup(false);            // deliberately, so compact shrinks
     b.append(dup);
     b.append({0x1111, std::bit_cast<std::uint64_t>(0.5), 8, 1.5});
     b.flush();
@@ -1143,7 +1221,8 @@ TEST(TrialStore, CompactRewritesViaRenameAndRebuildsTheIndex) {
   }
   {
     exp::TrialStore b{dir, kTestShards};
-    b.append(original);  // second handle: duplicates on disk
+    b.set_append_dedup(false);
+    b.append(original);  // second handle: duplicates on disk, deliberately
     b.flush();
   }
   // A reader holding the pre-compact mapping keeps serving the old inode
@@ -1188,6 +1267,8 @@ TEST(TrialStore, OnlineCompactConcurrentWithWriterLosesNoRecords) {
         3, std::bit_cast<std::uint64_t>(0.5), 1, 1.0};
     exp::TrialStore a{dir, kTestShards};
     exp::TrialStore b{dir, kTestShards};
+    a.set_append_dedup(false);
+    b.set_append_dedup(false);
     a.append(dup);
     b.append(dup);
   }

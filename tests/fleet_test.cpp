@@ -1,0 +1,1238 @@
+// Tests for the sweep fleet: the crash-safe work queue, the claim/run/
+// complete worker loop, the framed query-daemon protocol (including fuzzed
+// byte streams), the daemon's poll loop over real Unix sockets, and the
+// client's wrong-key protection.
+//
+// The fork-based tests SIGKILL real worker processes at randomized points
+// mid-claim and mid-append and then assert the two fleet invariants the
+// design hangs on: every unit is completed exactly once (the queue's
+// absorbing kDone + lease reclamation), and the merged store canonically
+// compacts byte-identical to a single-process run (append-time dedup).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exp/trial_cache.h"
+#include "exp/trial_store.h"
+#include "fleet/client.h"
+#include "fleet/daemon.h"
+#include "fleet/protocol.h"
+#include "fleet/queue.h"
+#include "fleet/worker.h"
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace lotus {
+namespace {
+
+using fleet::ClaimTicket;
+using fleet::WorkQueue;
+using fleet::WorkUnit;
+
+/// Fresh scratch directory for one test: TempDir persists across runs, so
+/// wipe it.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "fleet_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Overwrites `size` bytes at `offset` in a queue or store file.
+void patch_file(const std::string& path, std::streamoff offset,
+                const void* bytes, std::size_t size) {
+  std::fstream f{path, std::ios::binary | std::ios::in | std::ios::out};
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(size));
+  ASSERT_TRUE(f.good());
+}
+
+std::vector<WorkUnit> make_units(std::size_t n) {
+  std::vector<WorkUnit> units;
+  for (std::size_t i = 0; i < n; ++i) {
+    units.push_back({"unit_" + std::to_string(i),
+                     std::bit_cast<std::uint64_t>(0.125 * double(i + 1)),
+                     500 + i});
+  }
+  return units;
+}
+
+constexpr std::uint64_t kTestShards = 4;
+
+/// All committed records across every shard of a store directory.
+std::vector<exp::TrialStore::Record> load_all_records(const std::string& dir) {
+  std::vector<exp::TrialStore::Record> all;
+  for (std::uint64_t i = 0; i < kTestShards; ++i) {
+    std::vector<exp::TrialStore::Record> one;
+    const exp::TrialStore::Shard shard{
+        exp::shard_path(dir, static_cast<std::size_t>(i))};
+    (void)shard.load(one);
+    all.insert(all.end(), one.begin(), one.end());
+  }
+  return all;
+}
+
+// --- WorkQueue ------------------------------------------------------------
+
+TEST(WorkQueue, CreateRejectsBadInputs) {
+  const std::string path = fresh_dir("create_bad") + "/queue";
+  EXPECT_FALSE(WorkQueue::create(path, {}, 1000));           // empty
+  EXPECT_FALSE(WorkQueue::create(path, make_units(2), 0));   // no lease
+  WorkUnit long_name;
+  long_name.bench = std::string(WorkUnit::kBenchBytes, 'x');  // no room for NUL
+  EXPECT_FALSE(WorkQueue::create(path, {long_name}, 1000));
+  WorkUnit max_name;
+  max_name.bench = std::string(WorkUnit::kBenchBytes - 1, 'y');
+  EXPECT_TRUE(WorkQueue::create(path, {max_name}, 1000));
+  const WorkQueue queue{path};
+  const auto units = queue.units();
+  ASSERT_TRUE(units.has_value());
+  ASSERT_EQ(units->size(), 1u);
+  EXPECT_EQ((*units)[0].bench, max_name.bench);
+}
+
+TEST(WorkQueue, UnitsRoundTripInSlotOrder) {
+  const std::string path = fresh_dir("roundtrip") + "/queue";
+  const auto created = make_units(5);
+  ASSERT_TRUE(WorkQueue::create(path, created, 1000));
+  const WorkQueue queue{path};
+  const auto units = queue.units();
+  ASSERT_TRUE(units.has_value());
+  EXPECT_EQ(*units, created);
+  const auto stats = queue.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->units, 5u);
+  EXPECT_EQ(stats->pending, 5u);
+  EXPECT_EQ(stats->done, 0u);
+}
+
+TEST(WorkQueue, ClaimCompleteDrainsAndDoneIsAbsorbing) {
+  const std::string path = fresh_dir("drain") + "/queue";
+  const auto created = make_units(3);
+  ASSERT_TRUE(WorkQueue::create(path, created, 60'000));
+  WorkQueue queue{path};
+
+  std::vector<ClaimTicket> tickets(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.claim(100 + i, tickets[i]), WorkQueue::ClaimStatus::kClaimed);
+    EXPECT_EQ(tickets[i].slot, i);  // issued in slot order
+    EXPECT_EQ(tickets[i].unit, created[i]);
+    EXPECT_EQ(tickets[i].claims, 1u);
+  }
+  // Everything claimed under live leases: the next claimant must wait.
+  ClaimTicket extra;
+  EXPECT_EQ(queue.claim(999, extra), WorkQueue::ClaimStatus::kBusy);
+
+  for (const auto& ticket : tickets) {
+    EXPECT_EQ(queue.complete(ticket), WorkQueue::CompleteStatus::kCompleted);
+  }
+  EXPECT_EQ(queue.claim(999, extra), WorkQueue::ClaimStatus::kDrained);
+  // kDone is absorbing: a second complete reports, never double-counts.
+  EXPECT_EQ(queue.complete(tickets[0]), WorkQueue::CompleteStatus::kAlreadyDone);
+
+  const auto stats = queue.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->done, 3u);
+  EXPECT_EQ(stats->pending, 0u);
+  EXPECT_EQ(stats->claimed, 0u);
+  EXPECT_EQ(stats->reclaims, 0u);
+}
+
+TEST(WorkQueue, ExpiredLeaseIsReclaimedAndStaleCompleteIsSuperseded) {
+  const std::string path = fresh_dir("lease") + "/queue";
+  ASSERT_TRUE(WorkQueue::create(path, make_units(1), 60));
+  WorkQueue queue{path};
+
+  ClaimTicket first;
+  ASSERT_EQ(queue.claim(1, first), WorkQueue::ClaimStatus::kClaimed);
+  ClaimTicket second;
+  EXPECT_EQ(queue.claim(2, second), WorkQueue::ClaimStatus::kBusy);
+
+  // Reclaim after expiry: the unit is re-issued with the next claim ordinal.
+  const auto deadline = WorkQueue::now_ms() + 5000;
+  WorkQueue::ClaimStatus status = WorkQueue::ClaimStatus::kBusy;
+  while (status == WorkQueue::ClaimStatus::kBusy &&
+         WorkQueue::now_ms() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    status = queue.claim(2, second);
+  }
+  ASSERT_EQ(status, WorkQueue::ClaimStatus::kClaimed);
+  EXPECT_EQ(second.slot, first.slot);
+  EXPECT_EQ(second.unit, first.unit);
+  EXPECT_EQ(second.claims, 2u);
+
+  // The original owner lost the lease; its renew fails, and its complete
+  // still marks the (idempotent) unit done but reports the supersession.
+  EXPECT_FALSE(queue.renew(first));
+  EXPECT_EQ(queue.complete(first), WorkQueue::CompleteStatus::kSuperseded);
+  EXPECT_EQ(queue.complete(second), WorkQueue::CompleteStatus::kAlreadyDone);
+
+  const auto stats = queue.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->done, 1u);
+  EXPECT_EQ(stats->reclaims, 1u);
+}
+
+TEST(WorkQueue, RenewKeepsALeaseAliveAcrossItsNominalExpiry) {
+  const std::string path = fresh_dir("renew") + "/queue";
+  ASSERT_TRUE(WorkQueue::create(path, make_units(1), 100));
+  WorkQueue queue{path};
+
+  ClaimTicket ticket;
+  ASSERT_EQ(queue.claim(1, ticket), WorkQueue::ClaimStatus::kClaimed);
+  // Renew every ~40ms for 3 nominal lease lengths: the unit must never be
+  // claimable by anyone else.
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_TRUE(queue.renew(ticket));
+    ClaimTicket thief;
+    EXPECT_EQ(queue.claim(2, thief), WorkQueue::ClaimStatus::kBusy);
+  }
+  EXPECT_EQ(queue.complete(ticket), WorkQueue::CompleteStatus::kCompleted);
+  EXPECT_FALSE(queue.renew(ticket));  // done: nothing left to renew
+}
+
+TEST(WorkQueue, TornMutableBlockIsReclaimedWithIdentityIntact) {
+  const std::string path = fresh_dir("torn") + "/queue";
+  const auto created = make_units(2);
+  ASSERT_TRUE(WorkQueue::create(path, created, 60'000));
+  WorkQueue queue{path};
+
+  ClaimTicket ticket;
+  ASSERT_EQ(queue.claim(1, ticket), WorkQueue::ClaimStatus::kClaimed);
+  ASSERT_EQ(ticket.slot, 0u);
+
+  // Simulate a SIGKILL mid-pwrite: garbage over slot 0's mutable block (the
+  // only bytes a transition touches). The checksum fails, so the slot reads
+  // as reclaimable-now — despite its lease nominally having hours left.
+  const std::vector<std::uint8_t> garbage(WorkQueue::kMutableBytes, 0xFF);
+  patch_file(path,
+             static_cast<std::streamoff>(WorkQueue::kHeaderBytes +
+                                         WorkQueue::kIdentityBytes),
+             garbage.data(), garbage.size());
+
+  const auto stats = queue.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->torn, 1u);
+  EXPECT_EQ(stats->pending, 2u);  // torn counts as reclaimable
+
+  ClaimTicket again;
+  ASSERT_EQ(queue.claim(2, again), WorkQueue::ClaimStatus::kClaimed);
+  EXPECT_EQ(again.slot, 0u);
+  EXPECT_EQ(again.unit, created[0]);  // identity block untouched
+  EXPECT_EQ(queue.complete(again), WorkQueue::CompleteStatus::kCompleted);
+}
+
+TEST(WorkQueue, CorruptIdentityBlockIsSkippedNotDispatched) {
+  const std::string path = fresh_dir("bad_identity") + "/queue";
+  const auto created = make_units(2);
+  ASSERT_TRUE(WorkQueue::create(path, created, 60'000));
+  WorkQueue queue{path};
+
+  // Flip a byte inside slot 0's bench name: its checksum fails, and claim
+  // must skip the slot rather than hand out a garbage unit.
+  const std::uint8_t flip = 0x5A;
+  patch_file(path, static_cast<std::streamoff>(WorkQueue::kHeaderBytes + 2),
+             &flip, sizeof(flip));
+
+  ClaimTicket ticket;
+  ASSERT_EQ(queue.claim(1, ticket), WorkQueue::ClaimStatus::kClaimed);
+  EXPECT_EQ(ticket.slot, 1u);  // slot 0 skipped
+  EXPECT_EQ(ticket.unit, created[1]);
+  EXPECT_EQ(queue.complete(ticket), WorkQueue::CompleteStatus::kCompleted);
+  // The corrupt slot can never drain, and units() refuses to invent one.
+  EXPECT_EQ(queue.claim(1, ticket), WorkQueue::ClaimStatus::kDrained);
+  EXPECT_FALSE(queue.units().has_value());
+}
+
+TEST(WorkQueue, StatePersistsAcrossHandles) {
+  const std::string path = fresh_dir("handles") + "/queue";
+  ASSERT_TRUE(WorkQueue::create(path, make_units(2), 60'000));
+  ClaimTicket ticket;
+  {
+    WorkQueue one{path};
+    ASSERT_EQ(one.claim(7, ticket), WorkQueue::ClaimStatus::kClaimed);
+  }
+  WorkQueue two{path};
+  const auto stats = two.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->claimed, 1u);
+  EXPECT_EQ(stats->pending, 1u);
+  // The ticket is honoured by any handle: the queue's state lives on disk.
+  EXPECT_EQ(two.complete(ticket), WorkQueue::CompleteStatus::kCompleted);
+}
+
+TEST(WorkQueue, MissingOrInvalidFileReportsIoError) {
+  const std::string path = fresh_dir("missing") + "/queue";
+  WorkQueue queue{path};
+  ClaimTicket ticket;
+  EXPECT_EQ(queue.claim(1, ticket), WorkQueue::ClaimStatus::kIoError);
+  EXPECT_FALSE(queue.stats().has_value());
+  EXPECT_FALSE(queue.units().has_value());
+
+  // A file that is not a queue (bad magic) is IoError too, never garbage.
+  std::ofstream{path} << "not a queue";
+  EXPECT_EQ(queue.claim(1, ticket), WorkQueue::ClaimStatus::kIoError);
+}
+
+// --- fleet::Worker --------------------------------------------------------
+
+TEST(FleetWorker, DrainsTheQueueInSlotOrder) {
+  const std::string path = fresh_dir("worker_drain") + "/queue";
+  const auto created = make_units(4);
+  ASSERT_TRUE(WorkQueue::create(path, created, 60'000));
+
+  std::vector<std::string> ran;
+  fleet::Worker worker{{path, 7, 0, 60'000, 5}, [&](const WorkUnit& unit) {
+                         ran.push_back(unit.bench);
+                         return true;
+                       }};
+  const auto summary = worker.run();
+  EXPECT_EQ(summary.completed, 4u);
+  EXPECT_EQ(summary.failed, 0u);
+  EXPECT_EQ(summary.superseded, 0u);
+  EXPECT_FALSE(summary.io_error);
+  ASSERT_EQ(ran.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(ran[i], created[i].bench);
+
+  const auto stats = WorkQueue{path}.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->done, 4u);
+}
+
+TEST(FleetWorker, FailedUnitIsLeftClaimedAndRetriedAfterLeaseExpiry) {
+  const std::string path = fresh_dir("worker_retry") + "/queue";
+  ASSERT_TRUE(WorkQueue::create(path, make_units(2), 120));
+
+  // unit_1 fails its first attempt; the worker leaves it claimed, cycles on
+  // kBusy until its own lease expires, reclaims it, and succeeds.
+  bool failed_once = false;
+  fleet::Worker worker{{path, 7, 0, 120, 10}, [&](const WorkUnit& unit) {
+                         if (unit.bench == "unit_1" && !failed_once) {
+                           failed_once = true;
+                           return false;
+                         }
+                         return true;
+                       }};
+  const auto summary = worker.run();
+  EXPECT_TRUE(failed_once);
+  EXPECT_EQ(summary.completed, 2u);
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_FALSE(summary.io_error);
+
+  const auto stats = WorkQueue{path}.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->done, 2u);
+  EXPECT_EQ(stats->reclaims, 1u);  // the failed attempt's lease expired
+}
+
+TEST(FleetWorker, RenewalThreadOutlivesAUnitSlowerThanTheLease) {
+  const std::string path = fresh_dir("worker_renew") + "/queue";
+  ASSERT_TRUE(WorkQueue::create(path, make_units(1), 150));
+
+  // The unit takes ~3 lease lengths; the renewal thread (lease/3 cadence)
+  // must keep the lease alive so nothing is reclaimed.
+  fleet::Worker worker{{path, 7, 0, 150, 10}, [&](const WorkUnit&) {
+                         std::this_thread::sleep_for(
+                             std::chrono::milliseconds(450));
+                         return true;
+                       }};
+  const auto summary = worker.run();
+  EXPECT_EQ(summary.completed, 1u);
+  EXPECT_EQ(summary.superseded, 0u);
+
+  const auto stats = WorkQueue{path}.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->done, 1u);
+  EXPECT_EQ(stats->reclaims, 0u);
+}
+
+// --- Crash injection (fork + SIGKILL) -------------------------------------
+
+#ifdef __unix__
+
+TEST(FleetCrash, SigkillMidClaimIsReclaimedAfterLeaseExpiry) {
+  const std::string dir = fresh_dir("kill_claim");
+  const std::string path = dir + "/queue";
+  ASSERT_TRUE(WorkQueue::create(path, make_units(1), 150));
+
+  // The child claims the unit and dies holding it — the worst time short of
+  // mid-pwrite (covered by the torn-block test).
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    WorkQueue queue{path};
+    ClaimTicket ticket;
+    if (queue.claim(static_cast<std::uint64_t>(::getpid()), ticket) !=
+        WorkQueue::ClaimStatus::kClaimed) {
+      _exit(2);
+    }
+    raise(SIGKILL);
+    _exit(3);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  WorkQueue queue{path};
+  {
+    const auto stats = queue.stats();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->claimed, 1u);  // the dead worker's claim is visible
+  }
+  // Not claimable until the lease runs out...
+  ClaimTicket ticket;
+  EXPECT_EQ(queue.claim(1, ticket), WorkQueue::ClaimStatus::kBusy);
+  // ...then re-issued, and the unit drains normally.
+  const auto deadline = WorkQueue::now_ms() + 5000;
+  WorkQueue::ClaimStatus claim_status = WorkQueue::ClaimStatus::kBusy;
+  while (claim_status == WorkQueue::ClaimStatus::kBusy &&
+         WorkQueue::now_ms() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    claim_status = queue.claim(1, ticket);
+  }
+  ASSERT_EQ(claim_status, WorkQueue::ClaimStatus::kClaimed);
+  EXPECT_EQ(ticket.claims, 2u);
+  EXPECT_EQ(queue.complete(ticket), WorkQueue::CompleteStatus::kCompleted);
+  const auto stats = queue.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->done, 1u);
+  EXPECT_EQ(stats->reclaims, 1u);
+}
+
+TEST(FleetCrash, SigkillMidAppendLeavesAValidDedupedStore) {
+  const std::string dir = fresh_dir("kill_append");
+  const std::string path = dir + "/queue";
+  const std::string store_dir = dir + "/store";
+  ASSERT_TRUE(WorkQueue::create(path, make_units(1), 150));
+  {
+    exp::TrialStore init{store_dir, kTestShards};
+    ASSERT_TRUE(init.enabled());
+  }
+  const exp::TrialStore::Record a{11, std::bit_cast<std::uint64_t>(0.25), 1,
+                                  0.5};
+  const exp::TrialStore::Record b{12, std::bit_cast<std::uint64_t>(0.5), 2,
+                                  -1.5};
+
+  // The child claims, commits the unit's records, and dies before
+  // complete(): the fleet's "mid-append" crash (after the store flush, the
+  // queue slot is still claimed).
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    WorkQueue queue{path};
+    ClaimTicket ticket;
+    if (queue.claim(static_cast<std::uint64_t>(::getpid()), ticket) !=
+        WorkQueue::ClaimStatus::kClaimed) {
+      _exit(2);
+    }
+    exp::TrialStore store{store_dir, kTestShards};
+    if (!store.enabled()) _exit(3);
+    store.append(a);
+    store.append(b);
+    store.flush();
+    if (!store.enabled()) _exit(4);
+    raise(SIGKILL);
+    _exit(5);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // The committed prefix survived the SIGKILL: every touched shard loads
+  // clean (what `lotus_store verify` checks), with the child's records in it.
+  for (std::uint64_t s = 0; s < kTestShards; ++s) {
+    std::vector<exp::TrialStore::Record> out;
+    const exp::TrialStore::Shard shard{
+        exp::shard_path(store_dir, static_cast<std::size_t>(s))};
+    const auto loaded = shard.load(out);
+    EXPECT_TRUE(loaded == exp::TrialStore::LoadStatus::kLoaded ||
+                loaded == exp::TrialStore::LoadStatus::kFresh);
+  }
+  ASSERT_EQ(load_all_records(store_dir).size(), 2u);
+
+  // A replacement worker reclaims the unit after lease expiry and re-runs
+  // it; append-time dedup keeps the re-run single-counted.
+  WorkQueue queue{path};
+  ClaimTicket ticket;
+  const auto deadline = WorkQueue::now_ms() + 5000;
+  WorkQueue::ClaimStatus claim_status = WorkQueue::ClaimStatus::kBusy;
+  while (claim_status == WorkQueue::ClaimStatus::kBusy &&
+         WorkQueue::now_ms() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    claim_status = queue.claim(1, ticket);
+  }
+  ASSERT_EQ(claim_status, WorkQueue::ClaimStatus::kClaimed);
+  {
+    exp::TrialStore store{store_dir, kTestShards};
+    ASSERT_TRUE(store.enabled());
+    store.append(a);
+    store.append(b);
+    store.flush();
+    ASSERT_TRUE(store.enabled());
+    EXPECT_EQ(store.dedup_dropped(), 2u);
+  }
+  EXPECT_EQ(queue.complete(ticket), WorkQueue::CompleteStatus::kCompleted);
+
+  const auto all = load_all_records(store_dir);
+  ASSERT_EQ(all.size(), 2u);  // no unit lost, none double-counted
+  std::set<std::uint64_t> keys;
+  for (const auto& record : all) keys.insert(record.key_hash);
+  EXPECT_TRUE(keys.contains(11u));
+  EXPECT_TRUE(keys.contains(12u));
+}
+
+/// The synthetic trial a work unit produces — deterministic, so re-runs of
+/// a reclaimed unit commit identical records.
+exp::TrialStore::Record record_for(const WorkUnit& unit) {
+  return {unit.seed, unit.x_bits, unit.seed,
+          0.25 + 0.5 * static_cast<double>(unit.seed % 16)};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(FleetCrash, RandomizedKillsDrainExactlyOnceAndMatchSingleProcessStore) {
+  // The fleet property test: N worker processes × M units with a first wave
+  // of workers SIGKILLing themselves at randomized points (mid-claim or
+  // mid-append), respawned until the queue drains. Invariants:
+  //   1. every unit is completed exactly once (the completion log written
+  //      right after a kCompleted transition has one line per slot);
+  //   2. the merged fleet store, canonically compacted, is byte-identical
+  //      to a single-process run of the same units (append dedup: re-runs
+  //      of reclaimed units never double-commit).
+  const std::string dir = fresh_dir("kill_prop");
+  const std::string path = dir + "/queue";
+  const std::string fleet_dir = dir + "/fleet";
+  const std::string single_dir = dir + "/single";
+  const std::string log_path = dir + "/completions.log";
+
+  constexpr std::size_t kUnits = 12;
+  constexpr std::uint64_t kLeaseMs = 250;
+  constexpr unsigned kKillers = 5;      // the first wave all dies
+  constexpr unsigned kMaxWorkers = 3;   // concurrently live
+  constexpr unsigned kMaxGenerations = 40;
+  const auto units = make_units(kUnits);
+  ASSERT_TRUE(WorkQueue::create(path, units, kLeaseMs));
+  {
+    exp::TrialStore init{fleet_dir, kTestShards};
+    ASSERT_TRUE(init.enabled());
+  }
+
+  // The single-process reference store.
+  {
+    exp::TrialStore single{single_dir, kTestShards};
+    ASSERT_TRUE(single.enabled());
+    for (const auto& unit : units) single.append(record_for(unit));
+    single.flush();
+    ASSERT_TRUE(single.enabled());
+  }
+
+  const auto spawn = [&](unsigned generation) -> pid_t {
+    const pid_t pid = fork();
+    if (pid != 0) return pid;
+    // Worker child: the raw claim/run/complete loop, with a deterministic
+    // per-generation kill schedule (seeded PRNG, so "randomized" and
+    // reproducible at once).
+    std::mt19937_64 rng(0x20080815u + generation);
+    const bool killer = generation < kKillers;
+    const bool kill_mid_claim = (rng() & 1u) != 0;
+    std::uint64_t units_before_kill = rng() % 2;  // die on the 1st or 2nd
+    const int log_fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd < 0) _exit(5);
+    exp::TrialStore store{fleet_dir, kTestShards};
+    if (!store.enabled()) _exit(3);
+    WorkQueue queue{path};
+    for (;;) {
+      ClaimTicket ticket;
+      const auto status =
+          queue.claim(static_cast<std::uint64_t>(::getpid()), ticket);
+      if (status == WorkQueue::ClaimStatus::kDrained) break;
+      if (status == WorkQueue::ClaimStatus::kIoError) _exit(4);
+      if (status == WorkQueue::ClaimStatus::kBusy) {
+        ::usleep(20'000);
+        continue;
+      }
+      const bool die_now = killer && units_before_kill-- == 0;
+      if (die_now && kill_mid_claim) raise(SIGKILL);  // claimed, ran nothing
+      store.append(record_for(ticket.unit));
+      store.flush();
+      if (!store.enabled()) _exit(3);
+      if (die_now) raise(SIGKILL);  // records committed, slot still claimed
+      const auto completed = queue.complete(ticket);
+      if (completed == WorkQueue::CompleteStatus::kIoError) _exit(4);
+      if (completed == WorkQueue::CompleteStatus::kCompleted) {
+        char line[32];
+        const int len =
+            std::snprintf(line, sizeof(line), "%zu\n", ticket.slot);
+        if (::write(log_fd, line, static_cast<std::size_t>(len)) != len) {
+          _exit(5);
+        }
+      }
+    }
+    _exit(0);
+  };
+
+  WorkQueue queue{path};
+  std::vector<pid_t> live;
+  unsigned generation = 0;
+  std::size_t killed = 0;
+  for (;;) {
+    const auto stats = queue.stats();
+    ASSERT_TRUE(stats.has_value());
+    if (stats->done == kUnits) break;
+    while (live.size() < kMaxWorkers && generation < kMaxGenerations) {
+      live.push_back(spawn(generation++));
+      ASSERT_GT(live.back(), 0);
+    }
+    ASSERT_FALSE(live.empty()) << "queue stuck after " << generation
+                               << " generations: " << stats->done << "/"
+                               << kUnits << " done";
+    int status = 0;
+    const pid_t reaped = waitpid(-1, &status, 0);
+    ASSERT_GT(reaped, 0);
+    live.erase(std::find(live.begin(), live.end(), reaped));
+    if (WIFSIGNALED(status)) {
+      ASSERT_EQ(WTERMSIG(status), SIGKILL);  // only self-inflicted kills
+      ++killed;
+    } else {
+      ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+          << "worker exited " << WEXITSTATUS(status);
+    }
+  }
+  for (const pid_t pid : live) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  EXPECT_GE(killed, 1u) << "the kill schedule never fired; weaker test";
+
+  // Invariant 1: every unit completed exactly once.
+  {
+    const auto stats = queue.stats();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->done, kUnits);
+    EXPECT_GE(stats->reclaims, killed);  // every kill forced a reclaim
+  }
+  std::map<std::size_t, int> completions;
+  {
+    std::ifstream log{log_path};
+    std::size_t slot = 0;
+    while (log >> slot) ++completions[slot];
+  }
+  ASSERT_EQ(completions.size(), kUnits);
+  for (const auto& [slot, count] : completions) {
+    EXPECT_EQ(count, 1) << "slot " << slot << " completed " << count
+                        << " times";
+  }
+
+  // Invariant 2: canonical compaction makes the fleet store byte-identical
+  // to the single-process store, shard and index files alike.
+  for (const std::string& store_dir : {single_dir, fleet_dir}) {
+    for (std::uint64_t s = 0; s < kTestShards; ++s) {
+      const exp::TrialStore::Shard shard{
+          exp::shard_path(store_dir, static_cast<std::size_t>(s))};
+      std::vector<exp::TrialStore::Record> out;
+      if (shard.load(out) == exp::TrialStore::LoadStatus::kFresh) continue;
+      ASSERT_TRUE(shard.compact(/*canonical=*/true).has_value());
+    }
+  }
+  for (std::uint64_t s = 0; s < kTestShards; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    const std::string pairs[][2] = {
+        {exp::shard_path(single_dir, i), exp::shard_path(fleet_dir, i)},
+        {exp::shard_index_path(single_dir, i),
+         exp::shard_index_path(fleet_dir, i)},
+    };
+    for (const auto& pair : pairs) {
+      ASSERT_EQ(std::filesystem::exists(pair[0]),
+                std::filesystem::exists(pair[1]))
+          << pair[0] << " exists in only one store";
+      if (!std::filesystem::exists(pair[0])) continue;
+      EXPECT_EQ(slurp(pair[0]), slurp(pair[1]))
+          << pair[0] << " differs between fleet and single-process stores";
+    }
+  }
+  EXPECT_EQ(slurp(exp::manifest_path(single_dir)),
+            slurp(exp::manifest_path(fleet_dir)));
+}
+
+#endif  // __unix__
+
+// --- Wire protocol --------------------------------------------------------
+
+TEST(FleetProtocol, FramesRoundTripThroughTheDecoder) {
+  using fleet::Frame;
+  using fleet::FrameDecoder;
+  using fleet::FrameType;
+  const fleet::LookupKey key{0xAB, std::bit_cast<std::uint64_t>(0.75), 9};
+  const fleet::WireStats stats{3, 40, 30, 20, 10, 1, 4096, 2048};
+  const std::vector<std::uint8_t> ping_payload{1, 2, 3, 250};
+
+  std::vector<std::uint8_t> stream;
+  fleet::append_lookup_request(stream, key);
+  fleet::append_lookup_hit(stream, key, -0.0);  // value survives by bit pattern
+  fleet::append_lookup_miss(stream, key);
+  fleet::append_stats_request(stream);
+  fleet::append_stats_reply(stream, stats);
+  fleet::append_frame(stream, FrameType::kPing, ping_payload);
+  fleet::append_error(stream, fleet::WireError::kBadLength);
+
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed(stream));
+  Frame frame;
+
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kLookupRequest);
+  EXPECT_EQ(fleet::decode_lookup_key(frame.payload), key);
+
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kLookupHit);
+  EXPECT_EQ(fleet::decode_lookup_key(frame.payload), key);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                fleet::decode_lookup_value(frame.payload)),
+            std::bit_cast<std::uint64_t>(-0.0));
+
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kLookupMiss);
+  EXPECT_EQ(fleet::decode_lookup_key(frame.payload), key);
+
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kStatsRequest);
+  EXPECT_TRUE(frame.payload.empty());
+
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kStatsReply);
+  EXPECT_EQ(fleet::decode_stats(frame.payload), stats);
+
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_TRUE(std::equal(frame.payload.begin(), frame.payload.end(),
+                         ping_payload.begin(), ping_payload.end()));
+
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(fleet::decode_error(frame.payload),
+            fleet::WireError::kBadLength);
+
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+/// A hand-built frame header (the encoders refuse to build invalid ones).
+std::vector<std::uint8_t> raw_header(std::uint32_t payload_len,
+                                     std::uint32_t type) {
+  std::vector<std::uint8_t> out(fleet::kFrameHeaderBytes);
+  std::memcpy(out.data(), &payload_len, sizeof(payload_len));
+  std::memcpy(out.data() + sizeof(payload_len), &type, sizeof(type));
+  return out;
+}
+
+TEST(FleetProtocol, TruncatedFrameIsNeedMoreUntilTheLastByteArrives) {
+  std::vector<std::uint8_t> stream;
+  fleet::append_lookup_request(stream, {1, 2, 3});
+  fleet::FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed({stream.data(), stream.size() - 1}));
+  fleet::Frame frame;
+  EXPECT_EQ(decoder.next(frame), fleet::FrameDecoder::Status::kNeedMore);
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_EQ(decoder.buffered(), stream.size() - 1);
+  EXPECT_TRUE(decoder.feed({stream.data() + stream.size() - 1, 1}));
+  ASSERT_EQ(decoder.next(frame), fleet::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, fleet::FrameType::kLookupRequest);
+}
+
+TEST(FleetProtocol, MalformedHeadersPoisonTheDecoderAndLatch) {
+  struct Case {
+    std::uint32_t payload_len;
+    std::uint32_t type;
+    fleet::WireError expect;
+  };
+  const Case cases[] = {
+      {static_cast<std::uint32_t>(fleet::kMaxPayload) + 1,
+       static_cast<std::uint32_t>(fleet::FrameType::kPing),
+       fleet::WireError::kOversized},
+      {0, 0, fleet::WireError::kBadType},
+      {0, 9, fleet::WireError::kBadType},
+      {23, static_cast<std::uint32_t>(fleet::FrameType::kLookupRequest),
+       fleet::WireError::kBadLength},
+      {1, static_cast<std::uint32_t>(fleet::FrameType::kStatsRequest),
+       fleet::WireError::kBadLength},
+  };
+  for (const auto& c : cases) {
+    fleet::FrameDecoder decoder;
+    EXPECT_FALSE(decoder.feed(raw_header(c.payload_len, c.type)));
+    fleet::Frame frame;
+    EXPECT_EQ(decoder.next(frame), fleet::FrameDecoder::Status::kError);
+    EXPECT_EQ(decoder.error(), c.expect);
+    EXPECT_TRUE(decoder.poisoned());
+    // Latched: perfectly valid bytes cannot revive a poisoned stream.
+    std::vector<std::uint8_t> good;
+    fleet::append_stats_request(good);
+    EXPECT_FALSE(decoder.feed(good));
+    EXPECT_EQ(decoder.next(frame), fleet::FrameDecoder::Status::kError);
+    EXPECT_EQ(decoder.error(), c.expect);
+  }
+}
+
+TEST(FleetProtocol, FuzzedStreamsNeverUnbindTheDecoder) {
+  // Property fuzz: random valid frame sequences, randomly chunked, half the
+  // iterations with random bit flips. The decoder must (a) reproduce intact
+  // streams frame for frame, byte for byte, (b) never buffer more than one
+  // frame, and (c) on any error latch until destroyed — never crash, never
+  // mis-frame silently after corruption of a header it accepted.
+  std::mt19937_64 rng(0x4c4f545553u);  // "LOTUS"
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<std::uint8_t> stream;
+    std::vector<std::pair<fleet::FrameType, std::vector<std::uint8_t>>>
+        expected;
+    const std::size_t frames = 1 + rng() % 6;
+    for (std::size_t f = 0; f < frames; ++f) {
+      const std::size_t before = stream.size();
+      switch (rng() % 7) {
+        case 0:
+          fleet::append_lookup_request(stream, {rng(), rng(), rng()});
+          break;
+        case 1:
+          fleet::append_lookup_hit(stream, {rng(), rng(), rng()},
+                                   static_cast<double>(rng() % 1000) / 8.0);
+          break;
+        case 2:
+          fleet::append_lookup_miss(stream, {rng(), rng(), rng()});
+          break;
+        case 3:
+          fleet::append_stats_request(stream);
+          break;
+        case 4:
+          fleet::append_stats_reply(
+              stream, {rng(), rng(), rng(), rng(), rng(), rng(), rng(),
+                       rng()});
+          break;
+        case 5: {
+          std::vector<std::uint8_t> payload(rng() % 64);
+          for (auto& byte : payload) {
+            byte = static_cast<std::uint8_t>(rng());
+          }
+          fleet::append_frame(stream, fleet::FrameType::kPing, payload);
+          break;
+        }
+        default:
+          fleet::append_error(stream, fleet::WireError::kBadRequest);
+          break;
+      }
+      std::uint32_t type_word = 0;
+      std::memcpy(&type_word, stream.data() + before + 4, sizeof(type_word));
+      expected.emplace_back(
+          static_cast<fleet::FrameType>(type_word),
+          std::vector<std::uint8_t>(
+                    stream.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            before + fleet::kFrameHeaderBytes),
+                    stream.end()));
+    }
+    const bool corrupted = (iter % 2) == 1;
+    if (corrupted) {
+      const std::size_t flips = 1 + rng() % 4;
+      for (std::size_t f = 0; f < flips; ++f) {
+        stream[rng() % stream.size()] ^=
+            static_cast<std::uint8_t>(1u << (rng() % 8));
+      }
+    }
+
+    fleet::FrameDecoder decoder;
+    std::size_t offset = 0;
+    std::size_t decoded = 0;
+    bool errored = false;
+    while (offset < stream.size() && !errored) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng() % 96, stream.size() - offset);
+      (void)decoder.feed({stream.data() + offset, chunk});
+      offset += chunk;
+      fleet::Frame frame;
+      for (;;) {
+        const auto status = decoder.next(frame);
+        if (status == fleet::FrameDecoder::Status::kFrame) {
+          ASSERT_LE(frame.payload.size(), fleet::kMaxPayload);
+          if (!corrupted) {
+            ASSERT_LT(decoded, expected.size());
+            EXPECT_EQ(frame.type, expected[decoded].first);
+            EXPECT_TRUE(std::equal(frame.payload.begin(),
+                                   frame.payload.end(),
+                                   expected[decoded].second.begin(),
+                                   expected[decoded].second.end()));
+          }
+          ++decoded;
+          continue;
+        }
+        if (status == fleet::FrameDecoder::Status::kError) errored = true;
+        break;
+      }
+      // Bounded memory: never more than one maximal frame buffered.
+      ASSERT_LE(decoder.buffered(),
+                fleet::kMaxPayload + fleet::kFrameHeaderBytes);
+    }
+    if (!corrupted) {
+      EXPECT_FALSE(decoder.poisoned());
+      EXPECT_EQ(decoded, expected.size());
+    } else if (errored) {
+      std::vector<std::uint8_t> good;
+      fleet::append_stats_request(good);
+      EXPECT_FALSE(decoder.feed(good));
+      fleet::Frame frame;
+      EXPECT_EQ(decoder.next(frame), fleet::FrameDecoder::Status::kError);
+    }
+    // Corrupted-but-not-errored is legal too: flips confined to payload
+    // bytes decode as a (different) well-formed frame.
+  }
+}
+
+// --- Query daemon over real sockets ---------------------------------------
+
+#ifdef __unix__
+
+/// Store fixture: two known trials in a fresh directory.
+struct DaemonFixture {
+  std::string dir;
+  std::string socket_path;
+  exp::TrialStore::Record known{0x1111, std::bit_cast<std::uint64_t>(0.25), 7,
+                                0.125};
+
+  explicit DaemonFixture(const std::string& name)
+      : dir(fresh_dir(name)), socket_path(dir + "/q.sock") {
+    exp::TrialStore store{dir, kTestShards};
+    store.append(known);
+    store.flush();
+  }
+
+  fleet::DaemonOptions options() const {
+    fleet::DaemonOptions opts;
+    opts.socket_path = socket_path;
+    opts.cache_dir = dir;
+    opts.store_shards = kTestShards;
+    opts.poll_interval_ms = 20;
+    return opts;
+  }
+};
+
+TEST(FleetDaemon, ServesHitsMissesStatsAndPings) {
+  const DaemonFixture fx{"daemon_serve"};
+  fleet::QueryDaemon daemon{fx.options()};
+  ASSERT_TRUE(daemon.bind()) << daemon.last_error();
+  std::ostringstream metrics;
+  std::thread server([&] { (void)daemon.run(&metrics); });
+
+  {
+    auto client = fleet::StoreClient::connect(fx.socket_path, 2000);
+    ASSERT_NE(client, nullptr);
+
+    double value = 0.0;
+    EXPECT_TRUE(client->lookup(fx.known.key_hash, fx.known.x_bits,
+                               fx.known.seed, value));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(value),
+              std::bit_cast<std::uint64_t>(fx.known.value));
+    EXPECT_FALSE(client->lookup(0xDEAD, fx.known.x_bits, 99, value));
+    EXPECT_FALSE(client->poisoned());  // a miss is an answer, not a failure
+    EXPECT_EQ(client->hits(), 1u);
+    EXPECT_EQ(client->misses(), 1u);
+
+    const std::uint8_t payload[] = {0x4c, 0x4f, 0x54, 0x55, 0x53};
+    EXPECT_TRUE(client->ping(payload));
+    EXPECT_TRUE(client->ping());  // empty payload pings too
+
+    fleet::WireStats stats;
+    ASSERT_TRUE(client->stats(stats));
+    EXPECT_EQ(stats.lookups, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_GE(stats.connections, 1u);
+  }
+
+  daemon.stop();
+  server.join();
+  const std::string dump = metrics.str();
+  EXPECT_NE(dump.find("[lotus_fleet daemon]"), std::string::npos);
+  EXPECT_NE(dump.find("service time: p50"), std::string::npos);
+  EXPECT_NE(dump.find("conn 1"), std::string::npos);
+  EXPECT_EQ(daemon.stats().errors, 0u);
+}
+
+/// Blocking AF_UNIX connect with send/recv timeouts, for raw-byte tests.
+int connect_unix(const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(FleetDaemon, GarbagePoisonsOnlyItsOwnConnection) {
+  const DaemonFixture fx{"daemon_garbage"};
+  fleet::QueryDaemon daemon{fx.options()};
+  ASSERT_TRUE(daemon.bind()) << daemon.last_error();
+  std::thread server([&] { (void)daemon.run(nullptr); });
+
+  auto well_behaved = fleet::StoreClient::connect(fx.socket_path, 2000);
+  ASSERT_NE(well_behaved, nullptr);
+  ASSERT_TRUE(well_behaved->ping());
+
+  {
+    // 16 bytes of 0xFF: the length prefix alone is a protocol error. The
+    // daemon must reply kError (kOversized) and close — this fd only.
+    const int fd = connect_unix(fx.socket_path, 2000);
+    ASSERT_GE(fd, 0);
+    const std::vector<std::uint8_t> garbage(16, 0xFF);
+    ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(garbage.size()));
+    std::vector<std::uint8_t> reply;
+    std::uint8_t chunk[64];
+    for (;;) {
+      const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (got <= 0) break;  // 0 = daemon closed us: the expected ending
+      reply.insert(reply.end(), chunk, chunk + got);
+    }
+    ::close(fd);
+    fleet::FrameDecoder decoder;
+    EXPECT_TRUE(decoder.feed(reply));
+    fleet::Frame frame;
+    ASSERT_EQ(decoder.next(frame), fleet::FrameDecoder::Status::kFrame);
+    EXPECT_EQ(frame.type, fleet::FrameType::kError);
+    EXPECT_EQ(fleet::decode_error(frame.payload),
+              fleet::WireError::kOversized);
+  }
+
+  // The sibling connection kept serving throughout.
+  double value = 0.0;
+  EXPECT_TRUE(well_behaved->lookup(fx.known.key_hash, fx.known.x_bits,
+                                   fx.known.seed, value));
+  EXPECT_FALSE(well_behaved->poisoned());
+
+  daemon.stop();
+  server.join();
+  EXPECT_GE(daemon.stats().errors, 1u);
+  EXPECT_GE(daemon.stats().hits, 1u);
+}
+
+TEST(FleetDaemon, WellFormedNonRequestFrameIsRejectedNotServed) {
+  const DaemonFixture fx{"daemon_nonrequest"};
+  fleet::QueryDaemon daemon{fx.options()};
+  ASSERT_TRUE(daemon.bind()) << daemon.last_error();
+  std::thread server([&] { (void)daemon.run(nullptr); });
+
+  // A client echoing a *reply* frame at the daemon is out of sync; the
+  // daemon answers kError(kBadRequest) and hangs up.
+  const int fd = connect_unix(fx.socket_path, 2000);
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> echo;
+  fleet::append_lookup_miss(echo, {1, 2, 3});
+  ASSERT_EQ(::send(fd, echo.data(), echo.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(echo.size()));
+  std::vector<std::uint8_t> reply;
+  std::uint8_t chunk[64];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) break;
+    reply.insert(reply.end(), chunk, chunk + got);
+  }
+  ::close(fd);
+  fleet::FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed(reply));
+  fleet::Frame frame;
+  ASSERT_EQ(decoder.next(frame), fleet::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, fleet::FrameType::kError);
+  EXPECT_EQ(fleet::decode_error(frame.payload),
+            fleet::WireError::kBadRequest);
+
+  daemon.stop();
+  server.join();
+}
+
+TEST(FleetDaemon, ExcessConnectionsAreRefusedNotQueued) {
+  DaemonFixture fx{"daemon_cap"};
+  auto opts = fx.options();
+  opts.max_connections = 1;
+  fleet::QueryDaemon daemon{opts};
+  ASSERT_TRUE(daemon.bind()) << daemon.last_error();
+  std::thread server([&] { (void)daemon.run(nullptr); });
+
+  auto first = fleet::StoreClient::connect(fx.socket_path, 2000);
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(first->ping());  // accepted and served
+
+  // Over capacity: the daemon accepts and immediately closes the fd.
+  const int fd = connect_unix(fx.socket_path, 2000);
+  ASSERT_GE(fd, 0);
+  std::uint8_t byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // clean EOF, no service
+  ::close(fd);
+
+  EXPECT_TRUE(first->ping());  // the in-capacity connection is unaffected
+
+  daemon.stop();
+  server.join();
+}
+
+TEST(FleetClient, WrongKeyReplyPoisonsTheClient) {
+  // A fake daemon that answers a lookup with a hit for a DIFFERENT key: the
+  // client must refuse the value and poison itself — this is the wire-level
+  // wrong-key protection the reply's echoed key exists for.
+  const std::string dir = fresh_dir("wrong_key");
+  const std::string socket_path = dir + "/fake.sock";
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  std::thread fake([&] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    std::uint8_t buf[64];
+    std::size_t got = 0;
+    const std::size_t want = fleet::kFrameHeaderBytes + 24;  // one request
+    while (got < want) {
+      const ssize_t r = ::recv(fd, buf + got, sizeof(buf) - got, 0);
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    std::vector<std::uint8_t> reply;
+    fleet::append_lookup_hit(reply, {999, 999, 999}, 1.0);
+    (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  });
+
+  auto client = fleet::StoreClient::connect(socket_path, 2000);
+  ASSERT_NE(client, nullptr);
+  double value = 0.0;
+  EXPECT_FALSE(client->lookup(1, 2, 3, value));
+  EXPECT_TRUE(client->poisoned());
+  EXPECT_NE(client->last_error().find("different key"), std::string::npos);
+  // Poisoned means poisoned: every later call fails fast.
+  EXPECT_FALSE(client->ping());
+  fleet::WireStats stats;
+  EXPECT_FALSE(client->stats(stats));
+
+  fake.join();
+  ::close(listen_fd);
+}
+
+TEST(FleetClient, ConnectToAMissingDaemonReturnsNull) {
+  const std::string dir = fresh_dir("no_daemon");
+  EXPECT_EQ(fleet::StoreClient::connect(dir + "/nope.sock", 200), nullptr);
+}
+
+#endif  // __unix__
+
+// --- TrialCache remote-source hook ----------------------------------------
+
+/// A scripted RemoteTrialSource standing in for the query daemon.
+class FakeRemote final : public exp::RemoteTrialSource {
+ public:
+  FakeRemote(std::uint64_t config_hash, double x, std::uint64_t seed,
+             double value)
+      : config_hash_(config_hash),
+        x_bits_(std::bit_cast<std::uint64_t>(x)),
+        seed_(seed),
+        value_(value) {}
+
+  bool lookup(std::uint64_t config_hash, std::uint64_t x_bits,
+              std::uint64_t seed, double& value) override {
+    ++calls_;
+    if (config_hash != config_hash_ || x_bits != x_bits_ || seed != seed_) {
+      return false;
+    }
+    value = value_;
+    return true;
+  }
+
+  [[nodiscard]] int calls() const noexcept { return calls_; }
+
+ private:
+  std::uint64_t config_hash_;
+  std::uint64_t x_bits_;
+  std::uint64_t seed_;
+  double value_;
+  int calls_ = 0;
+};
+
+TEST(FleetRemote, RemoteHitsLandInMemoryOnlyNeverInTheLocalStore) {
+  const std::string dir = fresh_dir("remote_hits");
+  exp::TrialCache cache;
+  exp::TrialStore store{dir, kTestShards};
+  ASSERT_TRUE(store.enabled());
+  cache.attach_store(store);
+  FakeRemote remote{0x77, 0.5, 9, 6.25};
+  cache.attach_remote(remote);
+
+  // Memory and store miss -> the remote answers; the value is served and
+  // cached in memory.
+  double value = 0.0;
+  EXPECT_TRUE(cache.lookup(0x77, 0.5, 9, value));
+  EXPECT_EQ(value, 6.25);
+  EXPECT_EQ(cache.remote_hits(), 1u);
+  EXPECT_EQ(remote.calls(), 1);
+
+  // The second lookup is a plain memory hit: the remote is not re-asked.
+  EXPECT_TRUE(cache.lookup(0x77, 0.5, 9, value));
+  EXPECT_EQ(remote.calls(), 1);
+  EXPECT_EQ(cache.remote_hits(), 1u);
+
+  // A remote miss is a plain miss (and was consulted).
+  EXPECT_FALSE(cache.lookup(0x99, 0.5, 1, value));
+  EXPECT_EQ(remote.calls(), 2);
+
+  // A genuinely fresh trial still spills to the store; the remote hit does
+  // NOT — the local store's contents cannot depend on who was asked first.
+  cache.store(0x88, 0.25, 3, 1.5);
+  store.flush();
+  const auto all = load_all_records(dir);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].key_hash, 0x88u);
+}
+
+}  // namespace
+}  // namespace lotus

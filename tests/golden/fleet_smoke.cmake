@@ -1,0 +1,104 @@
+# Fleet equivalence check (ctest fixture): the acceptance contract for the
+# sweep fleet.
+#
+# Runs the same quick sweep twice — once in one lotus_figs process, once as
+# a 4-worker lotus_fleet run through the crash-safe work queue — against two
+# fresh stores, and asserts:
+#   1. both stores pass `lotus_store verify`,
+#   2. after `lotus_store compact --canon`, the two stores are byte-identical
+#      file for file (same manifest, shards, and sidecar indexes) — the
+#      fleet's interleaved, deduped appends committed exactly the
+#      single-process record set;
+#   3. a warm lotus_figs rerun over the FLEET's store reports 0 misses and
+#      produces stdout byte-identical to the single-process run.
+#
+# Usage: cmake -DDRIVER=<lotus_figs> -DFLEET=<lotus_fleet> -DTOOL=<lotus_store>
+#              -DWORK=<scratch-dir> -P fleet_smoke.cmake
+if(NOT DEFINED DRIVER OR NOT DEFINED FLEET OR NOT DEFINED TOOL
+   OR NOT DEFINED WORK)
+  message(FATAL_ERROR
+    "fleet_smoke.cmake needs -DDRIVER, -DFLEET, -DTOOL, and -DWORK")
+endif()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+set(benches fig1_attacks,fig3_obedient,token_rare)
+set(shape --quick --only ${benches} --store-shards 4)
+
+execute_process(
+  COMMAND ${DRIVER} ${shape} --cache-dir ${WORK}/single
+  OUTPUT_VARIABLE single_out ERROR_VARIABLE single_err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "single-process run exited ${rc}\nstderr:\n${single_err}")
+endif()
+
+execute_process(
+  COMMAND ${FLEET} run ${shape} --cache-dir ${WORK}/fleet --workers 4
+  OUTPUT_VARIABLE fleet_out ERROR_VARIABLE fleet_err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fleet run exited ${rc}\nstderr:\n${fleet_err}")
+endif()
+if(NOT fleet_err MATCHES "units done")
+  message(FATAL_ERROR "fleet summary line missing:\n${fleet_err}")
+endif()
+
+foreach(dir single fleet)
+  execute_process(
+    COMMAND ${TOOL} verify --cache-dir ${WORK}/${dir}
+    OUTPUT_VARIABLE verify_out RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${dir} store failed verify:\n${verify_out}")
+  endif()
+  execute_process(
+    COMMAND ${TOOL} compact --canon --cache-dir ${WORK}/${dir}
+    OUTPUT_VARIABLE compact_out RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${dir} store failed canonical compact:\n${compact_out}")
+  endif()
+endforeach()
+
+# Byte-compare every store file present in EITHER directory (lazily created
+# shards may be legitimately absent from both, never from just one).
+file(GLOB single_files RELATIVE ${WORK}/single
+  ${WORK}/single/manifest.bin ${WORK}/single/shard-*)
+file(GLOB fleet_files RELATIVE ${WORK}/fleet
+  ${WORK}/fleet/manifest.bin ${WORK}/fleet/shard-*)
+list(APPEND single_files ${fleet_files})
+list(REMOVE_DUPLICATES single_files)
+list(SORT single_files)
+foreach(name IN LISTS single_files)
+  foreach(dir single fleet)
+    if(NOT EXISTS ${WORK}/${dir}/${name})
+      message(FATAL_ERROR "${name} exists in only one store (missing in ${dir})")
+    endif()
+  endforeach()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${WORK}/single/${name} ${WORK}/fleet/${name}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "store file ${name} differs between single-process and fleet runs")
+  endif()
+endforeach()
+
+# Warm rerun over the fleet's store: every trial served from disk, stdout
+# byte-identical to the single-process run.
+execute_process(
+  COMMAND ${DRIVER} ${shape} --cache-dir ${WORK}/fleet
+  OUTPUT_VARIABLE warm_out ERROR_VARIABLE warm_err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm run exited ${rc}\nstderr:\n${warm_err}")
+endif()
+if(NOT warm_out STREQUAL single_out)
+  file(WRITE ${WORK}/single.out "${single_out}")
+  file(WRITE ${WORK}/warm.out "${warm_out}")
+  message(FATAL_ERROR
+    "warm-over-fleet stdout differs from single-process stdout; see "
+    "${WORK}/single.out vs ${WORK}/warm.out")
+endif()
+if(NOT warm_err MATCHES " 0 misses")
+  message(FATAL_ERROR
+    "warm run over the fleet store re-ran trials:\n${warm_err}")
+endif()

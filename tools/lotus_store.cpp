@@ -67,6 +67,10 @@ constexpr std::string_view kUsage =
     "                    (default 8; an existing manifest wins)\n"
     "  --online          compact only: skip the store directory lock so\n"
     "                    compaction interleaves safely with running sweeps\n"
+    "  --canon           compact only: also sort each shard's records into\n"
+    "                    canonical (key, x, seed) order, so stores holding\n"
+    "                    the same trials become byte-identical (fleet\n"
+    "                    equivalence checks cmp against this form)\n"
     "  --help            show this message\n";
 
 struct Args {
@@ -74,6 +78,7 @@ struct Args {
   std::string cache_dir = ".lotus-cache";
   std::uint64_t store_shards = 0;
   bool online = false;
+  bool canonical = false;
 };
 
 int usage_error(const std::string& message) {
@@ -111,6 +116,14 @@ std::optional<Args> parse_args(int argc, char** argv, int& exit_code) {
         return std::nullopt;
       }
       args.online = true;
+      continue;
+    }
+    if (arg == "--canon") {
+      if (args.command != "compact") {
+        exit_code = usage_error("--canon only applies to compact");
+        return std::nullopt;
+      }
+      args.canonical = true;
       continue;
     }
     if (arg == "--cache-dir" || arg == "--store-shards") {
@@ -405,7 +418,7 @@ int run_compact(const Args& args) {
   for (std::uint64_t i = 0; i < *shards; ++i) {
     const TrialStore::Shard shard{lotus::exp::shard_path(
         args.cache_dir, static_cast<std::size_t>(i))};
-    const auto stats = shard.compact();
+    const auto stats = shard.compact(args.canonical);
     if (!stats) {
       ++failed;
       std::cout << "shard " << i
@@ -419,8 +432,9 @@ int run_compact(const Args& args) {
       dropped += stats->before - stats->after;
     }
   }
-  std::cout << "compacted" << (args.online ? " (online)" : "") << ": "
-            << dropped << " duplicate records dropped\n";
+  std::cout << "compacted" << (args.online ? " (online)" : "")
+            << (args.canonical ? " (canonical)" : "") << ": " << dropped
+            << " duplicate records dropped\n";
   return failed == 0 ? 0 : 1;
 }
 

@@ -22,10 +22,43 @@
 #include "rep/eigentrust.h"
 #include "sim/bitset.h"
 #include "sim/rng.h"
+#include "sim/simd.h"
 
 namespace {
 
 using namespace lotus;
+
+// --- ISA-parameterized benches -------------------------------------------
+// The RNG fills and bitset kernels dispatch through sim/simd; benches that
+// carry an "isa" argument run once per tier available on this host (scalar
+// is always first, so every vector row has its scalar baseline alongside).
+// set_active_isa is restored after each run so later benches see the
+// default dispatch.
+
+/// Registers {first_arg, isa} rows for every ISA this host can run.
+template <std::int64_t... FirstArgs>
+void ApplyIsaArgs(benchmark::internal::Benchmark* b) {
+  for (const auto isa : sim::simd::available_isas()) {
+    for (const std::int64_t first : {FirstArgs...}) {
+      b->Args({first, static_cast<std::int64_t>(isa)});
+    }
+  }
+}
+
+/// Forces the tier named by arg index 1 for the duration of one bench run.
+class IsaGuard {
+ public:
+  explicit IsaGuard(benchmark::State& state)
+      : prev_(sim::simd::active_isa()) {
+    const auto isa = static_cast<sim::simd::Isa>(state.range(1));
+    sim::simd::set_active_isa(isa);
+    state.SetLabel(sim::simd::isa_name(isa));
+  }
+  ~IsaGuard() { sim::simd::set_active_isa(prev_); }
+
+ private:
+  sim::simd::Isa prev_;
+};
 
 void BM_RngNextBelow(benchmark::State& state) {
   sim::Rng rng{1};
@@ -45,9 +78,11 @@ BENCHMARK(BM_RngSampleWithoutReplacement);
 
 void BM_RngFillBelow(benchmark::State& state) {
   // The batch draw behind the per-round partner assignment: block-reject
-  // Lemire sampling pre-generates one raw draw per element and sweeps the
-  // acceptance test over the block, versus n dependent next_below calls.
+  // Lemire sampling pre-generates one raw state lane per element (serial
+  // xor/rotl chain), then runs the scramble + multiply/threshold output
+  // pass through the tier named by the isa arg.
   const auto n = static_cast<std::size_t>(state.range(0));
+  IsaGuard guard{state};
   sim::Rng rng{8};
   std::vector<std::uint64_t> out(n);
   for (auto _ : state) {
@@ -57,12 +92,46 @@ void BM_RngFillBelow(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_RngFillBelow)->ArgName("n")->Arg(256)->Arg(4096);
+BENCHMARK(BM_RngFillBelow)
+    ->ArgNames({"n", "isa"})
+    ->Apply(ApplyIsaArgs<256, 4096>);
+
+void BM_RngFillBelowFusedScalar(benchmark::State& state) {
+  // The hand-fused scalar loop the blocked SIMD output pass replaced: state
+  // advance, ** scramble, and Lemire accept inlined per element with no
+  // intermediate buffer. This is the bar BM_RngFillBelow's vector rows have
+  // to beat — parity here means the buffering overhead ate the lane gains.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kBound = 250;
+  sim::Rng rng{8};
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < n; ++k) {
+      std::uint64_t x = rng();
+      __uint128_t m = static_cast<__uint128_t>(x) * kBound;
+      auto low = static_cast<std::uint64_t>(m);
+      if (low < kBound) [[unlikely]] {
+        const std::uint64_t threshold = -kBound % kBound;
+        while (low < threshold) {
+          x = rng();
+          m = static_cast<__uint128_t>(x) * kBound;
+          low = static_cast<std::uint64_t>(m);
+        }
+      }
+      out[k] = static_cast<std::uint64_t>(m >> 64);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RngFillBelowFusedScalar)->ArgName("n")->Arg(256)->Arg(4096);
 
 void BM_RngFillBelowDescending(benchmark::State& state) {
   // The Fisher-Yates variate sequence (bounds n, n-1, ..., 2) the
   // balanced-exchange shuffle consumes each round.
   const auto n = static_cast<std::size_t>(state.range(0));
+  IsaGuard guard{state};
   sim::Rng rng{9};
   std::vector<std::uint64_t> out(n);
   for (auto _ : state) {
@@ -72,10 +141,16 @@ void BM_RngFillBelowDescending(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_RngFillBelowDescending)->ArgName("n")->Arg(256)->Arg(4096);
+BENCHMARK(BM_RngFillBelowDescending)
+    ->ArgNames({"n", "isa"})
+    ->Apply(ApplyIsaArgs<256, 4096>);
 
 void BM_BitsetTransfer(benchmark::State& state) {
+  // 128 bits is the windowed engine's exchange width (Table 1: a 100-bit
+  // window rounds to two words); 1200/4800 are the dense-bitset token and
+  // scale shapes.
   const auto bits = static_cast<std::size_t>(state.range(0));
+  IsaGuard guard{state};
   sim::DynamicBitset src{bits};
   sim::Rng rng{2};
   for (std::size_t i = 0; i < bits; i += 1 + rng.next_below(3)) src.set(i);
@@ -84,21 +159,48 @@ void BM_BitsetTransfer(benchmark::State& state) {
     benchmark::DoNotOptimize(dst.transfer_from(src, 0, bits, bits));
   }
 }
-BENCHMARK(BM_BitsetTransfer)->Arg(1200)->Arg(4800);
+BENCHMARK(BM_BitsetTransfer)
+    ->ArgNames({"bits", "isa"})
+    ->Apply(ApplyIsaArgs<128, 1200, 4800>);
 
-void BM_BitsetCountAndNotRange(benchmark::State& state) {
-  sim::DynamicBitset a{4800};
-  sim::DynamicBitset b{4800};
+void BM_BitsetCountAnd(benchmark::State& state) {
+  // The |have AND have| reduction of the exchange/push loops, full width.
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  IsaGuard guard{state};
+  sim::DynamicBitset a{bits};
+  sim::DynamicBitset b{bits};
   sim::Rng rng{3};
-  for (std::size_t i = 0; i < 4800; ++i) {
+  for (std::size_t i = 0; i < bits; ++i) {
     if (rng.next_bernoulli(0.5)) a.set(i);
     if (rng.next_bernoulli(0.5)) b.set(i);
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(a.count_and_not_range(b, 100, 1200));
+    benchmark::DoNotOptimize(a.count_and(b));
   }
 }
-BENCHMARK(BM_BitsetCountAndNotRange);
+BENCHMARK(BM_BitsetCountAnd)
+    ->ArgNames({"bits", "isa"})
+    ->Apply(ApplyIsaArgs<128, 4800>);
+
+void BM_BitsetCountAndNotRange(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  IsaGuard guard{state};
+  sim::DynamicBitset a{bits};
+  sim::DynamicBitset b{bits};
+  sim::Rng rng{3};
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.next_bernoulli(0.5)) a.set(i);
+    if (rng.next_bernoulli(0.5)) b.set(i);
+  }
+  const std::size_t lo = bits / 12;          // unaligned range edges
+  const std::size_t hi = bits - bits / 24;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.count_and_not_range(b, lo, hi));
+  }
+}
+BENCHMARK(BM_BitsetCountAndNotRange)
+    ->ArgNames({"bits", "isa"})
+    ->Apply(ApplyIsaArgs<128, 4800>);
 
 void BM_PartnerSchedule(benchmark::State& state) {
   const crypto::PartnerSchedule schedule{42, 250};

@@ -2,48 +2,20 @@
 //
 // std::vector<bool> lacks word-level operations (union, intersection count)
 // that the gossip and token engines need in their inner loops, and
-// std::bitset is fixed-size; this is the usual small dynamic bitset.
+// std::bitset is fixed-size; this is the usual small dynamic bitset. All
+// word-level reductions (counts, masked ranges, capped transfers) go through
+// the shared sim::simd range kernels, so DynamicBitset and WindowBitset run
+// the same (runtime-dispatched, LOTUS_SIMD-overridable) implementation.
 #pragma once
 
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <type_traits>
 #include <vector>
 
+#include "sim/simd.h"
+
 namespace lotus::sim {
-
-namespace detail {
-
-/// Visits every 64-bit word overlapping the bit range [lo, hi) together
-/// with a mask of the bits of that word that fall inside the range. The
-/// range-mask arithmetic (partial first word, partial last word) lives here
-/// once; DynamicBitset and WindowBitset both iterate through it.
-///
-/// `fn(word_index, mask)` may return void (every word is visited) or bool
-/// (returning false stops the walk early — used by capped transfers).
-/// Returns false iff the walk was stopped early.
-template <typename Fn>
-inline bool for_each_masked_word(std::size_t lo, std::size_t hi, Fn&& fn) {
-  if (lo >= hi) return true;
-  const std::size_t wlo = lo >> 6;
-  const std::size_t whi = (hi + 63) >> 6;
-  for (std::size_t wi = wlo; wi < whi; ++wi) {
-    std::uint64_t mask = ~std::uint64_t{0};
-    if (wi == wlo) mask &= ~std::uint64_t{0} << (lo & 63);
-    if (wi == whi - 1 && (hi & 63) != 0) {
-      mask &= ~std::uint64_t{0} >> (64 - (hi & 63));
-    }
-    if constexpr (std::is_same_v<decltype(fn(wi, mask)), bool>) {
-      if (!fn(wi, mask)) return false;
-    } else {
-      fn(wi, mask);
-    }
-  }
-  return true;
-}
-
-}  // namespace detail
 
 class DynamicBitset {
  public:
@@ -74,9 +46,7 @@ class DynamicBitset {
 
   /// Number of set bits.
   [[nodiscard]] std::size_t count() const noexcept {
-    std::size_t c = 0;
-    for (const auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
-    return c;
+    return simd::kernels().popcount_words(words_.data(), words_.size());
   }
 
   [[nodiscard]] bool all() const noexcept { return count() == bits_; }
@@ -89,20 +59,16 @@ class DynamicBitset {
 
   /// |this AND NOT other| : how many bits we have that `other` lacks.
   [[nodiscard]] std::size_t count_and_not(const DynamicBitset& other) const noexcept {
-    std::size_t c = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      c += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
-    }
-    return c;
+    return simd::kernels().popcount_and_not_words(words_.data(),
+                                                  other.words_.data(),
+                                                  words_.size());
   }
 
   /// |this AND other|.
   [[nodiscard]] std::size_t count_and(const DynamicBitset& other) const noexcept {
-    std::size_t c = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-    }
-    return c;
+    return simd::kernels().popcount_and_words(words_.data(),
+                                              other.words_.data(),
+                                              words_.size());
   }
 
   DynamicBitset& operator|=(const DynamicBitset& other) noexcept {
@@ -149,27 +115,21 @@ class DynamicBitset {
   // --- Range-restricted operations -------------------------------------
   // The gossip simulators identify updates by dense ids so that "active",
   // "recent", and "expiring" update sets are contiguous id ranges [lo, hi).
-  // These word-level helpers keep the protocol inner loops allocation-free.
+  // These keep the protocol inner loops allocation-free; the masked-word
+  // arithmetic and the whole-word interior live once in sim/simd.h, shared
+  // with the windowed views.
 
   /// |this AND NOT other| restricted to bit indices in [lo, hi).
   [[nodiscard]] std::size_t count_and_not_range(const DynamicBitset& other,
                                                 std::size_t lo,
                                                 std::size_t hi) const noexcept {
-    std::size_t c = 0;
-    for_each_range_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      c += static_cast<std::size_t>(
-          std::popcount(words_[wi] & ~other.words_[wi] & mask));
-    });
-    return c;
+    return simd::count_and_not_range_words(words_.data(), other.words_.data(),
+                                           lo, hi);
   }
 
   /// Number of set bits with indices in [lo, hi).
   [[nodiscard]] std::size_t count_range(std::size_t lo, std::size_t hi) const noexcept {
-    std::size_t c = 0;
-    for_each_range_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      c += static_cast<std::size_t>(std::popcount(words_[wi] & mask));
-    });
-    return c;
+    return simd::count_range_words(words_.data(), lo, hi);
   }
 
   /// Copies up to `cap` of the lowest-index bits of (src AND NOT this) in
@@ -177,34 +137,16 @@ class DynamicBitset {
   /// "transfer oldest updates first" primitive of the exchange protocols.
   std::size_t transfer_from(const DynamicBitset& src, std::size_t lo,
                             std::size_t hi, std::size_t cap) noexcept {
-    std::size_t moved = 0;
-    if (cap == 0) return 0;
-    detail::for_each_masked_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      std::uint64_t candidates = src.words_[wi] & ~words_[wi] & mask;
-      while (candidates != 0 && moved < cap) {
-        const std::uint64_t bit = candidates & (~candidates + 1);
-        words_[wi] |= bit;
-        candidates ^= bit;
-        ++moved;
-      }
-      return moved < cap;
-    });
-    return moved;
+    return simd::transfer_range_words(words_.data(), src.words_.data(), lo, hi,
+                                      cap);
   }
 
   /// this |= src restricted to [lo, hi).
   void or_range(const DynamicBitset& src, std::size_t lo, std::size_t hi) noexcept {
-    for_each_range_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      words_[wi] |= src.words_[wi] & mask;
-    });
+    simd::or_range_words(words_.data(), src.words_.data(), lo, hi);
   }
 
  private:
-  template <typename Fn>
-  void for_each_range_word(std::size_t lo, std::size_t hi, Fn&& fn) const noexcept {
-    detail::for_each_masked_word(lo, hi, fn);
-  }
-
   void trim() noexcept {
     const std::size_t extra = words_.size() * 64 - bits_;
     if (extra > 0 && !words_.empty()) {

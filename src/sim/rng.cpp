@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "sim/simd.h"
+
 namespace lotus::sim {
 
 namespace {
@@ -19,16 +21,20 @@ void Rng::reseed(std::uint64_t seed) noexcept {
   // zero outputs from any seed, so no further check is needed.
 }
 
-Rng::result_type Rng::operator()() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
+std::uint64_t Rng::advance_raw() noexcept {
+  const std::uint64_t s1 = s_[1];
+  const std::uint64_t t = s1 << 17;
   s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
+  s_[3] ^= s1;
   s_[1] ^= s_[2];
   s_[0] ^= s_[3];
   s_[2] ^= t;
   s_[3] = rotl(s_[3], 45);
-  return result;
+  return s1;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  return rotl(advance_raw() * 5, 7) * 9;
 }
 
 namespace {
@@ -73,25 +79,24 @@ void Rng::fill_below(std::uint64_t bound, std::span<std::uint64_t> out) noexcept
   // block. A rejected element re-draws from the remaining buffered raws — or
   // directly from the generator once the block is spent — so raw draws are
   // consumed in generation order and the output is byte-identical to
-  // sequential next_below(bound) calls. The win is the tight branch-free
-  // generation loop; rejection (probability < bound / 2^64) stays rare.
+  // sequential next_below(bound) calls. The serial pass below runs only the
+  // xor/rotl state chain (the stream-identity anchor); the ** scrambler and
+  // the multiply/threshold sweep vectorize across the buffered lanes
+  // through the sim::simd kernels. Rejection (probability < bound / 2^64)
+  // stays rare and keeps the careful scalar path.
+  const simd::Kernels& kern = simd::kernels();
   std::uint64_t raw[kFillBlock];
   std::uint64_t threshold = 0;  // 2^64 mod bound, computed on first rejection
   bool have_threshold = false;
   std::size_t done = 0;
   while (done < out.size()) {
     const std::size_t count = std::min(kFillBlock, out.size() - done);
-    for (std::size_t k = 0; k < count; ++k) raw[k] = (*this)();
+    for (std::size_t k = 0; k < count; ++k) raw[k] = advance_raw();
+    kern.scramble(raw, count);
     // Fast sweep: while no draw has been rejected, element k's draw is
-    // raw[k] exactly, so the loop is a pure multiply-shift with one
-    // well-predicted branch. Leave at the first *potential* rejection.
-    std::size_t k = 0;
-    while (k < count) {
-      const __uint128_t m = static_cast<__uint128_t>(raw[k]) * bound;
-      if (static_cast<std::uint64_t>(m) < bound) [[unlikely]] break;
-      out[done + k] = static_cast<std::uint64_t>(m >> 64);
-      ++k;
-    }
+    // raw[k] exactly, so the sweep is a pure multiply-shift that leaves at
+    // the first *potential* rejection (out[0, k) are the accepted draws).
+    std::size_t k = kern.mul_shift_accept(raw, count, bound, out.data() + done);
     // Careful tail: rejections consume later buffered raws (in generation
     // order) and fall through to direct draws once the block is spent.
     std::size_t cursor = k;
@@ -127,20 +132,16 @@ void Rng::fill_below_descending(std::uint64_t first_bound,
   // Same block-reject scheme as fill_below; the per-element bound varies so
   // the rejection threshold is recomputed per rejection, exactly like the
   // scalar draw_below.
+  const simd::Kernels& kern = simd::kernels();
   std::uint64_t raw[kFillBlock];
   std::size_t done = 0;
   while (done < draws) {
     const std::size_t count = std::min(kFillBlock, draws - done);
-    for (std::size_t k = 0; k < count; ++k) raw[k] = (*this)();
+    for (std::size_t k = 0; k < count; ++k) raw[k] = advance_raw();
+    kern.scramble(raw, count);
     // Fast sweep until the first potential rejection (see fill_below).
-    std::size_t k = 0;
-    while (k < count) {
-      const std::uint64_t bound = first_bound - (done + k);
-      const __uint128_t m = static_cast<__uint128_t>(raw[k]) * bound;
-      if (static_cast<std::uint64_t>(m) < bound) [[unlikely]] break;
-      out[done + k] = static_cast<std::uint64_t>(m >> 64);
-      ++k;
-    }
+    std::size_t k = kern.mul_shift_accept_descending(
+        raw, count, first_bound - done, out.data() + done);
     std::size_t cursor = k;
     for (; k < count; ++k) {
       const std::uint64_t bound = first_bound - (done + k);
@@ -172,8 +173,17 @@ double Rng::next_double() noexcept {
 }
 
 void Rng::fill_double(std::span<double> out) noexcept {
-  for (auto& slot : out) {
-    slot = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  // Serial state-advance pass + vectorized scramble/convert output pass;
+  // element k is bit-identical to the k-th sequential next_double().
+  const simd::Kernels& kern = simd::kernels();
+  std::uint64_t raw[kFillBlock];
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t count = std::min(kFillBlock, out.size() - done);
+    for (std::size_t k = 0; k < count; ++k) raw[k] = advance_raw();
+    kern.scramble(raw, count);
+    kern.unit_doubles(raw, count, out.data() + done);
+    done += count;
   }
 }
 
@@ -193,9 +203,15 @@ void Rng::fill_bernoulli(double p, std::span<std::uint8_t> out) noexcept {
     std::fill(out.begin(), out.end(), std::uint8_t{1});
     return;
   }
-  for (auto& slot : out) {
-    const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-    slot = u < p ? std::uint8_t{1} : std::uint8_t{0};
+  const simd::Kernels& kern = simd::kernels();
+  std::uint64_t raw[kFillBlock];
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t count = std::min(kFillBlock, out.size() - done);
+    for (std::size_t k = 0; k < count; ++k) raw[k] = advance_raw();
+    kern.scramble(raw, count);
+    kern.bernoulli(raw, count, p, out.data() + done);
+    done += count;
   }
 }
 

@@ -54,7 +54,10 @@ class Rng {
   /// the stream exactly like out.size() sequential next_below(bound) calls —
   /// element k is bit-identical to what the k-th call would return — so
   /// callers can swap between the scalar and batch paths freely. The batch
-  /// form amortises the per-call overhead on hot per-round loops.
+  /// forms run the serial xor/rotl state chain alone, then apply the **
+  /// scrambler and the Lemire multiply/threshold across lanes of buffered
+  /// states through the sim::simd dispatch layer (LOTUS_SIMD selects the
+  /// tier; every tier is stream-identical).
   void fill_below(std::uint64_t bound, std::span<std::uint64_t> out) noexcept;
 
   /// Batch draw with descending bounds: out[k] is uniform in
@@ -119,6 +122,12 @@ class Rng {
   [[nodiscard]] Rng fork() noexcept { return Rng{(*this)()}; }
 
  private:
+  /// Advances the xoshiro state one step — the serial xor/rotl chain only —
+  /// and returns the pre-advance s[1] lane. operator()() is exactly
+  /// the ** scrambler applied to this value; the batch fills buffer a block
+  /// of lanes and scramble them through the sim::simd kernels instead.
+  std::uint64_t advance_raw() noexcept;
+
   std::uint64_t s_[4]{};
 };
 

@@ -1,0 +1,580 @@
+#include "sim/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+// The vector kernels are built with per-function target attributes so the
+// translation unit itself needs no -mavx2/-mavx512 flags (the rest of the
+// object stays runnable anywhere); runtime cpuid decides what is installed
+// in the dispatch table. Non-x86 or non-GNU builds ship the scalar tier only.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LOTUS_SIMD_X86 1
+#include <immintrin.h>
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's AVX-512 intrinsic wrappers pass _mm512_undefined_epi32() (a
+// deliberately uninitialized vector) as the masked-off operand, which trips
+// -Wmaybe-uninitialized / -Wuninitialized under -Werror; silence both for
+// this TU only.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+#else
+#define LOTUS_SIMD_X86 0
+#endif
+
+namespace lotus::sim::simd {
+
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// --- Scalar tier ---------------------------------------------------------
+
+void scramble_scalar(std::uint64_t* raw, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) raw[i] = rotl64(raw[i] * 5, 7) * 9;
+}
+
+std::size_t mul_shift_accept_scalar(const std::uint64_t* raw, std::size_t n,
+                                    std::uint64_t bound, std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const __uint128_t m = static_cast<__uint128_t>(raw[i]) * bound;
+    if (static_cast<std::uint64_t>(m) < bound) [[unlikely]] return i;
+    out[i] = static_cast<std::uint64_t>(m >> 64);
+  }
+  return n;
+}
+
+std::size_t mul_shift_accept_descending_scalar(const std::uint64_t* raw,
+                                               std::size_t n,
+                                               std::uint64_t first_bound,
+                                               std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bound = first_bound - i;
+    const __uint128_t m = static_cast<__uint128_t>(raw[i]) * bound;
+    if (static_cast<std::uint64_t>(m) < bound) [[unlikely]] return i;
+    out[i] = static_cast<std::uint64_t>(m >> 64);
+  }
+  return n;
+}
+
+void unit_doubles_scalar(const std::uint64_t* raw, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+  }
+}
+
+void bernoulli_scalar(const std::uint64_t* raw, std::size_t n, double p,
+                      std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+    out[i] = u < p ? std::uint8_t{1} : std::uint8_t{0};
+  }
+}
+
+std::size_t popcount_words_scalar(const std::uint64_t* w, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(std::popcount(w[i]));
+  }
+  return c;
+}
+
+std::size_t popcount_and_words_scalar(const std::uint64_t* a,
+                                      const std::uint64_t* b, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return c;
+}
+
+std::size_t popcount_and_not_words_scalar(const std::uint64_t* a,
+                                          const std::uint64_t* b,
+                                          std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(std::popcount(a[i] & ~b[i]));
+  }
+  return c;
+}
+
+constexpr Kernels kScalarKernels = {
+    Isa::kScalar,
+    scramble_scalar,
+    mul_shift_accept_scalar,
+    mul_shift_accept_descending_scalar,
+    unit_doubles_scalar,
+    bernoulli_scalar,
+    popcount_words_scalar,
+    popcount_and_words_scalar,
+    popcount_and_not_words_scalar,
+};
+
+#if LOTUS_SIMD_X86
+
+// --- AVX2 tier (4 x u64 lanes) -------------------------------------------
+
+// 64x64 -> 128 per lane from four 32x32 partial products (AVX2 has no
+// 64-bit widening multiply). hi/lo get the exact high/low halves.
+__attribute__((target("avx2"))) inline void mul64_avx2(__m256i a, __m256i b,
+                                                       __m256i& hi,
+                                                       __m256i& lo) {
+  const __m256i low32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_srli_epi64(ll, 32), _mm256_and_si256(lh, low32)),
+      _mm256_and_si256(hl, low32));
+  hi = _mm256_add_epi64(
+      _mm256_add_epi64(hh, _mm256_srli_epi64(lh, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(hl, 32), _mm256_srli_epi64(cross, 32)));
+  lo = _mm256_or_si256(_mm256_slli_epi64(cross, 32),
+                       _mm256_and_si256(ll, low32));
+}
+
+// Unsigned 64-bit a < b per lane (AVX2 only has signed compares: bias both).
+__attribute__((target("avx2"))) inline __m256i cmplt_epu64_avx2(__m256i a,
+                                                                __m256i b) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, bias),
+                            _mm256_xor_si256(a, bias));
+}
+
+__attribute__((target("avx2"))) void scramble_avx2(std::uint64_t* raw,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i));
+    // x*5 and r*9 as shift-adds; rotl(v, 7) as shift-or.
+    const __m256i x5 = _mm256_add_epi64(x, _mm256_slli_epi64(x, 2));
+    const __m256i r = _mm256_or_si256(_mm256_slli_epi64(x5, 7),
+                                      _mm256_srli_epi64(x5, 57));
+    const __m256i r9 = _mm256_add_epi64(r, _mm256_slli_epi64(r, 3));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(raw + i), r9);
+  }
+  for (; i < n; ++i) raw[i] = rotl64(raw[i] * 5, 7) * 9;
+}
+
+__attribute__((target("avx2"))) std::size_t mul_shift_accept_avx2(
+    const std::uint64_t* raw, std::size_t n, std::uint64_t bound,
+    std::uint64_t* out) {
+  const __m256i vb = _mm256_set1_epi64x(static_cast<long long>(bound));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i));
+    __m256i hi, lo;
+    mul64_avx2(x, vb, hi, lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), hi);
+    const int reject =
+        _mm256_movemask_pd(_mm256_castsi256_pd(cmplt_epu64_avx2(lo, vb)));
+    if (reject != 0) [[unlikely]] {
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(reject)));
+    }
+  }
+  const std::size_t tail =
+      mul_shift_accept_scalar(raw + i, n - i, bound, out + i);
+  return i + tail;
+}
+
+__attribute__((target("avx2"))) std::size_t mul_shift_accept_descending_avx2(
+    const std::uint64_t* raw, std::size_t n, std::uint64_t first_bound,
+    std::uint64_t* out) {
+  __m256i vb = _mm256_sub_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(first_bound)),
+      _mm256_set_epi64x(3, 2, 1, 0));
+  const __m256i step = _mm256_set1_epi64x(4);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i));
+    __m256i hi, lo;
+    mul64_avx2(x, vb, hi, lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), hi);
+    const int reject =
+        _mm256_movemask_pd(_mm256_castsi256_pd(cmplt_epu64_avx2(lo, vb)));
+    if (reject != 0) [[unlikely]] {
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(reject)));
+    }
+    vb = _mm256_sub_epi64(vb, step);
+  }
+  const std::size_t tail = mul_shift_accept_descending_scalar(
+      raw + i, n - i, first_bound - i, out + i);
+  return i + tail;
+}
+
+// Exact u64 -> double for v < 2^53 (here v = raw >> 11): assemble
+// hi21 * 2^32 + lo32 from two magic-biased halves. Every step is exact, so
+// the result is bit-identical to the scalar static_cast conversion.
+__attribute__((target("avx2"))) inline __m256d unit_double_lanes_avx2(
+    __m256i x) {
+  const __m256i v = _mm256_srli_epi64(x, 11);
+  const __m256i k52 = _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52));
+  __m256i hi = _mm256_srli_epi64(v, 32);
+  hi = _mm256_or_si256(hi, _mm256_castpd_si256(_mm256_set1_pd(0x1.0p84)));
+  // Low halves keep their 32 bits; high halves become the 2^52 exponent.
+  const __m256i lo = _mm256_blend_epi32(v, k52, 0xAA);
+  const __m256d d_hi = _mm256_sub_pd(_mm256_castsi256_pd(hi),
+                                     _mm256_set1_pd(0x1.0p84 + 0x1.0p52));
+  const __m256d d = _mm256_add_pd(d_hi, _mm256_castsi256_pd(lo));
+  return _mm256_mul_pd(d, _mm256_set1_pd(0x1.0p-53));
+}
+
+__attribute__((target("avx2"))) void unit_doubles_avx2(const std::uint64_t* raw,
+                                                       std::size_t n,
+                                                       double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i));
+    _mm256_storeu_pd(out + i, unit_double_lanes_avx2(x));
+  }
+  unit_doubles_scalar(raw + i, n - i, out + i);
+}
+
+__attribute__((target("avx2"))) void bernoulli_avx2(const std::uint64_t* raw,
+                                                    std::size_t n, double p,
+                                                    std::uint8_t* out) {
+  const __m256d vp = _mm256_set1_pd(p);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i));
+    const __m256d u = unit_double_lanes_avx2(x);
+    const int m = _mm256_movemask_pd(_mm256_cmp_pd(u, vp, _CMP_LT_OQ));
+    out[i + 0] = static_cast<std::uint8_t>(m & 1);
+    out[i + 1] = static_cast<std::uint8_t>((m >> 1) & 1);
+    out[i + 2] = static_cast<std::uint8_t>((m >> 2) & 1);
+    out[i + 3] = static_cast<std::uint8_t>((m >> 3) & 1);
+  }
+  bernoulli_scalar(raw + i, n - i, p, out + i);
+}
+
+// Positional popcount via the nibble-LUT shuffle (AVX2 has no vpopcntq);
+// per-byte counts fold through psadbw into per-lane u64 sums.
+__attribute__((target("avx2"))) inline std::size_t popcount_words_avx2_impl(
+    const std::uint64_t* a, const std::uint64_t* b, int mode, std::size_t n) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1,
+                       2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low4 = _mm256_set1_epi8(0x0F);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    if (mode != 0) {
+      const __m256i w =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      v = mode == 1 ? _mm256_and_si256(v, w) : _mm256_andnot_si256(w, v);
+    }
+    const __m256i lo = _mm256_and_si256(v, low4);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low4);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t c = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    std::uint64_t v = a[i];
+    if (mode == 1) v &= b[i];
+    if (mode == 2) v &= ~b[i];
+    c += static_cast<std::size_t>(std::popcount(v));
+  }
+  return c;
+}
+
+__attribute__((target("avx2"))) std::size_t popcount_words_avx2(
+    const std::uint64_t* w, std::size_t n) {
+  return popcount_words_avx2_impl(w, nullptr, 0, n);
+}
+
+__attribute__((target("avx2"))) std::size_t popcount_and_words_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  return popcount_words_avx2_impl(a, b, 1, n);
+}
+
+__attribute__((target("avx2"))) std::size_t popcount_and_not_words_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  return popcount_words_avx2_impl(a, b, 2, n);
+}
+
+const Kernels kAvx2Kernels = {
+    Isa::kAvx2,
+    scramble_avx2,
+    mul_shift_accept_avx2,
+    mul_shift_accept_descending_avx2,
+    unit_doubles_avx2,
+    bernoulli_avx2,
+    popcount_words_avx2,
+    popcount_and_words_avx2,
+    popcount_and_not_words_avx2,
+};
+
+// --- AVX-512 tier (8 x u64 lanes) ----------------------------------------
+// Requires F (shifts/rotates/masks), DQ (cvtepu64_pd) and VPOPCNTDQ
+// (vpopcntq); runtime detection gates on all three.
+
+#define LOTUS_AVX512_TARGET "avx512f,avx512dq,avx512vpopcntdq"
+
+__attribute__((target(LOTUS_AVX512_TARGET))) inline void mul64_avx512(
+    __m512i a, __m512i b, __m512i& hi, __m512i& lo) {
+  const __m512i low32 = _mm512_set1_epi64(0xFFFFFFFFLL);
+  const __m512i a_hi = _mm512_srli_epi64(a, 32);
+  const __m512i b_hi = _mm512_srli_epi64(b, 32);
+  const __m512i ll = _mm512_mul_epu32(a, b);
+  const __m512i lh = _mm512_mul_epu32(a, b_hi);
+  const __m512i hl = _mm512_mul_epu32(a_hi, b);
+  const __m512i hh = _mm512_mul_epu32(a_hi, b_hi);
+  const __m512i cross = _mm512_add_epi64(
+      _mm512_add_epi64(_mm512_srli_epi64(ll, 32), _mm512_and_si512(lh, low32)),
+      _mm512_and_si512(hl, low32));
+  hi = _mm512_add_epi64(
+      _mm512_add_epi64(hh, _mm512_srli_epi64(lh, 32)),
+      _mm512_add_epi64(_mm512_srli_epi64(hl, 32), _mm512_srli_epi64(cross, 32)));
+  lo = _mm512_or_si512(_mm512_slli_epi64(cross, 32),
+                       _mm512_and_si512(ll, low32));
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) void scramble_avx512(
+    std::uint64_t* raw, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(raw + i);
+    const __m512i x5 = _mm512_add_epi64(x, _mm512_slli_epi64(x, 2));
+    const __m512i r = _mm512_rol_epi64(x5, 7);
+    const __m512i r9 = _mm512_add_epi64(r, _mm512_slli_epi64(r, 3));
+    _mm512_storeu_si512(raw + i, r9);
+  }
+  for (; i < n; ++i) raw[i] = rotl64(raw[i] * 5, 7) * 9;
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) std::size_t
+mul_shift_accept_avx512(const std::uint64_t* raw, std::size_t n,
+                        std::uint64_t bound, std::uint64_t* out) {
+  const __m512i vb = _mm512_set1_epi64(static_cast<long long>(bound));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(raw + i);
+    __m512i hi, lo;
+    mul64_avx512(x, vb, hi, lo);
+    _mm512_storeu_si512(out + i, hi);
+    const __mmask8 reject = _mm512_cmplt_epu64_mask(lo, vb);
+    if (reject != 0) [[unlikely]] {
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(reject)));
+    }
+  }
+  const std::size_t tail =
+      mul_shift_accept_scalar(raw + i, n - i, bound, out + i);
+  return i + tail;
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) std::size_t
+mul_shift_accept_descending_avx512(const std::uint64_t* raw, std::size_t n,
+                                   std::uint64_t first_bound,
+                                   std::uint64_t* out) {
+  __m512i vb = _mm512_sub_epi64(
+      _mm512_set1_epi64(static_cast<long long>(first_bound)),
+      _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0));
+  const __m512i step = _mm512_set1_epi64(8);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(raw + i);
+    __m512i hi, lo;
+    mul64_avx512(x, vb, hi, lo);
+    _mm512_storeu_si512(out + i, hi);
+    const __mmask8 reject = _mm512_cmplt_epu64_mask(lo, vb);
+    if (reject != 0) [[unlikely]] {
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(reject)));
+    }
+    vb = _mm512_sub_epi64(vb, step);
+  }
+  const std::size_t tail = mul_shift_accept_descending_scalar(
+      raw + i, n - i, first_bound - i, out + i);
+  return i + tail;
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) void unit_doubles_avx512(
+    const std::uint64_t* raw, std::size_t n, double* out) {
+  const __m512d scale = _mm512_set1_pd(0x1.0p-53);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_srli_epi64(_mm512_loadu_si512(raw + i), 11);
+    // v < 2^53: cvtepu64_pd is exact, matching the scalar conversion.
+    _mm512_storeu_pd(out + i, _mm512_mul_pd(_mm512_cvtepu64_pd(v), scale));
+  }
+  unit_doubles_scalar(raw + i, n - i, out + i);
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) void bernoulli_avx512(
+    const std::uint64_t* raw, std::size_t n, double p, std::uint8_t* out) {
+  const __m512d scale = _mm512_set1_pd(0x1.0p-53);
+  const __m512d vp = _mm512_set1_pd(p);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_srli_epi64(_mm512_loadu_si512(raw + i), 11);
+    const __m512d u = _mm512_mul_pd(_mm512_cvtepu64_pd(v), scale);
+    const unsigned m = _mm512_cmp_pd_mask(u, vp, _CMP_LT_OQ);
+    for (std::size_t j = 0; j < 8; ++j) {
+      out[i + j] = static_cast<std::uint8_t>((m >> j) & 1);
+    }
+  }
+  bernoulli_scalar(raw + i, n - i, p, out + i);
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) inline std::size_t
+popcount_words_avx512_impl(const std::uint64_t* a, const std::uint64_t* b,
+                           int mode, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i v = _mm512_loadu_si512(a + i);
+    if (mode != 0) {
+      const __m512i w = _mm512_loadu_si512(b + i);
+      v = mode == 1 ? _mm512_and_si512(v, w) : _mm512_andnot_si512(w, v);
+    }
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::size_t c = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    std::uint64_t v = a[i];
+    if (mode == 1) v &= b[i];
+    if (mode == 2) v &= ~b[i];
+    c += static_cast<std::size_t>(std::popcount(v));
+  }
+  return c;
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) std::size_t popcount_words_avx512(
+    const std::uint64_t* w, std::size_t n) {
+  return popcount_words_avx512_impl(w, nullptr, 0, n);
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) std::size_t
+popcount_and_words_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t n) {
+  return popcount_words_avx512_impl(a, b, 1, n);
+}
+
+__attribute__((target(LOTUS_AVX512_TARGET))) std::size_t
+popcount_and_not_words_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  return popcount_words_avx512_impl(a, b, 2, n);
+}
+
+const Kernels kAvx512Kernels = {
+    Isa::kAvx512,
+    scramble_avx512,
+    mul_shift_accept_avx512,
+    mul_shift_accept_descending_avx512,
+    unit_doubles_avx512,
+    bernoulli_avx512,
+    popcount_words_avx512,
+    popcount_and_words_avx512,
+    popcount_and_not_words_avx512,
+};
+
+bool cpu_has_avx2() noexcept { return __builtin_cpu_supports("avx2"); }
+
+bool cpu_has_avx512() noexcept {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+}
+
+#else  // !LOTUS_SIMD_X86
+
+bool cpu_has_avx2() noexcept { return false; }
+bool cpu_has_avx512() noexcept { return false; }
+
+#endif  // LOTUS_SIMD_X86
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+Isa detected_isa() noexcept {
+  static const Isa best = [] {
+    if (cpu_has_avx512()) return Isa::kAvx512;
+    if (cpu_has_avx2()) return Isa::kAvx2;
+    return Isa::kScalar;
+  }();
+  return best;
+}
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out{Isa::kScalar};
+  if (cpu_has_avx2()) out.push_back(Isa::kAvx2);
+  if (cpu_has_avx512()) out.push_back(Isa::kAvx512);
+  return out;
+}
+
+Isa resolve_override(const char* value) noexcept {
+  if (value == nullptr) return detected_isa();
+  Isa requested = detected_isa();
+  if (std::strcmp(value, "scalar") == 0) {
+    requested = Isa::kScalar;
+  } else if (std::strcmp(value, "avx2") == 0) {
+    requested = Isa::kAvx2;
+  } else if (std::strcmp(value, "avx512") == 0) {
+    requested = Isa::kAvx512;
+  }
+  return requested < detected_isa() ? requested : detected_isa();
+}
+
+const Kernels& kernels_for(Isa isa) noexcept {
+#if LOTUS_SIMD_X86
+  if (isa >= Isa::kAvx512 && cpu_has_avx512()) return kAvx512Kernels;
+  if (isa >= Isa::kAvx2 && cpu_has_avx2()) return kAvx2Kernels;
+#else
+  (void)isa;
+#endif
+  return kScalarKernels;
+}
+
+namespace detail {
+std::atomic<const Kernels*> g_active{&kScalarKernels};
+}  // namespace detail
+
+Isa active_isa() noexcept { return kernels().isa; }
+
+void set_active_isa(Isa isa) noexcept {
+  detail::g_active.store(&kernels_for(isa), std::memory_order_relaxed);
+}
+
+namespace {
+// One-time startup resolution: detection clamped by the LOTUS_SIMD override.
+// Until this dynamic initializer runs, other translation units' statics see
+// the (correct, just slower) scalar table — there is no ordering hazard.
+const struct ActiveIsaInit {
+  ActiveIsaInit() noexcept {
+    set_active_isa(resolve_override(std::getenv("LOTUS_SIMD")));
+  }
+} g_active_isa_init;
+}  // namespace
+
+}  // namespace lotus::sim::simd

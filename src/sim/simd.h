@@ -1,0 +1,269 @@
+// Runtime-dispatched SIMD kernels for the simulator hot paths.
+//
+// Every study reduces to millions of per-round RNG draws and have-bitmap
+// word operations, so the two hot families live here behind one small
+// dispatch layer:
+//
+//   * RNG output pass — the xoshiro256** xor/rotl state chain is serial by
+//     construction (it is the stream-identity anchor), but everything after
+//     it is data-parallel: the ** scrambler, the Lemire 64x64->128
+//     multiply/threshold, and the [0,1) double conversion all apply
+//     independently to a block of buffered state lanes. Rng::fill_* buffer
+//     the states scalar and run the output pass through these kernels.
+//   * Bitset word kernels — popcount / masked-range reductions shared by
+//     DynamicBitset and BasicWindowBitsetView. The range helpers below hold
+//     the partial-first-word / partial-last-word mask arithmetic exactly
+//     once; both bitset classes (and through them the gossip engine's
+//     exchange/push inner loops) call them.
+//
+// Dispatch model: the best ISA is detected at startup (compile-time support
+// intersected with cpuid), overridable with LOTUS_SIMD=scalar|avx2|avx512
+// (unsupported requests clamp down, unknown values are ignored). A portable
+// scalar fallback always ships and is selected on non-x86 builds. Every
+// kernel is bit-identical across ISAs — goldens must not move — which the
+// sim_test Simd suite pins by sweeping every ISA available on the host.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lotus::sim::simd {
+
+/// ISA tiers, ordered: clamping an override means taking the min with what
+/// the build + CPU support.
+enum class Isa : int {
+  kScalar = 0,
+  kAvx2 = 1,    // AVX2 (4 x u64 lanes; popcount via nibble shuffle)
+  kAvx512 = 2,  // AVX-512 F+DQ+VPOPCNTDQ (8 x u64 lanes; native vpopcntq)
+};
+
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// The kernel table one ISA variant exports. All functions tolerate n == 0.
+struct Kernels {
+  Isa isa;
+
+  // --- RNG output pass -------------------------------------------------
+  // raw[k] holds a buffered pre-scramble xoshiro s[1] lane; replaces it in
+  // place with the xoshiro256** output rotl(raw[k] * 5, 7) * 9.
+  void (*scramble)(std::uint64_t* raw, std::size_t n);
+  // Lemire fast sweep: out[k] = high 64 bits of raw[k] * bound. Stops at
+  // the first k whose low half < bound (a potential rejection) and returns
+  // that k, or n if the whole block was accepted. Only out[0, returned)
+  // are valid; the caller re-runs the careful rejection path from there.
+  // Requires bound > 0.
+  std::size_t (*mul_shift_accept)(const std::uint64_t* raw, std::size_t n,
+                                  std::uint64_t bound, std::uint64_t* out);
+  // Descending-bound variant: element k uses bound first_bound - k (the
+  // Fisher-Yates variate sequence). Requires first_bound >= n >= 1.
+  std::size_t (*mul_shift_accept_descending)(const std::uint64_t* raw,
+                                             std::size_t n,
+                                             std::uint64_t first_bound,
+                                             std::uint64_t* out);
+  // out[k] = double(raw[k] >> 11) * 2^-53, bit-identical to the scalar
+  // conversion (the vector variants build the double exactly, never via a
+  // lossy intermediate).
+  void (*unit_doubles)(const std::uint64_t* raw, std::size_t n, double* out);
+  // out[k] = 1 if double(raw[k] >> 11) * 2^-53 < p else 0. Requires
+  // 0 < p < 1 (the callers short-circuit the edges without stream use).
+  void (*bernoulli)(const std::uint64_t* raw, std::size_t n, double p,
+                    std::uint8_t* out);
+
+  // --- Bitset whole-word reductions (range edges handled by the helpers
+  // below) ---------------------------------------------------------------
+  std::size_t (*popcount_words)(const std::uint64_t* w, std::size_t n);
+  std::size_t (*popcount_and_words)(const std::uint64_t* a,
+                                    const std::uint64_t* b, std::size_t n);
+  std::size_t (*popcount_and_not_words)(const std::uint64_t* a,
+                                        const std::uint64_t* b, std::size_t n);
+};
+
+/// Best ISA this build + CPU supports (scalar on non-x86 builds).
+[[nodiscard]] Isa detected_isa() noexcept;
+
+/// Every ISA whose kernels can run on this host, ascending (always starts
+/// with kScalar). Tests sweep this to pin cross-ISA bit-identity.
+[[nodiscard]] std::vector<Isa> available_isas();
+
+/// Resolves an override string ("scalar" | "avx2" | "avx512") against
+/// detected_isa(): supported names clamp to the detected tier, nullptr and
+/// unknown values resolve to the detected best. The LOTUS_SIMD environment
+/// variable goes through this at startup; exposed for tests.
+[[nodiscard]] Isa resolve_override(const char* value) noexcept;
+
+/// Kernel table for a specific tier, clamped to what this host can run.
+[[nodiscard]] const Kernels& kernels_for(Isa isa) noexcept;
+
+/// The active ISA / kernel table. Before the dispatch layer's one-time
+/// startup resolution (detection + LOTUS_SIMD) runs, this is the scalar
+/// table — always correct, since every tier is bit-identical.
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// Re-points the active table (clamped to the detected tier). A test hook —
+/// the benchmarks and the cross-ISA property tests swap tiers mid-process.
+/// Not for use while engines are running on other threads.
+void set_active_isa(Isa isa) noexcept;
+
+namespace detail {
+// The active kernel table. Constant-initialized to scalar so no static
+// initialization order can observe a null table; upgraded once at startup.
+extern std::atomic<const Kernels*> g_active;
+
+/// One range [lo, hi), lo < hi, split into first/last (possibly partial)
+/// words with their in-range masks. When first_word == last_word the two
+/// masks combine; otherwise words strictly between are whole.
+struct Range {
+  std::size_t first_word;
+  std::size_t last_word;  // inclusive
+  std::uint64_t first_mask;
+  std::uint64_t last_mask;
+};
+
+[[nodiscard]] inline Range split(std::size_t lo, std::size_t hi) noexcept {
+  return {lo >> 6, (hi - 1) >> 6, ~std::uint64_t{0} << (lo & 63),
+          ~std::uint64_t{0} >> (63 - ((hi - 1) & 63))};
+}
+}  // namespace detail
+
+[[nodiscard]] inline const Kernels& kernels() noexcept {
+  return *detail::g_active.load(std::memory_order_relaxed);
+}
+
+// --- Shared range reductions over word arrays ---------------------------
+// One implementation of the masked-word range walk, used by DynamicBitset
+// and (per ring segment) by BasicWindowBitsetView. Edge words run scalar;
+// the interior run goes through the dispatched whole-word kernels.
+
+/// Number of set bits of `w` with bit indices in [lo, hi).
+[[nodiscard]] inline std::size_t count_range_words(const std::uint64_t* w,
+                                                   std::size_t lo,
+                                                   std::size_t hi) noexcept {
+  if (lo >= hi) return 0;
+  const detail::Range r = detail::split(lo, hi);
+  if (r.first_word == r.last_word) {
+    return static_cast<std::size_t>(
+        std::popcount(w[r.first_word] & r.first_mask & r.last_mask));
+  }
+  const std::size_t edges = static_cast<std::size_t>(
+      std::popcount(w[r.first_word] & r.first_mask) +
+      std::popcount(w[r.last_word] & r.last_mask));
+  return edges + kernels().popcount_words(w + r.first_word + 1,
+                                          r.last_word - r.first_word - 1);
+}
+
+/// |a AND NOT b| restricted to bit indices in [lo, hi).
+[[nodiscard]] inline std::size_t count_and_not_range_words(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t lo,
+    std::size_t hi) noexcept {
+  if (lo >= hi) return 0;
+  const detail::Range r = detail::split(lo, hi);
+  if (r.first_word == r.last_word) {
+    return static_cast<std::size_t>(std::popcount(
+        a[r.first_word] & ~b[r.first_word] & r.first_mask & r.last_mask));
+  }
+  const std::size_t edges = static_cast<std::size_t>(
+      std::popcount(a[r.first_word] & ~b[r.first_word] & r.first_mask) +
+      std::popcount(a[r.last_word] & ~b[r.last_word] & r.last_mask));
+  return edges + kernels().popcount_and_not_words(a + r.first_word + 1,
+                                                  b + r.first_word + 1,
+                                                  r.last_word - r.first_word - 1);
+}
+
+/// dst |= src restricted to bit indices in [lo, hi).
+inline void or_range_words(std::uint64_t* dst, const std::uint64_t* src,
+                           std::size_t lo, std::size_t hi) noexcept {
+  if (lo >= hi) return;
+  const detail::Range r = detail::split(lo, hi);
+  if (r.first_word == r.last_word) {
+    dst[r.first_word] |= src[r.first_word] & r.first_mask & r.last_mask;
+    return;
+  }
+  dst[r.first_word] |= src[r.first_word] & r.first_mask;
+  for (std::size_t wi = r.first_word + 1; wi < r.last_word; ++wi) {
+    dst[wi] |= src[wi];
+  }
+  dst[r.last_word] |= src[r.last_word] & r.last_mask;
+}
+
+/// Copies up to `cap` of the lowest-index bits of (src AND NOT dst) in
+/// [lo, hi) into dst; returns how many moved. The uncapped common case (the
+/// whole candidate set fits under the cap) is one counted reduction plus
+/// whole-word ORs; only a cap landing mid-range walks a boundary word
+/// bit by bit.
+inline std::size_t transfer_range_words(std::uint64_t* dst,
+                                        const std::uint64_t* src,
+                                        std::size_t lo, std::size_t hi,
+                                        std::size_t cap) noexcept {
+  if (lo >= hi || cap == 0) return 0;
+  const std::size_t avail = count_and_not_range_words(src, dst, lo, hi);
+  if (avail <= cap) {
+    or_range_words(dst, src, lo, hi);
+    return avail;
+  }
+  const detail::Range r = detail::split(lo, hi);
+  std::size_t moved = 0;
+  for (std::size_t wi = r.first_word; wi <= r.last_word; ++wi) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (wi == r.first_word) mask &= r.first_mask;
+    if (wi == r.last_word) mask &= r.last_mask;
+    std::uint64_t candidates = src[wi] & ~dst[wi] & mask;
+    const auto c = static_cast<std::size_t>(std::popcount(candidates));
+    if (moved + c < cap) {
+      dst[wi] |= candidates;
+      moved += c;
+      continue;
+    }
+    // Boundary word: lowest bits first until the cap is exactly met.
+    while (moved < cap) {
+      const std::uint64_t bit = candidates & (~candidates + 1);
+      dst[wi] |= bit;
+      candidates ^= bit;
+      ++moved;
+    }
+    return moved;
+  }
+  return moved;
+}
+
+/// Counts and clears the bits of `w` in [lo, hi); returns the count. The
+/// fold-at-expiry primitive of the windowed engine.
+inline std::size_t take_count_and_clear_range_words(std::uint64_t* w,
+                                                    std::size_t lo,
+                                                    std::size_t hi) noexcept {
+  if (lo >= hi) return 0;
+  const detail::Range r = detail::split(lo, hi);
+  if (r.first_word == r.last_word) {
+    const std::uint64_t mask = r.first_mask & r.last_mask;
+    const auto c = static_cast<std::size_t>(std::popcount(w[r.first_word] & mask));
+    w[r.first_word] &= ~mask;
+    return c;
+  }
+  std::size_t c = static_cast<std::size_t>(
+      std::popcount(w[r.first_word] & r.first_mask) +
+      std::popcount(w[r.last_word] & r.last_mask));
+  w[r.first_word] &= ~r.first_mask;
+  w[r.last_word] &= ~r.last_mask;
+  c += kernels().popcount_words(w + r.first_word + 1,
+                                r.last_word - r.first_word - 1);
+  for (std::size_t wi = r.first_word + 1; wi < r.last_word; ++wi) w[wi] = 0;
+  return c;
+}
+
+/// Clears the bits of `w` in [lo, hi).
+inline void clear_range_words(std::uint64_t* w, std::size_t lo,
+                              std::size_t hi) noexcept {
+  if (lo >= hi) return;
+  const detail::Range r = detail::split(lo, hi);
+  if (r.first_word == r.last_word) {
+    w[r.first_word] &= ~(r.first_mask & r.last_mask);
+    return;
+  }
+  w[r.first_word] &= ~r.first_mask;
+  for (std::size_t wi = r.first_word + 1; wi < r.last_word; ++wi) w[wi] = 0;
+  w[r.last_word] &= ~r.last_mask;
+}
+
+}  // namespace lotus::sim::simd

@@ -17,7 +17,9 @@
 // positions are reused). A range may straddle the ring seam, in which case
 // it maps to two word segments that are always processed in ascending
 // absolute-id order, so capped transfers keep the dense bitset's
-// "oldest updates first" semantics exactly.
+// "oldest updates first" semantics exactly. Each segment runs through the
+// shared sim::simd range kernels — the same masked-word implementation
+// DynamicBitset uses, runtime-dispatched per ISA (LOTUS_SIMD).
 //
 // WindowBitsetView / ConstWindowBitsetView operate on caller-owned words —
 // the engine packs all nodes' windows into one flat structure-of-arrays
@@ -28,9 +30,10 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
-#include "sim/bitset.h"
+#include "sim/simd.h"
 
 namespace lotus::sim {
 
@@ -66,8 +69,8 @@ class BasicWindowBitsetView {
   [[nodiscard]] std::size_t count_range(std::uint64_t lo,
                                         std::uint64_t hi) const noexcept {
     std::size_t c = 0;
-    for_each_range_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      c += static_cast<std::size_t>(std::popcount(words_[wi] & mask));
+    for_each_segment(lo, hi, [&](std::size_t slo, std::size_t shi) {
+      c += simd::count_range_words(words_, slo, shi);
     });
     return c;
   }
@@ -79,9 +82,8 @@ class BasicWindowBitsetView {
       BasicWindowBitsetView<P> other, std::uint64_t lo,
       std::uint64_t hi) const noexcept {
     std::size_t c = 0;
-    for_each_range_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      c += static_cast<std::size_t>(
-          std::popcount(words_[wi] & ~other.word(wi) & mask));
+    for_each_segment(lo, hi, [&](std::size_t slo, std::size_t shi) {
+      c += simd::count_and_not_range_words(words_, other.data(), slo, shi);
     });
     return c;
   }
@@ -93,16 +95,11 @@ class BasicWindowBitsetView {
   template <typename P>
   std::size_t transfer_from(BasicWindowBitsetView<P> src, std::uint64_t lo,
                             std::uint64_t hi, std::size_t cap) const noexcept {
-    std::size_t moved = 0;
     if (cap == 0) return 0;
-    for_each_range_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      std::uint64_t candidates = src.word(wi) & ~words_[wi] & mask;
-      while (candidates != 0 && moved < cap) {
-        const std::uint64_t bit = candidates & (~candidates + 1);
-        words_[wi] |= bit;
-        candidates ^= bit;
-        ++moved;
-      }
+    std::size_t moved = 0;
+    for_each_segment(lo, hi, [&](std::size_t slo, std::size_t shi) {
+      moved += simd::transfer_range_words(words_, src.data(), slo, shi,
+                                          cap - moved);
       return moved < cap;
     });
     return moved;
@@ -113,16 +110,15 @@ class BasicWindowBitsetView {
   std::size_t take_count_and_clear(std::uint64_t lo,
                                    std::uint64_t hi) const noexcept {
     std::size_t c = 0;
-    for_each_range_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      c += static_cast<std::size_t>(std::popcount(words_[wi] & mask));
-      words_[wi] &= ~mask;
+    for_each_segment(lo, hi, [&](std::size_t slo, std::size_t shi) {
+      c += simd::take_count_and_clear_range_words(words_, slo, shi);
     });
     return c;
   }
 
   void clear_range(std::uint64_t lo, std::uint64_t hi) const noexcept {
-    for_each_range_word(lo, hi, [&](std::size_t wi, std::uint64_t mask) {
-      words_[wi] &= ~mask;
+    for_each_segment(lo, hi, [&](std::size_t slo, std::size_t shi) {
+      simd::clear_range_words(words_, slo, shi);
     });
   }
 
@@ -130,6 +126,10 @@ class BasicWindowBitsetView {
   [[nodiscard]] std::uint64_t word(std::size_t wi) const noexcept {
     return words_[wi];
   }
+
+  /// Raw word storage, for handing both operands of a cross-view reduction
+  /// to the shared sim::simd kernels.
+  [[nodiscard]] WordPtr data() const noexcept { return words_; }
 
   template <typename P>
   [[nodiscard]] bool operator==(BasicWindowBitsetView<P> other) const noexcept {
@@ -142,23 +142,26 @@ class BasicWindowBitsetView {
 
  private:
   /// Maps the absolute range [lo, hi) (hi - lo <= window_bits) onto at most
-  /// two ring segments, low-id segment first, and walks their words through
-  /// the shared mask helper. `fn` may return bool to stop early.
+  /// two ring bit segments, low-id segment first. `fn(seg_lo, seg_hi)` may
+  /// return bool (false stops before the seam-wrapped tail segment — used
+  /// by capped transfers) or void.
   template <typename Fn>
-  void for_each_range_word(std::uint64_t lo, std::uint64_t hi,
-                           Fn&& fn) const noexcept {
+  void for_each_segment(std::uint64_t lo, std::uint64_t hi,
+                        Fn&& fn) const noexcept {
     if (lo >= hi) return;
     const std::uint64_t len = hi - lo;
     const auto rlo = static_cast<std::size_t>(lo % window_bits_);
     const std::uint64_t head = window_bits_ - rlo >= len
                                    ? len
                                    : window_bits_ - rlo;
-    if (!detail::for_each_masked_word(
-            rlo, rlo + static_cast<std::size_t>(head), fn)) {
-      return;
+    const std::size_t head_hi = rlo + static_cast<std::size_t>(head);
+    if constexpr (std::is_same_v<decltype(fn(rlo, head_hi)), bool>) {
+      if (!fn(rlo, head_hi)) return;
+    } else {
+      fn(rlo, head_hi);
     }
     if (head < len) {
-      detail::for_each_masked_word(0, static_cast<std::size_t>(len - head), fn);
+      fn(std::size_t{0}, static_cast<std::size_t>(len - head));
     }
   }
 

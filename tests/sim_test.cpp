@@ -1,6 +1,7 @@
 // Unit tests for the simulation substrate: RNG, stats, bitset, tables, sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -12,6 +13,7 @@
 #include "sim/parallel.h"
 #include "sim/window_bitset.h"
 #include "sim/rng.h"
+#include "sim/simd.h"
 #include "sim/stats.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
@@ -554,6 +556,356 @@ TEST(WindowBitset, MatchesDenseBitsetOverSlidingWindow) {
     EXPECT_EQ(dense_b.count_and_not_range(dense_a, active_lo, active_hi),
               ring_b.view().count_and_not_range(ring_a.view(), active_lo,
                                                 active_hi));
+  }
+}
+
+// --- SIMD kernel dispatch: every ISA tier must be bit-identical ----------
+
+/// Restores the active kernel tier on scope exit so cross-ISA tests cannot
+/// leak a forced tier into later tests.
+struct IsaScope {
+  simd::Isa prev = simd::active_isa();
+  ~IsaScope() { simd::set_active_isa(prev); }
+};
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// The xoshiro256** output scrambler, scalar reference.
+constexpr std::uint64_t scramble_ref(std::uint64_t x) noexcept {
+  return rotl64(x * 5, 7) * 9;
+}
+
+/// Scalar reference for Kernels::mul_shift_accept: stops at the first draw
+/// whose low product half flags a potential rejection.
+std::size_t accept_ref(const std::uint64_t* raw, std::size_t n,
+                       std::uint64_t bound, std::uint64_t* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const __uint128_t m = static_cast<__uint128_t>(raw[k]) * bound;
+    if (static_cast<std::uint64_t>(m) < bound) return k;
+    out[k] = static_cast<std::uint64_t>(m >> 64);
+  }
+  return n;
+}
+
+std::size_t accept_descending_ref(const std::uint64_t* raw, std::size_t n,
+                                  std::uint64_t first_bound,
+                                  std::uint64_t* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint64_t bound = first_bound - k;
+    const __uint128_t m = static_cast<__uint128_t>(raw[k]) * bound;
+    if (static_cast<std::uint64_t>(m) < bound) return k;
+    out[k] = static_cast<std::uint64_t>(m >> 64);
+  }
+  return n;
+}
+
+TEST(Simd, AvailableIsasAscendingFromScalar) {
+  const auto isas = simd::available_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), simd::Isa::kScalar);
+  for (std::size_t i = 1; i < isas.size(); ++i) {
+    EXPECT_LT(static_cast<int>(isas[i - 1]), static_cast<int>(isas[i]));
+  }
+  EXPECT_EQ(isas.back(), simd::detected_isa());
+  for (const auto isa : isas) {
+    EXPECT_EQ(simd::kernels_for(isa).isa, isa) << simd::isa_name(isa);
+  }
+}
+
+TEST(Simd, ResolveOverrideParsesAndClamps) {
+  const auto best = simd::detected_isa();
+  EXPECT_EQ(simd::resolve_override(nullptr), best);
+  EXPECT_EQ(simd::resolve_override(""), best);
+  EXPECT_EQ(simd::resolve_override("bogus"), best);
+  EXPECT_EQ(simd::resolve_override("scalar"), simd::Isa::kScalar);
+  EXPECT_EQ(simd::resolve_override("avx2"),
+            std::min(simd::Isa::kAvx2, best));
+  EXPECT_EQ(simd::resolve_override("avx512"),
+            std::min(simd::Isa::kAvx512, best));
+}
+
+TEST(Simd, ScrambleMatchesReferenceAcrossIsas) {
+  Rng rng{20080818};
+  for (const auto isa : simd::available_isas()) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                                std::size_t{4}, std::size_t{7}, std::size_t{8},
+                                std::size_t{15}, std::size_t{31},
+                                std::size_t{127}, std::size_t{128},
+                                std::size_t{129}}) {
+      std::vector<std::uint64_t> raw(n), got(n);
+      for (auto& x : raw) x = rng();
+      got = raw;
+      simd::kernels_for(isa).scramble(got.data(), n);
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(got[k], scramble_ref(raw[k]))
+            << simd::isa_name(isa) << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Simd, MulShiftAcceptMatchesReferenceAcrossIsas) {
+  // 2^63 + 1 keeps the low product half below the bound for about half of
+  // all draws, so the sweep stops early almost everywhere; 2^64 - 1 rejects
+  // nothing but exercises full-width products; small bounds are the engine's
+  // partner/index draws.
+  const std::uint64_t kBounds[] = {1,
+                                   2,
+                                   3,
+                                   250,
+                                   100003,
+                                   std::uint64_t{1} << 32,
+                                   (std::uint64_t{1} << 63) + 1,
+                                   ~std::uint64_t{0}};
+  Rng rng{424242};
+  for (const auto isa : simd::available_isas()) {
+    const auto& kern = simd::kernels_for(isa);
+    for (const std::uint64_t bound : kBounds) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const std::size_t n = rng.next_below(160);
+        std::vector<std::uint64_t> raw(n);
+        for (auto& x : raw) x = rng();
+        std::vector<std::uint64_t> want(n, ~std::uint64_t{0});
+        std::vector<std::uint64_t> got(n, ~std::uint64_t{0});
+        const std::size_t want_k = accept_ref(raw.data(), n, bound, want.data());
+        const std::size_t got_k =
+            kern.mul_shift_accept(raw.data(), n, bound, got.data());
+        ASSERT_EQ(got_k, want_k) << simd::isa_name(isa) << " bound=" << bound;
+        for (std::size_t k = 0; k < want_k; ++k) {
+          ASSERT_EQ(got[k], want[k])
+              << simd::isa_name(isa) << " bound=" << bound << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, MulShiftAcceptDescendingMatchesReferenceAcrossIsas) {
+  Rng rng{77};
+  const std::uint64_t kFirstBounds[] = {1,
+                                        7,
+                                        160,
+                                        250,
+                                        100003,
+                                        (std::uint64_t{1} << 63) + 1,
+                                        ~std::uint64_t{0}};
+  for (const auto isa : simd::available_isas()) {
+    const auto& kern = simd::kernels_for(isa);
+    for (const std::uint64_t first_bound : kFirstBounds) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const std::uint64_t max_n =
+            first_bound < 160 ? first_bound : std::uint64_t{160};
+        const std::size_t n =
+            1 + static_cast<std::size_t>(rng.next_below(max_n));
+        std::vector<std::uint64_t> raw(n);
+        for (auto& x : raw) x = rng();
+        std::vector<std::uint64_t> want(n, ~std::uint64_t{0});
+        std::vector<std::uint64_t> got(n, ~std::uint64_t{0});
+        const std::size_t want_k =
+            accept_descending_ref(raw.data(), n, first_bound, want.data());
+        const std::size_t got_k = kern.mul_shift_accept_descending(
+            raw.data(), n, first_bound, got.data());
+        ASSERT_EQ(got_k, want_k)
+            << simd::isa_name(isa) << " first_bound=" << first_bound;
+        for (std::size_t k = 0; k < want_k; ++k) {
+          ASSERT_EQ(got[k], want[k])
+              << simd::isa_name(isa) << " first_bound=" << first_bound
+              << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, UnitDoublesBitIdenticalAcrossIsas) {
+  Rng rng{31337};
+  for (const auto isa : simd::available_isas()) {
+    const auto& kern = simd::kernels_for(isa);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{5}, std::size_t{8},
+          std::size_t{13}, std::size_t{128}, std::size_t{131}}) {
+      std::vector<std::uint64_t> raw(n);
+      for (auto& x : raw) x = rng();
+      if (n > 0) {
+        raw[0] = 0;                  // -> exactly 0.0
+        raw[n - 1] = ~std::uint64_t{0};  // -> largest value below 1.0
+      }
+      std::vector<double> got(n, -1.0);
+      kern.unit_doubles(raw.data(), n, got.data());
+      for (std::size_t k = 0; k < n; ++k) {
+        const double want =
+            static_cast<double>(raw[k] >> 11) * 0x1.0p-53;
+        // EXPECT_EQ, not NEAR: the conversion must be bit-identical.
+        ASSERT_EQ(got[k], want) << simd::isa_name(isa) << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Simd, BernoulliMatchesStrictLessAcrossIsas) {
+  Rng rng{101};
+  // 0.5 + 2^-54 style values probe the comparison's exactness; the raw
+  // crafted below makes the converted double equal p exactly, where strict
+  // "<" must produce 0.
+  const double kPs[] = {0.5, 0.25, 1e-9, 0.3, 1.0 - 1e-9};
+  for (const auto isa : simd::available_isas()) {
+    const auto& kern = simd::kernels_for(isa);
+    for (const double p : kPs) {
+      const std::size_t n = 133;
+      std::vector<std::uint64_t> raw(n);
+      for (auto& x : raw) x = rng();
+      // Craft an exact tie when p has a 53-bit representation in [0,1).
+      const auto tie = static_cast<std::uint64_t>(p * 0x1.0p53);
+      raw[7] = tie << 11;
+      std::vector<std::uint8_t> got(n, 0xCC);
+      kern.bernoulli(raw.data(), n, p, got.data());
+      for (std::size_t k = 0; k < n; ++k) {
+        const double u = static_cast<double>(raw[k] >> 11) * 0x1.0p-53;
+        ASSERT_EQ(got[k], u < p ? 1 : 0)
+            << simd::isa_name(isa) << " p=" << p << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Simd, PopcountKernelsMatchNaiveAcrossIsas) {
+  Rng rng{555};
+  for (const auto isa : simd::available_isas()) {
+    const auto& kern = simd::kernels_for(isa);
+    for (std::size_t n = 0; n <= 40; ++n) {
+      std::vector<std::uint64_t> a(n), b(n);
+      for (auto& w : a) w = rng();
+      for (auto& w : b) w = rng() & rng();  // denser zero runs
+      std::size_t pc = 0, pc_and = 0, pc_and_not = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        pc += static_cast<std::size_t>(std::popcount(a[i]));
+        pc_and += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+        pc_and_not += static_cast<std::size_t>(std::popcount(a[i] & ~b[i]));
+      }
+      ASSERT_EQ(kern.popcount_words(a.data(), n), pc)
+          << simd::isa_name(isa) << " n=" << n;
+      ASSERT_EQ(kern.popcount_and_words(a.data(), b.data(), n), pc_and)
+          << simd::isa_name(isa) << " n=" << n;
+      ASSERT_EQ(kern.popcount_and_not_words(a.data(), b.data(), n), pc_and_not)
+          << simd::isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(Simd, RngFillStreamsBitIdenticalAcrossActiveIsas) {
+  // The real acceptance bar: with any tier active, every Rng::fill_* stream
+  // is byte-identical to the sequential per-call draws (and therefore to
+  // every other tier). Sweeps randomized lengths through the block seams
+  // (127/128/129) and the high-rejection bound 2^63 + 1.
+  IsaScope restore;
+  const std::uint64_t kBounds[] = {1, 2, 250, 100003,
+                                   (std::uint64_t{1} << 63) + 1};
+  const std::size_t kLens[] = {0, 1, 7, 127, 128, 129, 300};
+  for (const auto isa : simd::available_isas()) {
+    simd::set_active_isa(isa);
+    for (const std::uint64_t bound : kBounds) {
+      for (const std::size_t n : kLens) {
+        Rng batch{bound ^ n};
+        Rng seq{bound ^ n};
+        std::vector<std::uint64_t> got(n);
+        batch.fill_below(bound, got);
+        for (std::size_t k = 0; k < n; ++k) {
+          ASSERT_EQ(got[k], seq.next_below(bound))
+              << simd::isa_name(isa) << " bound=" << bound << " k=" << k;
+        }
+        EXPECT_EQ(batch(), seq()) << "stream desync after fill_below";
+      }
+    }
+    for (const std::size_t n : kLens) {
+      const std::uint64_t first_bound = n + 3;
+      Rng batch{n * 31 + 1};
+      Rng seq{n * 31 + 1};
+      std::vector<std::uint64_t> got(n);
+      batch.fill_below_descending(first_bound, got);
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(got[k], seq.next_below(first_bound - k))
+            << simd::isa_name(isa) << " n=" << n << " k=" << k;
+      }
+      EXPECT_EQ(batch(), seq()) << "stream desync after fill_below_descending";
+    }
+    for (const std::size_t n : kLens) {
+      Rng batch{n + 9000};
+      Rng seq{n + 9000};
+      std::vector<double> got(n, -1.0);
+      batch.fill_double(got);
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(got[k], seq.next_double())
+            << simd::isa_name(isa) << " n=" << n << " k=" << k;
+      }
+      std::vector<std::uint8_t> bern(n, 0xCC);
+      batch.fill_bernoulli(0.37, bern);
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(bern[k] != 0, seq.next_bernoulli(0.37))
+            << simd::isa_name(isa) << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Simd, BitsetOpsIdenticalAcrossActiveIsas) {
+  // Replay one randomized schedule of range counts / capped transfers /
+  // expiry folds per tier — dense and seam-straddling windowed ranges — and
+  // require every result and every final bit pattern to match the scalar
+  // tier's exactly.
+  IsaScope restore;
+  std::vector<std::size_t> scalar_results;
+  std::vector<std::uint64_t> scalar_bits;
+  for (const auto isa : simd::available_isas()) {
+    simd::set_active_isa(isa);
+    std::vector<std::size_t> results;
+    Rng rng{1912};
+    constexpr std::uint64_t kWindow = 100;
+    constexpr std::size_t kBits = 4800;
+    DynamicBitset a{kBits}, b{kBits};
+    WindowBitset ring_a{kWindow}, ring_b{kWindow};
+    std::uint64_t base = 0;  // live window is [base, base + kWindow)
+    for (int step = 0; step < 400; ++step) {
+      for (int s = 0; s < 12; ++s) {
+        const auto i = rng.next_below(kBits);
+        if (rng.next_below(2) == 0) a.set(i); else b.set(i);
+        const auto id = base + rng.next_below(kWindow);
+        if (rng.next_below(2) == 0) ring_a.set(id); else ring_b.set(id);
+      }
+      const auto lo = rng.next_below(kBits);
+      const auto hi = lo + rng.next_below(kBits - lo + 1);
+      results.push_back(a.count_range(lo, hi));
+      results.push_back(a.count_and_not_range(b, lo, hi));
+      results.push_back(b.transfer_from(a, lo, hi, rng.next_below(9)));
+      const auto wlo = base + rng.next_below(kWindow);
+      const auto whi = wlo + rng.next_below(base + kWindow - wlo + 1);
+      results.push_back(ring_a.count_range(wlo, whi));
+      results.push_back(
+          ring_b.view().count_and_not_range(ring_a.view(), wlo, whi));
+      results.push_back(
+          ring_b.view().transfer_from(ring_a.view(), wlo, whi,
+                                      rng.next_below(9)));
+      if (step % 7 == 0) {  // slide the window: fold + recycle 10 slots
+        results.push_back(ring_a.take_count_and_clear(base, base + 10));
+        ring_b.clear_range(base, base + 10);
+        base += 10;
+      }
+    }
+    std::vector<std::uint64_t> bits;
+    for (std::size_t i = 0; i < kBits; ++i) {
+      bits.push_back((a.test(i) ? 1 : 0) | (b.test(i) ? 2 : 0));
+    }
+    for (std::uint64_t id = base; id < base + kWindow; ++id) {
+      bits.push_back((ring_a.test(id) ? 1 : 0) | (ring_b.test(id) ? 2 : 0));
+    }
+    if (isa == simd::Isa::kScalar) {
+      scalar_results = results;
+      scalar_bits = bits;
+    } else {
+      EXPECT_EQ(results, scalar_results) << simd::isa_name(isa);
+      EXPECT_EQ(bits, scalar_bits) << simd::isa_name(isa);
+    }
   }
 }
 

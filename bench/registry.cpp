@@ -15,6 +15,7 @@ const std::vector<BenchDef>& all_benches() {
       {"fig2_pushsize", fig2_pushsize_spec, run_fig2_pushsize},
       {"fig3_obedient", fig3_obedient_spec, run_fig3_obedient},
       {"scale_crossover", scale_crossover_spec, run_scale_crossover},
+      {"churn_attack", churn_attack_spec, run_churn_attack},
       {"table1_params", table1_params_spec, run_table1_params},
       {"intermittent", intermittent_spec, run_intermittent},
       {"obedience_report", obedience_report_spec, run_obedience_report},

@@ -49,6 +49,7 @@ struct BenchDef {
                  exp::TrialCache& cache)
 
 LOTUS_FIGS_DECLARE(bt_attack);
+LOTUS_FIGS_DECLARE(churn_attack);
 LOTUS_FIGS_DECLARE(coding_defense);
 LOTUS_FIGS_DECLARE(fig1_attacks);
 LOTUS_FIGS_DECLARE(fig2_pushsize);

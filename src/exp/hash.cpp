@@ -71,7 +71,13 @@ void add_fields(FieldHasher& h, const gossip::GossipConfig& c) {
       .add(c.rounds)
       .add(c.warmup_rounds)
       .add(c.usability_threshold)
-      .add(c.seed);
+      .add(c.seed)
+      .add(c.churn.join_rate)
+      .add(c.churn.leave_rate)
+      .add(c.churn.crash_rate)
+      .add(c.churn.decay_rounds)
+      .add(c.churn.slow_fraction)
+      .add(c.churn.slow_cap);
 }
 
 void add_fields(FieldHasher& h, const gossip::AttackPlan& p) {

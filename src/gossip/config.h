@@ -5,6 +5,43 @@
 
 namespace lotus::gossip {
 
+/// Dynamic-membership schedule: deterministic, seeded churn applied at the
+/// start of every round, before any protocol phase. Only honest seats churn
+/// (the attack plan's strength stays fixed, so churn curves are comparable
+/// to the static ones). All rates are per-seat-per-round Bernoulli
+/// probabilities drawn from a dedicated RNG stream — one fixed-size batch of
+/// draws per round regardless of who is alive, so trajectories are identical
+/// across state models and engine-thread counts, and a disabled plan leaves
+/// the main RNG stream untouched (the static goldens stay byte-identical).
+struct ChurnPlan {
+  /// Per dead honest seat: probability the seat is recycled this round. A
+  /// seat crashed within its decay window recovers with its state intact;
+  /// otherwise a fresh identity joins with empty state and a clean slate
+  /// with the eviction layer (whitewashing is a modelled cost of churn).
+  double join_rate = 0.0;
+  /// Per live honest node: probability of a graceful leave (gossip state is
+  /// dropped immediately — contacts forget the node at departure).
+  double leave_rate = 0.0;
+  /// Per live honest node: probability of a crash. The crashed node's state
+  /// lingers for `decay_rounds` rounds (it may recover within the window),
+  /// then decays like a leave.
+  double crash_rate = 0.0;
+  /// Rounds a crashed node's gossip state survives before decay; 0 makes a
+  /// crash indistinguishable from a leave.
+  std::uint32_t decay_rounds = 0;
+  /// Heterogeneous capacities: this fraction of honest seats can hand over
+  /// at most `slow_cap` updates per interaction (giver-side; balanced
+  /// exchange gives and push transfers/returns). Assigned per seat at cast
+  /// time from a derived stream; attackers are never slow.
+  double slow_fraction = 0.0;
+  std::uint32_t slow_cap = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return join_rate > 0.0 || leave_rate > 0.0 || crash_rate > 0.0 ||
+           (slow_fraction > 0.0 && slow_cap > 0);
+  }
+};
+
 /// Table 1 of the paper, plus the protocol windows and defence knobs the §2
 /// and §4 experiments vary. Defaults reproduce Table 1 exactly.
 struct GossipConfig {
@@ -63,6 +100,10 @@ struct GossipConfig {
   double usability_threshold = 0.93;
 
   std::uint64_t seed = 1;
+
+  /// Dynamic membership; disabled by default (static cast, exactly the
+  /// paper's model and the pre-churn RNG trajectories).
+  ChurnPlan churn;
 
   [[nodiscard]] std::uint64_t total_updates() const noexcept {
     return static_cast<std::uint64_t>(rounds) * updates_per_round;

@@ -52,6 +52,29 @@ GossipEngine::GossipEngine(GossipConfig config, AttackPlan plan,
   sim::Rng rotation_rng{sim::derive_seed(config_.seed, 0x726f74ULL)};
   rotation_rng.shuffle(std::span<std::uint32_t>{rotation_order_});
 
+  churn_ = config_.churn.enabled();
+  if (churn_) {
+    state_.init_churn();
+    churn_rng_ = sim::Rng{sim::derive_seed(config_.seed, 0x6368726eULL)};
+    churn_crash_.resize(config_.nodes);
+    churn_leave_.resize(config_.nodes);
+    churn_join_.resize(config_.nodes);
+    if (config_.churn.slow_fraction > 0.0 && config_.churn.slow_cap > 0) {
+      // Slow seats are drawn once at cast time from their own stream; the
+      // cap sticks to the seat across identity recycling (it models the
+      // seat's link, not the member).
+      sim::Rng capacity_rng{sim::derive_seed(config_.seed, 0x63617061ULL)};
+      std::vector<std::uint8_t> slow(config_.nodes);
+      capacity_rng.fill_bernoulli(config_.churn.slow_fraction,
+                                  std::span<std::uint8_t>{slow});
+      for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+        if (state_.roles[v] == Role::kHonest && slow[v] != 0) {
+          state_.capacity_cap[v] = config_.churn.slow_cap;
+        }
+      }
+    }
+  }
+
   threads_ = threads > 0 ? threads : sim::engine_threads();
   if (threads_ > 1) {
     pool_ = std::make_unique<sim::ThreadPool>(threads_);
@@ -72,10 +95,69 @@ std::size_t GossipEngine::state_bytes() const noexcept {
          order_.capacity() * sizeof(std::uint32_t) +
          shuffle_draws_.capacity() * sizeof(std::uint64_t) +
          rotation_order_.capacity() * sizeof(std::uint32_t) +
+         churn_crash_.capacity() + churn_leave_.capacity() +
+         churn_join_.capacity() +
          pending_reports_.capacity() * sizeof(crypto::ExchangeRecord) +
          cast_.roles.capacity() * sizeof(Role) +
          (cast_.satiate_set.capacity() + cast_.obedient.capacity()) / 8 +
          registry_.size() * sizeof(std::uint64_t) + waves_.byte_size();
+}
+
+void GossipEngine::apply_churn(Round round) {
+  if (!churn_) return;
+  // One fixed-size Bernoulli batch per transition per round, drawn for every
+  // seat whether it can take that transition or not: the stream position is
+  // a function of (seed, round) alone, never of membership history, so
+  // trajectories match across state models and thread counts.
+  churn_rng_.fill_bernoulli(config_.churn.crash_rate,
+                            std::span<std::uint8_t>{churn_crash_});
+  churn_rng_.fill_bernoulli(config_.churn.leave_rate,
+                            std::span<std::uint8_t>{churn_leave_});
+  churn_rng_.fill_bernoulli(config_.churn.join_rate,
+                            std::span<std::uint8_t>{churn_join_});
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    // Decay sweep first: a crashed seat whose grace window ends this round
+    // loses its gossip state whether or not the seat churns again today. A
+    // join in the same round therefore lands on a clean seat (fresh
+    // identity), matching the "contacts have aged out" reading of decay.
+    if (state_.decay_at[v] == round) {
+      state_.clear_holdings(v);
+      state_.decay_at[v] = NodeState::kNoDecay;
+    }
+    if (state_.roles[v] != Role::kHonest) continue;  // only honest seats churn
+    if (state_.alive[v] != 0) {
+      if (churn_crash_[v] != 0) {
+        state_.alive[v] = 0;
+        ++stats_.churn_crashes;
+        if (config_.churn.decay_rounds == 0) {
+          state_.clear_holdings(v);  // no grace: a crash decays like a leave
+        } else {
+          state_.decay_at[v] = round + config_.churn.decay_rounds;
+        }
+      } else if (churn_leave_[v] != 0) {
+        state_.alive[v] = 0;
+        state_.clear_holdings(v);
+        ++stats_.churn_leaves;
+      }
+    } else if (churn_join_[v] != 0) {
+      state_.alive[v] = 1;
+      if (state_.decay_at[v] != NodeState::kNoDecay) {
+        // Recovery inside the decay window: same identity, state intact,
+        // join round unchanged — the downtime shows up as delivery loss.
+        state_.decay_at[v] = NodeState::kNoDecay;
+        ++stats_.churn_recoveries;
+      } else {
+        // The seat is recycled to a fresh identity: empty state, a new join
+        // round, and a clean slate with the eviction layer (whitewashing —
+        // churn's gift to a reported offender is modelled, not hidden).
+        state_.clear_holdings(v);
+        state_.joined_round[v] = round;
+        state_.evicted[v] = 0;
+        state_.oob_received[v] = 0;
+        ++stats_.churn_joins;
+      }
+    }
+  }
 }
 
 void GossipEngine::rotate_satiate_set(Round round) {
@@ -122,9 +204,24 @@ void GossipEngine::fold_expired_generation(Round round) {
   const IdRange measured = clock_.measured(config_.warmup_rounds);
   const bool measured_gen = lo >= measured.lo && hi <= measured.hi;
   const auto gen_size = static_cast<double>(config_.updates_per_round);
+  const bool windowed = model_ == StateModel::kWindowed;
   const auto fold_node = [&](std::uint32_t v) {
-    const std::size_t held = state_.holdings(v).take_count_and_clear(lo, hi);
+    // Windowed: count and recycle the ring slots (dead seats included — the
+    // slots are about to be reused). Dense under churn: accounting only; the
+    // full bitmap survives, but delivery must be taken at expiry, while the
+    // membership that earned it still exists.
+    const std::size_t held =
+        windowed ? state_.holdings(v).take_count_and_clear(lo, hi)
+                 : state_.holdings(v).count_range(lo, hi);
     if (!measured_gen || state_.roles[v] != Role::kHonest) return;
+    if (churn_) {
+      // A seat counts toward generation g only if it is a member at expiry
+      // and its current identity joined no later than the release round.
+      // Recovered crashers keep their join round, so their downtime shows
+      // up as delivery loss rather than a shrunken denominator.
+      if (state_.alive[v] == 0 || state_.joined_round[v] > g) return;
+      ++state_.eligible_generations[v];
+    }
     state_.measured_held[v] += held;
     if (static_cast<double>(held) / gen_size <= config_.usability_threshold) {
       ++state_.unusable_generations[v];
@@ -144,12 +241,23 @@ void GossipEngine::fold_expired_generation(Round round) {
   } else {
     for (std::uint32_t v = 0; v < config_.nodes; ++v) fold_node(v);
   }
-  const std::size_t pool_held = attacker_pool_.take_count_and_clear(lo, hi);
-  if (measured_gen) attacker_pool_held_ += pool_held;
+  if (windowed) {
+    const std::size_t pool_held = attacker_pool_.take_count_and_clear(lo, hi);
+    if (measured_gen) attacker_pool_held_ += pool_held;
+  } else if (measured_gen) {
+    attacker_pool_held_ += attacker_pool_.count_range(lo, hi);
+  }
 }
 
 bool GossipEngine::participates(std::uint32_t v) const noexcept {
+  if (churn_ && state_.alive[v] == 0) return false;
   return state_.evicted[v] == 0 && state_.roles[v] != Role::kCrash;
+}
+
+std::size_t GossipEngine::giver_cap(std::uint32_t v) const noexcept {
+  if (!churn_) return kUncapped;
+  const std::uint32_t cap = state_.capacity_cap[v];
+  return cap == 0 ? kUncapped : cap;
 }
 
 bool GossipEngine::is_trade_attacker(std::uint32_t v) const noexcept {
@@ -165,8 +273,14 @@ std::size_t GossipEngine::apply_service_cap(std::size_t wanted) const noexcept {
 GossipResult GossipEngine::run() {
   stats_ = GossipResult{};
   for (Round round = 0; round < config_.rounds; ++round) {
+    apply_churn(round);
     rotate_satiate_set(round);
-    if (model_ == StateModel::kWindowed) fold_expired_generation(round);
+    // The dense model normally computes metrics by an end-of-run scan; under
+    // churn it folds too (count-only, nothing cleared) because delivery must
+    // be measured against the membership alive at each generation's expiry.
+    if (model_ == StateModel::kWindowed || churn_) {
+      fold_expired_generation(round);
+    }
     attacker_pool_lagged_ = attacker_pool_;
     seed_updates(round);
     if (plan_.kind == AttackKind::kIdealLotus) ideal_multicast(round);
@@ -183,6 +297,7 @@ void GossipEngine::seed_updates(Round round) {
     for (const auto v : rng_.sample_without_replacement(config_.nodes,
                                                         config_.copies_seeded)) {
       if (state_.evicted[v] != 0) continue;  // evicted nodes are out of the membership
+      if (churn_ && state_.alive[v] == 0) continue;  // dead seats receive nothing
       state_.holdings(v).set(u);
       if (state_.roles[v] == Role::kAttacker) attacker_pool_.set(u);
     }
@@ -222,6 +337,7 @@ void GossipEngine::ideal_multicast(Round round) {
             if (state_.roles[v] != Role::kHonest || state_.satiated[v] == 0) {
               continue;
             }
+            if (churn_ && state_.alive[v] == 0) continue;
             const std::size_t given = state_.holdings(v).transfer_from(
                 pool, active.lo, active.hi, kUncapped);
             stage.dumped += given;
@@ -248,6 +364,7 @@ void GossipEngine::ideal_multicast(Round round) {
   }
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
     if (state_.roles[v] != Role::kHonest || state_.satiated[v] == 0) continue;
+    if (churn_ && state_.alive[v] == 0) continue;
     const std::size_t given = state_.holdings(v).transfer_from(
         pool, active.lo, active.hi, kUncapped);
     stats_.attacker_dump_updates += given;
@@ -365,6 +482,10 @@ GossipEngine::TransferOutcome GossipEngine::do_balanced_exchange(
   }
   give_i = apply_service_cap(give_i);
   give_j = apply_service_cap(give_j);
+  // Heterogeneous capacities: a slow seat cannot hand over more than its
+  // per-interaction cap, whatever the protocol would allow.
+  give_i = std::min(give_i, giver_cap(i));
+  give_j = std::min(give_j, giver_cap(j));
   if (give_i == 0 && give_j == 0) return {};
 
   const std::size_t moved_to_j =
@@ -392,15 +513,17 @@ GossipEngine::TransferOutcome GossipEngine::do_optimistic_push(
   // Responder j takes up to push_size recently released updates it lacks.
   const std::size_t offered =
       held_i.count_and_not_range(held_j, recent.lo, recent.hi);
-  const std::size_t take =
-      apply_service_cap(std::min<std::size_t>(offered, config_.push_size));
+  const std::size_t take = std::min(
+      apply_service_cap(std::min<std::size_t>(offered, config_.push_size)),
+      giver_cap(i));
   if (take == 0) return {};  // nothing in it for the responder: no exchange
   const std::size_t taken =
       held_j.transfer_from(held_i, recent.lo, recent.hi, take);
   // In exchange the responder returns the same number of items: requested
-  // soon-expiring updates when it has them, junk data otherwise.
-  const std::size_t returned =
-      held_i.transfer_from(held_j, expiring.lo, expiring.hi, taken);
+  // soon-expiring updates when it has them, junk data otherwise. A slow
+  // responder pads with junk beyond its capacity cap.
+  const std::size_t returned = held_i.transfer_from(
+      held_j, expiring.lo, expiring.hi, std::min(taken, giver_cap(j)));
   return {taken, returned};
 }
 
@@ -419,6 +542,7 @@ std::size_t GossipEngine::do_attacker_dump(std::uint32_t a,
                                            std::uint32_t partner, Round round,
                                            std::size_t limit) {
   if (state_.evicted[a] != 0 || state_.evicted[partner] != 0) return 0;
+  if (churn_ && state_.alive[partner] == 0) return 0;
   if (state_.roles[partner] != Role::kHonest) return 0;
   if (state_.satiated[partner] == 0) return 0;  // isolated nodes get nothing
   const IdRange active = clock_.active(round);
@@ -708,7 +832,10 @@ GossipResult GossipEngine::collect_metrics() const {
   std::uint64_t pool_held = attacker_pool_held_;
   std::vector<std::uint64_t> dense_held;
   std::vector<std::uint32_t> dense_unusable;
-  if (model_ == StateModel::kDense) {
+  // Under churn both models measured delivery at fold time (see run()), so
+  // the accumulators are authoritative and the dense end-of-run scan — which
+  // cannot know who was a member when each generation expired — is skipped.
+  if (model_ == StateModel::kDense && !churn_) {
     dense_held.resize(config_.nodes, 0);
     dense_unusable.resize(config_.nodes, 0);
     const auto scan_node = [&](std::uint32_t v) {
@@ -754,7 +881,19 @@ GossipResult GossipEngine::collect_metrics() const {
   double worst = 1.0;
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
     if (state_.roles[v] != Role::kHonest) continue;
-    const double got = static_cast<double>(held_by[v]) / total;
+    double got;
+    if (churn_) {
+      // Churn-aware delivery: measured updates held at expiry over the
+      // updates the seat was an eligible member for. Seats that were never
+      // an eligible member of any measured generation are excluded from
+      // every average (there is nothing to measure them against).
+      const std::uint32_t eligible = state_.eligible_generations[v];
+      if (eligible == 0) continue;
+      got = static_cast<double>(held_by[v]) /
+            (static_cast<double>(eligible) * gen_size);
+    } else {
+      got = static_cast<double>(held_by[v]) / total;
+    }
     ++honest_n;
     overall_sum += got;
     worst = std::min(worst, got);
@@ -780,18 +919,33 @@ GossipResult GossipEngine::collect_metrics() const {
 
   // Time-resolved usability over release generations.
   std::uint64_t unusable_pairs = 0;
+  std::uint64_t eligible_pairs = 0;
   std::uint32_t stretched_nodes = 0;
   for (std::uint32_t v = 0; v < config_.nodes; ++v) {
     if (state_.roles[v] != Role::kHonest) continue;
     const std::uint32_t unusable = unusable_by[v];
+    if (churn_) {
+      // Per-seat denominators: a seat is only judged over the generations it
+      // was an eligible member for.
+      const std::uint32_t eligible = state_.eligible_generations[v];
+      if (eligible == 0) continue;
+      eligible_pairs += eligible;
+      unusable_pairs += unusable;
+      if (unusable * 10 >= eligible) ++stretched_nodes;
+      continue;
+    }
     unusable_pairs += unusable;
     if (unusable * 10 >= (end_gen - first_gen)) ++stretched_nodes;
   }
   const auto generations = static_cast<double>(end_gen - first_gen);
   result.unusable_node_generations =
-      honest_n && generations > 0
-          ? static_cast<double>(unusable_pairs) / (honest_n * generations)
-          : 0.0;
+      churn_ ? (eligible_pairs ? static_cast<double>(unusable_pairs) /
+                                     static_cast<double>(eligible_pairs)
+                               : 0.0)
+             : (honest_n && generations > 0
+                    ? static_cast<double>(unusable_pairs) /
+                          (honest_n * generations)
+                    : 0.0);
   result.nodes_with_unusable_stretch =
       honest_n ? static_cast<double>(stretched_nodes) / honest_n : 0.0;
   result.attacker_coverage = static_cast<double>(pool_held) / total;

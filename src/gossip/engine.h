@@ -100,6 +100,11 @@ class GossipEngine {
 
  private:
   // --- Round phases ------------------------------------------------------
+  /// Applies the churn plan at round start (decay sweep, crashes, leaves,
+  /// joins/recoveries). Serial and before every protocol phase, so alive[]
+  /// is round-constant while the wavefront phases run. No-op when the plan
+  /// is disabled; draws come from a dedicated stream either way.
+  void apply_churn(Round round);
   void rotate_satiate_set(Round round);
   /// Windowed model only: folds the generation expiring at `round` into the
   /// per-node accumulators and recycles its ring slots.
@@ -167,6 +172,9 @@ class GossipEngine {
   void replay_worker_effects(Round round);
 
   [[nodiscard]] bool participates(std::uint32_t v) const noexcept;
+  /// Giver-side per-interaction ceiling for heterogeneous capacities
+  /// (ChurnPlan::slow_cap seats); SIZE_MAX when uncapped.
+  [[nodiscard]] std::size_t giver_cap(std::uint32_t v) const noexcept;
   [[nodiscard]] bool is_trade_attacker(std::uint32_t v) const noexcept;
   [[nodiscard]] std::size_t apply_service_cap(std::size_t wanted) const noexcept;
   void maybe_report(std::uint32_t giver, std::uint32_t receiver,
@@ -182,6 +190,18 @@ class GossipEngine {
   crypto::PartnerSchedule schedule_;
   crypto::KeyRegistry registry_;
   sim::Rng rng_;
+
+  /// Churn: resolved from config_.churn.enabled() once; every churn branch
+  /// is guarded on this flag so a static run never touches the (empty)
+  /// churn arrays. The membership draws come from their own derived stream —
+  /// rng_'s trajectory is identical with churn on or off.
+  bool churn_ = false;
+  sim::Rng churn_rng_;
+  /// Per-round Bernoulli draw batches (crash, leave, join), one byte per
+  /// seat, drawn for every seat every round regardless of state.
+  std::vector<std::uint8_t> churn_crash_;
+  std::vector<std::uint8_t> churn_leave_;
+  std::vector<std::uint8_t> churn_join_;
 
   /// All per-node state — scalars, windowed holdings rings, and the
   /// fold-at-expiry accumulators — in one flat SoA block.

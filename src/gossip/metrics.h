@@ -58,6 +58,12 @@ struct GossipResult {
   std::uint64_t junk_updates = 0;         // junk padding in push returns
   std::uint64_t attacker_dump_updates = 0;  // updates injected by the attacker
 
+  // --- Churn bookkeeping ---------------------------------------------------
+  std::uint64_t churn_joins = 0;       // fresh identities taking a dead seat
+  std::uint64_t churn_leaves = 0;      // graceful departures (state dropped)
+  std::uint64_t churn_crashes = 0;     // crashes (state decays after a grace)
+  std::uint64_t churn_recoveries = 0;  // crashed seats back within the window
+
   // --- Defence bookkeeping -------------------------------------------------
   std::uint64_t reports_filed = 0;
   std::uint32_t attackers_evicted = 0;

@@ -14,6 +14,7 @@
 // O(nodes * active-window) instead of O(nodes * lifetime-updates).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -91,6 +92,24 @@ struct NodeState {
   // --- Windowed holdings: one flat ring block for all nodes ---------------
   std::vector<std::uint64_t> holdings_words;
 
+  // --- Churn (allocated by init_churn only when the plan is enabled, so a
+  // static-membership run pays zero bytes and never branches on them) ------
+  /// Sentinel for decay_at: no crashed state awaiting decay.
+  static constexpr std::uint32_t kNoDecay = 0xffffffffu;
+  /// 1 = the seat is a live member this round.
+  std::vector<std::uint8_t> alive;
+  /// Round the seat's current identity joined (0 for founders). Recycled
+  /// seats aggregate successive identities into the same accumulators.
+  std::vector<std::uint32_t> joined_round;
+  /// Round a crashed seat's gossip state decays, kNoDecay otherwise.
+  std::vector<std::uint32_t> decay_at;
+  /// Measured generations the seat was an eligible member for (alive at
+  /// expiry, joined no later than release) — the churn-aware delivery
+  /// denominator.
+  std::vector<std::uint32_t> eligible_generations;
+  /// Per-interaction giver-side cap for slow seats; 0 = uncapped.
+  std::vector<std::uint32_t> capacity_cap;
+
   // --- Fold-at-expiry accumulators ----------------------------------------
   /// Measured-window updates the node held at their expiry.
   std::vector<std::uint64_t> measured_held;
@@ -132,6 +151,26 @@ struct NodeState {
     unusable_generations.assign(nodes, 0);
   }
 
+  /// Sizes the churn arrays; every seat starts as a live founder.
+  void init_churn() {
+    alive.assign(nodes, 1);
+    joined_round.assign(nodes, 0);
+    decay_at.assign(nodes, kNoDecay);
+    eligible_generations.assign(nodes, 0);
+    capacity_cap.assign(nodes, 0);
+  }
+
+  /// Drops every holdings bit of seat v — a departed identity's gossip
+  /// state. Valid under both models: the windowed ring holds only live-window
+  /// bits, and under churn the dense model's metrics come from the fold-time
+  /// accumulators, never from expired bitmap regions.
+  void clear_holdings(std::uint32_t v) noexcept {
+    std::fill_n(holdings_words.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(v) * words_per_node),
+                static_cast<std::ptrdiff_t>(words_per_node), std::uint64_t{0});
+  }
+
   /// Sizes the multi-threaded engine's scratch: the interaction/wave arrays
   /// (one u32 each per node), `worker_count` effect accumulators, and
   /// `chunk_count` multicast staging slots.
@@ -163,6 +202,10 @@ struct NodeState {
     }
     return roles.capacity() * sizeof(Role) + obedient.capacity() +
            evicted.capacity() + satiated.capacity() + ever_satiated.capacity() +
+           alive.capacity() +
+           (joined_round.capacity() + decay_at.capacity() +
+            eligible_generations.capacity() + capacity_cap.capacity()) *
+               sizeof(std::uint32_t) +
            oob_received.capacity() * sizeof(std::uint64_t) +
            holdings_words.capacity() * sizeof(std::uint64_t) +
            measured_held.capacity() * sizeof(std::uint64_t) +

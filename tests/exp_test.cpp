@@ -65,6 +65,12 @@ TEST(ConfigHash, EveryConfigFieldPerturbsTheHash) {
       {"warmup_rounds", [](auto& c) { c.warmup_rounds += 1; }},
       {"usability_threshold", [](auto& c) { c.usability_threshold = 0.9; }},
       {"seed", [](auto& c) { c.seed += 1; }},
+      {"churn.join_rate", [](auto& c) { c.churn.join_rate = 0.1; }},
+      {"churn.leave_rate", [](auto& c) { c.churn.leave_rate = 0.02; }},
+      {"churn.crash_rate", [](auto& c) { c.churn.crash_rate = 0.02; }},
+      {"churn.decay_rounds", [](auto& c) { c.churn.decay_rounds = 5; }},
+      {"churn.slow_fraction", [](auto& c) { c.churn.slow_fraction = 0.3; }},
+      {"churn.slow_cap", [](auto& c) { c.churn.slow_cap = 4; }},
   };
   const auto base = exp::config_hash(gossip::GossipConfig{});
   for (const auto& [name, mutate] : mutations) {

@@ -368,6 +368,166 @@ TEST(Engine, RotationIsDeterministic) {
   EXPECT_EQ(a.attacker_dump_updates, b.attacker_dump_updates);
 }
 
+// --- Churn: dynamic membership -------------------------------------------
+
+TEST(Churn, DisabledPlanIsInert) {
+  ChurnPlan off;
+  EXPECT_FALSE(off.enabled());
+  // slow_fraction without a cap (and vice versa) stays inert by design.
+  off.slow_fraction = 0.5;
+  EXPECT_FALSE(off.enabled());
+  off.slow_fraction = 0.0;
+  off.slow_cap = 4;
+  EXPECT_FALSE(off.enabled());
+  ChurnPlan on;
+  on.leave_rate = 0.01;
+  EXPECT_TRUE(on.enabled());
+}
+
+TEST(Churn, ZeroRatePlanMatchesStaticRunExactly) {
+  // A config whose churn plan is disabled must replay the static trajectory
+  // bit-for-bit — churn draws come from a separate stream that is never
+  // advanced, and no churn branch may touch the main RNG.
+  auto c = small_config();
+  const auto baseline = run_gossip(c, AttackPlan{});
+  c.churn = ChurnPlan{};  // explicit, still disabled
+  const auto with_plan = run_gossip(c, AttackPlan{});
+  EXPECT_EQ(baseline.isolated_delivery, with_plan.isolated_delivery);
+  EXPECT_EQ(baseline.balanced_exchanges, with_plan.balanced_exchanges);
+  EXPECT_EQ(baseline.push_updates, with_plan.push_updates);
+  EXPECT_EQ(with_plan.churn_joins, 0u);
+  EXPECT_EQ(with_plan.churn_leaves, 0u);
+  EXPECT_EQ(with_plan.churn_crashes, 0u);
+}
+
+TEST(Churn, DeterministicAndCountersActive) {
+  auto c = small_config();
+  c.churn.join_rate = 0.2;
+  c.churn.leave_rate = 0.02;
+  c.churn.crash_rate = 0.02;
+  c.churn.decay_rounds = 5;
+  const auto a = run_gossip(c, AttackPlan{});
+  const auto b = run_gossip(c, AttackPlan{});
+  EXPECT_EQ(a.isolated_delivery, b.isolated_delivery);
+  EXPECT_EQ(a.churn_joins, b.churn_joins);
+  EXPECT_EQ(a.churn_leaves, b.churn_leaves);
+  EXPECT_EQ(a.churn_crashes, b.churn_crashes);
+  EXPECT_EQ(a.churn_recoveries, b.churn_recoveries);
+  // With these rates over 60 rounds every transition actually fires.
+  EXPECT_GT(a.churn_leaves, 0u);
+  EXPECT_GT(a.churn_crashes, 0u);
+  EXPECT_GT(a.churn_joins, 0u);
+  EXPECT_GT(a.churn_recoveries, 0u);
+}
+
+TEST(Churn, ChurnSeedIndependentOfMainStream) {
+  // Same config seed, different churn rates: the membership trajectory
+  // changes but the partner schedule / cast stay pinned to the seed. The
+  // run differs (dead nodes skip interactions), which is the point.
+  auto c = small_config();
+  c.churn.leave_rate = 0.01;
+  c.churn.join_rate = 0.2;
+  const auto light = run_gossip(c, AttackPlan{});
+  c.churn.leave_rate = 0.10;
+  const auto heavy = run_gossip(c, AttackPlan{});
+  EXPECT_GT(heavy.churn_leaves, light.churn_leaves);
+  // Heavier departures strictly shrink the interacting population.
+  EXPECT_LT(heavy.balanced_exchanges, light.balanced_exchanges);
+}
+
+TEST(Churn, GracefulLeavesDegradeDeliveryMonotonically) {
+  auto c = small_config();
+  c.churn.join_rate = 0.3;
+  c.churn.leave_rate = 0.01;
+  const auto light = run_gossip(c, AttackPlan{});
+  c.churn.leave_rate = 0.08;
+  const auto heavy = run_gossip(c, AttackPlan{});
+  EXPECT_LE(heavy.overall_delivery, light.overall_delivery + 0.02);
+}
+
+TEST(Churn, CrashRecoveryKeepsStateWithinDecayWindow) {
+  // With a decay window covering the whole run and a high join rate, most
+  // crashed nodes recover with their holdings intact; with decay_rounds = 0
+  // a crash behaves like a leave and every return is a fresh join.
+  auto c = small_config();
+  c.churn.crash_rate = 0.05;
+  c.churn.join_rate = 0.5;
+  c.churn.decay_rounds = c.rounds;  // never decays in-run
+  const auto graced = run_gossip(c, AttackPlan{});
+  EXPECT_GT(graced.churn_recoveries, 0u);
+  c.churn.decay_rounds = 0;
+  const auto instant = run_gossip(c, AttackPlan{});
+  EXPECT_EQ(instant.churn_recoveries, 0u);
+  EXPECT_GT(instant.churn_joins, 0u);
+  // Kept state means better delivery than rejoining empty.
+  EXPECT_GE(graced.overall_delivery + 0.02, instant.overall_delivery);
+}
+
+TEST(Churn, IdRecyclingAlternatingMembership) {
+  // join_rate = leave_rate = 1: every live honest node leaves each round and
+  // every dead seat rejoins the next — a deterministic alternating pattern
+  // that stress-tests seat recycling. Counters must balance: every join
+  // takes a previously vacated seat.
+  auto c = small_config();
+  c.churn.leave_rate = 1.0;
+  c.churn.join_rate = 1.0;
+  const auto result = run_gossip(c, AttackPlan{});
+  EXPECT_GT(result.churn_leaves, 0u);
+  EXPECT_GT(result.churn_joins, 0u);
+  // Joins lag leaves by at most one full population (the seats still dead
+  // at the end of the run).
+  EXPECT_LE(result.churn_joins, result.churn_leaves);
+  EXPECT_GE(result.churn_joins + c.nodes, result.churn_leaves);
+  // Delivery collapses (members live one round at a time) but the metrics
+  // stay finite and well-defined.
+  EXPECT_GE(result.overall_delivery, 0.0);
+  EXPECT_LE(result.overall_delivery, 1.0);
+}
+
+TEST(Churn, AllNodesDepartedYieldsGracefulDefaults) {
+  // Everyone leaves immediately and nobody returns: no seat is eligible for
+  // any measured generation, so the averages fall back to their defaults
+  // instead of dividing by zero.
+  auto c = small_config();
+  c.churn.leave_rate = 1.0;
+  const auto result = run_gossip(c, AttackPlan{});
+  EXPECT_EQ(result.isolated_nodes, 0u);
+  EXPECT_EQ(result.overall_delivery, 1.0);
+  EXPECT_EQ(result.unusable_node_generations, 0.0);
+}
+
+TEST(Churn, SlowSeatsCapPerInteractionTransfers) {
+  // With every honest seat capped at 1 update per interaction side, a
+  // balanced exchange moves at most 2 updates — a sharp per-interaction
+  // bound the uncapped run comfortably violates.
+  auto c = small_config();
+  c.churn.slow_fraction = 1.0;
+  c.churn.slow_cap = 1;
+  ASSERT_TRUE(c.churn.enabled());
+  const auto capped = run_gossip(c, AttackPlan{});
+  EXPECT_LE(capped.exchange_updates, 2 * capped.balanced_exchanges);
+  const auto uncapped = run_gossip(small_config(), AttackPlan{});
+  EXPECT_GT(uncapped.exchange_updates, 2 * uncapped.balanced_exchanges);
+  // Static membership otherwise: no transitions fire.
+  EXPECT_EQ(capped.churn_joins + capped.churn_leaves + capped.churn_crashes,
+            0u);
+}
+
+TEST(Churn, WhitewashingResetsEviction) {
+  // Reporting evicts trade attackers as before; honest churn must not stop
+  // eviction from working (attacker seats never churn).
+  auto c = small_config();
+  c.reporting_enabled = true;
+  c.service_limit = 10;
+  c.churn.leave_rate = 0.02;
+  c.churn.join_rate = 0.3;
+  AttackPlan plan;
+  plan.kind = AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.25;
+  const auto result = run_gossip(c, plan);
+  EXPECT_GT(result.attackers_evicted, 0u);
+}
+
 TEST(Engine, AttackNames) {
   EXPECT_STREQ(attack_name(AttackKind::kNone), "none");
   EXPECT_STREQ(attack_name(AttackKind::kCrash), "crash");

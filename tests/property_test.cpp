@@ -134,6 +134,23 @@ void expect_identical_results(const gossip::GossipResult& windowed,
   EXPECT_EQ(windowed.reports_filed, dense.reports_filed) << what;
   EXPECT_EQ(windowed.attackers_evicted, dense.attackers_evicted) << what;
   EXPECT_EQ(windowed.full_eviction_round, dense.full_eviction_round) << what;
+  EXPECT_EQ(windowed.churn_joins, dense.churn_joins) << what;
+  EXPECT_EQ(windowed.churn_leaves, dense.churn_leaves) << what;
+  EXPECT_EQ(windowed.churn_crashes, dense.churn_crashes) << what;
+  EXPECT_EQ(windowed.churn_recoveries, dense.churn_recoveries) << what;
+}
+
+/// The churn plan the parity sweeps exercise: all three transitions active,
+/// crash decay spanning a full update lifetime, and a slow minority.
+gossip::ChurnPlan parity_churn_plan() {
+  gossip::ChurnPlan churn;
+  churn.join_rate = 0.08;
+  churn.leave_rate = 0.01;
+  churn.crash_rate = 0.01;
+  churn.decay_rounds = 10;
+  churn.slow_fraction = 0.25;
+  churn.slow_cap = 4;
+  return churn;
 }
 
 class WindowedParitySweep : public ::testing::TestWithParam<std::uint64_t> {
@@ -208,6 +225,56 @@ TEST_P(WindowedParitySweep, LifetimeAtLeastHorizonDegenerateWindow) {
   // Both models agree that the measured window is empty.
   EXPECT_THROW((void)windowed.run(), std::logic_error);
   EXPECT_THROW((void)dense.run(), std::logic_error);
+}
+
+TEST_P(WindowedParitySweep, ChurnEveryAttackKind) {
+  // Dynamic membership: joins, leaves, crashes with decayed state, and slow
+  // seats, under every attack. The dense model folds delivery at expiry too
+  // (count-only), so the accumulators must agree exactly.
+  auto c = config();
+  c.churn = parity_churn_plan();
+  for (const auto kind :
+       {gossip::AttackKind::kNone, gossip::AttackKind::kCrash,
+        gossip::AttackKind::kIdealLotus, gossip::AttackKind::kTradeLotus}) {
+    gossip::AttackPlan plan;
+    plan.kind = kind;
+    plan.attacker_fraction = kind == gossip::AttackKind::kNone ? 0.0 : 0.2;
+    run_both(c, plan, "churn attack kind sweep");
+  }
+}
+
+TEST_P(WindowedParitySweep, ChurnWithReportingAndRotation) {
+  // Churned membership meets the eviction layer (whitewashing resets) and a
+  // rotating satiate set at once.
+  auto c = config();
+  c.churn = parity_churn_plan();
+  c.reporting_enabled = true;
+  c.service_limit = 25;
+  c.obedient_fraction = 0.5;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.25;
+  plan.rotation_period = 15;
+  run_both(c, plan, "churn + reporting + rotation");
+}
+
+TEST_P(WindowedParitySweep, ChurnLeaveOnlyAndCrashOnly) {
+  // The two decay semantics in isolation: graceful leaves (instant decay)
+  // and crashes with a grace window shorter than the lifetime.
+  for (const bool leaves : {true, false}) {
+    auto c = config();
+    if (leaves) {
+      c.churn.leave_rate = 0.02;
+    } else {
+      c.churn.crash_rate = 0.02;
+      c.churn.decay_rounds = 4;
+    }
+    c.churn.join_rate = 0.15;
+    gossip::AttackPlan plan;
+    plan.kind = gossip::AttackKind::kIdealLotus;
+    plan.attacker_fraction = 0.15;
+    run_both(c, plan, leaves ? "churn leaves only" : "churn crashes only");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WindowedParitySweep,
@@ -287,6 +354,39 @@ TEST_P(ParallelEngineParitySweep, DumpOnResponseUnbalancedAndCaps) {
   plan.kind = gossip::AttackKind::kTradeLotus;
   plan.attacker_fraction = 0.3;
   expect_parallel_parity(c, plan, "dump-on-response + unbalanced + caps");
+}
+
+TEST_P(ParallelEngineParitySweep, ChurnEveryAttackKind) {
+  // apply_churn runs serially at round start, so alive[] is round-constant
+  // while the wavefront phases execute; the parallel engine must replay the
+  // exact membership trajectory and counters at every width.
+  auto c = config();
+  c.churn = parity_churn_plan();
+  for (const auto kind :
+       {gossip::AttackKind::kNone, gossip::AttackKind::kCrash,
+        gossip::AttackKind::kIdealLotus, gossip::AttackKind::kTradeLotus}) {
+    gossip::AttackPlan plan;
+    plan.kind = kind;
+    plan.attacker_fraction = kind == gossip::AttackKind::kNone ? 0.0 : 0.25;
+    expect_parallel_parity(c, plan, "churn attack kind sweep");
+  }
+}
+
+TEST_P(ParallelEngineParitySweep, ChurnReportingCapsAndRotation) {
+  // The widest churn surface: eviction reports from staged workers,
+  // whitewashing joins, slow seats, service caps, and rotation together.
+  auto c = config();
+  c.churn = parity_churn_plan();
+  c.reporting_enabled = true;
+  c.service_limit = 10;
+  c.obedient_fraction = 0.6;
+  c.service_cap = 6;
+  c.trade_dump_on_response = true;
+  gossip::AttackPlan plan;
+  plan.kind = gossip::AttackKind::kTradeLotus;
+  plan.attacker_fraction = 0.25;
+  plan.rotation_period = 7;
+  expect_parallel_parity(c, plan, "churn + reporting + caps + rotation");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEngineParitySweep,

@@ -1,0 +1,186 @@
+// Microbench drift checker: compares a fresh bench_json run against the
+// checked-in baseline (bench/BENCH_micro.json) and prints a markdown drift
+// table, one row per (kernel, isa, n) datapoint.
+//
+// The CI runner is a shared 1-core container, so absolute times are noisy;
+// the default tolerance is wide (30%) and the tool is report-only unless
+// --fail-on-regression is passed, in which case any datapoint slower than
+// baseline by more than the tolerance exits 1. Datapoints present on only
+// one side (e.g. an AVX-512 baseline diffed on an AVX2-only host) are
+// listed but never fail the run.
+//
+// The parser handles exactly the flat document bench_json emits — one
+// object per datapoint with string values for kernel/isa and numeric
+// values for n/ns_per_op — not general JSON.
+//
+// Usage: bench_diff --baseline PATH --current PATH
+//                   [--tolerance FRAC] [--fail-on-regression]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Datapoint {
+  std::string kernel;
+  std::string isa;
+  long n = 0;
+  double ns_per_op = 0.0;
+};
+
+/// Value of `"key": "str"` or `"key": num` after `from` in `text`, as the
+/// raw token between the colon and the next ',' or '}'.
+std::optional<std::string> field_token(const std::string& text,
+                                       std::size_t from, std::size_t until,
+                                       const char* key) {
+  const std::string needle = std::string{"\""} + key + "\"";
+  const auto at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) return std::nullopt;
+  auto colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return std::nullopt;
+  auto end = text.find_first_of(",}", colon);
+  if (end == std::string::npos) return std::nullopt;
+  std::string token = text.substr(colon + 1, end - colon - 1);
+  // Trim whitespace and surrounding quotes.
+  const auto first = token.find_first_not_of(" \t\n\"");
+  const auto last = token.find_last_not_of(" \t\n\"");
+  if (first == std::string::npos) return std::nullopt;
+  return token.substr(first, last - first + 1);
+}
+
+/// All datapoints in a bench_json document. Each datapoint object is
+/// located by its "kernel" key; fields are read up to the object's
+/// closing brace.
+std::vector<Datapoint> parse_datapoints(const std::string& text) {
+  std::vector<Datapoint> points;
+  const auto array_at = text.find("\"datapoints\"");
+  if (array_at == std::string::npos) return points;
+  std::size_t at = array_at;
+  while ((at = text.find("{\"kernel\"", at)) != std::string::npos) {
+    const auto close = text.find('}', at);
+    if (close == std::string::npos) break;
+    const auto kernel = field_token(text, at, close, "kernel");
+    const auto isa = field_token(text, at, close, "isa");
+    const auto n = field_token(text, at, close, "n");
+    const auto ns = field_token(text, at, close, "ns_per_op");
+    if (kernel && isa && n && ns) {
+      points.push_back({*kernel, *isa, std::atol(n->c_str()),
+                        std::atof(ns->c_str())});
+    }
+    at = close + 1;
+  }
+  return points;
+}
+
+std::optional<std::string> read_file(const char* path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const Datapoint* find_point(const std::vector<Datapoint>& points,
+                            const Datapoint& like) {
+  for (const auto& p : points) {
+    if (p.kernel == like.kernel && p.isa == like.isa && p.n == like.n)
+      return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double tolerance = 0.30;
+  bool fail_on_regression = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string_view{argv[i]};
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (arg == "--fail-on-regression") {
+      fail_on_regression = true;
+    } else {
+      std::cerr << "usage: bench_diff --baseline PATH --current PATH"
+                   " [--tolerance FRAC] [--fail-on-regression]\n";
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::cerr << "bench_diff: --baseline and --current are required\n";
+    return 2;
+  }
+  const auto baseline_text = read_file(baseline_path);
+  if (!baseline_text) {
+    std::cerr << "bench_diff: cannot read " << baseline_path << "\n";
+    return 2;
+  }
+  const auto current_text = read_file(current_path);
+  if (!current_text) {
+    std::cerr << "bench_diff: cannot read " << current_path << "\n";
+    return 2;
+  }
+  const auto baseline = parse_datapoints(*baseline_text);
+  const auto current = parse_datapoints(*current_text);
+  if (baseline.empty() || current.empty()) {
+    std::cerr << "bench_diff: no datapoints parsed (baseline "
+              << baseline.size() << ", current " << current.size() << ")\n";
+    return 2;
+  }
+
+  int regressions = 0;
+  int improvements = 0;
+  int only_one_side = 0;
+  std::printf(
+      "| kernel | isa | n | baseline ns/op | current ns/op | drift | "
+      "status |\n");
+  std::printf("|---|---|---:|---:|---:|---:|---|\n");
+  for (const auto& base : baseline) {
+    const Datapoint* cur = find_point(current, base);
+    if (cur == nullptr) {
+      ++only_one_side;
+      std::printf("| %s | %s | %ld | %.1f | - | - | baseline-only |\n",
+                  base.kernel.c_str(), base.isa.c_str(), base.n,
+                  base.ns_per_op);
+      continue;
+    }
+    const double drift =
+        base.ns_per_op > 0.0 ? cur->ns_per_op / base.ns_per_op - 1.0 : 0.0;
+    const char* status = "ok";
+    if (drift > tolerance) {
+      status = "REGRESSION";
+      ++regressions;
+    } else if (drift < -tolerance) {
+      status = "improved";
+      ++improvements;
+    }
+    std::printf("| %s | %s | %ld | %.1f | %.1f | %+.1f%% | %s |\n",
+                base.kernel.c_str(), base.isa.c_str(), base.n,
+                base.ns_per_op, cur->ns_per_op, drift * 100.0, status);
+  }
+  for (const auto& cur : current) {
+    if (find_point(baseline, cur) == nullptr) {
+      ++only_one_side;
+      std::printf("| %s | %s | %ld | - | %.1f | - | current-only |\n",
+                  cur.kernel.c_str(), cur.isa.c_str(), cur.n,
+                  cur.ns_per_op);
+    }
+  }
+  std::printf(
+      "\n%d regression(s), %d improvement(s), %d unmatched datapoint(s) at "
+      "%.0f%% tolerance\n",
+      regressions, improvements, only_one_side, tolerance * 100.0);
+  return (fail_on_regression && regressions > 0) ? 1 : 0;
+}
